@@ -1,0 +1,75 @@
+// Figure 12: the impact of near-data compaction — randomfill (normal mode)
+// while sweeping the memory node's compaction cores, with different
+// front-end writer counts, against compaction on the compute node. Bars
+// are annotated with the memory node's CPU utilization, as in the paper.
+//
+// Usage: fig12_compaction [--keys=N] [--writers=1,4,12] [--cores=1,2,4,8,12]
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace dlsm {
+namespace bench {
+namespace {
+
+std::vector<int> ParseList(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t keys = flags.GetInt("keys", 150000);
+  std::vector<int> writers = ParseList(flags.GetString("writers", "1,4,12"));
+  std::vector<int> cores = ParseList(flags.GetString("cores", "1,2,4,8,12"));
+
+  std::printf("\n=== Figure 12: near-data compaction, randomfill normal "
+              "mode, %llu keys ===\n",
+              static_cast<unsigned long long>(keys));
+  std::printf("(cells: write throughput @ memory-node CPU utilization)\n");
+  std::printf("%-10s", "writers");
+  for (int c : cores) std::printf("   %8d-core", c);
+  std::printf("        compute-side\n");
+
+  for (int w : writers) {
+    std::printf("%-10d", w);
+    std::fflush(stdout);
+    for (int c : cores) {
+      BenchConfig config;
+      config.threads = w;
+      config.num_keys = keys;
+      config.memory_cores = c;
+      config.compaction_workers = c;
+      config.memtable_size = 1 << 20;
+      config.sstable_size = 1 << 20;
+      auto r = RunBench(config, {Phase::kFillRandom});
+      std::printf(" %9s@%3.0f%%",
+                  FormatThroughput(r[0].ops_per_sec).c_str(),
+                  r[0].memory_cpu_util * 100);
+      std::fflush(stdout);
+    }
+    // The last group of bars: compaction executed on the compute node.
+    BenchConfig config;
+    config.threads = w;
+    config.num_keys = keys;
+    config.placement = CompactionPlacement::kComputeSide;
+    config.memtable_size = 1 << 20;
+    config.sstable_size = 1 << 20;
+    auto r = RunBench(config, {Phase::kFillRandom});
+    std::printf("   %16s\n", FormatThroughput(r[0].ops_per_sec).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dlsm
+
+int main(int argc, char** argv) { return dlsm::bench::Main(argc, argv); }

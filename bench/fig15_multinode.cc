@@ -1,0 +1,48 @@
+// Figure 15: multi-node design — x compute nodes and x memory nodes scale
+// together (xCxM), lambda = 8, data grows with the cluster; dLSM vs
+// Sherman vs Nova-LSM.
+//
+// Usage: fig15_multinode [--base=N]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace dlsm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t base = flags.GetInt("base", 50000);
+
+  std::printf("\n=== Figure 15: xCxM scaling, lambda=8 ===\n");
+  std::printf("%-10s %8s %10s %16s %16s\n", "system", "nodes", "keys",
+              "write", "read");
+  for (SystemKind system :
+       {SystemKind::kDLsm, SystemKind::kNovaLsm, SystemKind::kSherman}) {
+    for (int x : {1, 2, 4, 8}) {
+      ClusterBenchConfig config;
+      config.system = system;
+      config.compute_nodes = x;
+      config.memory_nodes = x;
+      config.shards_per_compute = 8;
+      config.threads_per_compute = 8;
+      config.num_keys = base * x;
+      ClusterBenchResult r = RunClusterBench(config);
+      std::printf("%-10s %dC%dM %12llu %16s %16s\n", SystemName(system), x,
+                  x, static_cast<unsigned long long>(config.num_keys),
+                  FormatThroughput(r.fill_ops_per_sec).c_str(),
+                  FormatThroughput(r.read_ops_per_sec).c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dlsm
+
+int main(int argc, char** argv) { return dlsm::bench::Main(argc, argv); }

@@ -1,0 +1,90 @@
+// Figure 7: random-write throughput vs. front-end threads, all systems.
+//   (a) normal mode   — level0_stop_writes_trigger = 36 (write stalls).
+//   (b) bulkload mode — trigger = infinity (pure in-memory write path).
+//
+// Usage: fig7_write [--keys=N] [--threads=1,2,4,8,16] [--mode=normal|bulkload|both]
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace dlsm {
+namespace bench {
+namespace {
+
+std::vector<int> ParseThreads(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+
+void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
+             const std::string& only) {
+  std::vector<SystemKind> systems = {
+      SystemKind::kDLsm,       SystemKind::kRocks8K, SystemKind::kRocks2K,
+      SystemKind::kMemoryRocks, SystemKind::kNovaLsm,
+  };
+  if (!bulkload) {
+    systems.push_back(SystemKind::kSherman);  // N/A in bulkload (paper).
+  }
+  if (!only.empty()) {
+    std::vector<SystemKind> filtered;
+    for (SystemKind sk : systems) {
+      if (std::string(SystemName(sk)).find(only) != std::string::npos) {
+        filtered.push_back(sk);
+      }
+    }
+    systems = filtered;
+  }
+
+  std::printf("\n=== Figure 7(%s): randomfill, %s mode, %llu keys ===\n",
+              bulkload ? "b" : "a", bulkload ? "bulkload" : "normal",
+              static_cast<unsigned long long>(keys));
+  std::printf("%-22s", "system");
+  for (int t : threads) std::printf("%12d-thr", t);
+  std::printf("\n");
+
+  for (SystemKind system : systems) {
+    std::printf("%-22s", SystemName(system));
+    std::fflush(stdout);
+    for (int t : threads) {
+      BenchConfig config;
+      config.system = system;
+      config.threads = t;
+      config.num_keys = keys;
+      config.bulkload = bulkload;
+      // 1 MB MemTables/SSTables (paper's 64 MB scaled with the dataset):
+      // normal mode must feel flush and L0-compaction pressure.
+      config.memtable_size = 1 << 20;
+      config.sstable_size = 1 << 20;
+      auto r = RunBench(config, {Phase::kFillRandom});
+      std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t keys = flags.GetInt("keys", 100000);
+  std::vector<int> threads =
+      ParseThreads(flags.GetString("threads", "1,2,4,8,16"));
+  std::string mode = flags.GetString("mode", "both");
+  std::string only = flags.GetString("only", "");
+  if (mode == "normal" || mode == "both") RunMode(false, keys, threads, only);
+  if (mode == "bulkload" || mode == "both") {
+    RunMode(true, keys, threads, only);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dlsm
+
+int main(int argc, char** argv) { return dlsm::bench::Main(argc, argv); }

@@ -1,0 +1,59 @@
+// Figure 8: random-read throughput vs. threads, all systems. The read
+// phase starts after all background compaction finishes, as in the paper.
+//
+// Usage: fig8_read [--keys=N] [--threads=1,2,4,8,16]
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace dlsm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t keys = flags.GetInt("keys", 100000);
+  std::vector<int> threads;
+  {
+    std::stringstream ss(flags.GetString("threads", "1,2,4,8,16"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) threads.push_back(std::stoi(tok));
+  }
+
+  std::vector<SystemKind> systems = {
+      SystemKind::kDLsm,        SystemKind::kRocks8K,
+      SystemKind::kRocks2K,     SystemKind::kMemoryRocks,
+      SystemKind::kNovaLsm,     SystemKind::kSherman,
+  };
+
+  std::printf("\n=== Figure 8: randomread after compaction, %llu keys ===\n",
+              static_cast<unsigned long long>(keys));
+  std::printf("%-22s", "system");
+  for (int t : threads) std::printf("%12d-thr", t);
+  std::printf("\n");
+
+  for (SystemKind system : systems) {
+    std::printf("%-22s", SystemName(system));
+    std::fflush(stdout);
+    for (int t : threads) {
+      BenchConfig config;
+      config.system = system;
+      config.threads = t;
+      config.num_keys = keys;
+      auto r = RunBench(config, {Phase::kReadRandom});
+      std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dlsm
+
+int main(int argc, char** argv) { return dlsm::bench::Main(argc, argv); }

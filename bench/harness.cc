@@ -1,0 +1,549 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/presets.h"
+#include "src/baselines/sherman.h"
+#include "src/core/cluster.h"
+#include "src/core/db_impl.h"
+#include "src/core/memory_node_service.h"
+#include "src/core/shard.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/sim_env.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace dlsm {
+namespace bench {
+
+namespace {
+
+std::string MakeKey(uint64_t n, int width) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*llu", width,
+                static_cast<unsigned long long>(n));
+  return std::string(buf);
+}
+
+std::string MakeValue(uint64_t n, size_t len, Random* rnd) {
+  std::string v;
+  v.reserve(len);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.",
+                static_cast<unsigned long long>(n));
+  v = buf;
+  while (v.size() < len) {
+    v.push_back(static_cast<char>('a' + rnd->Uniform(26)));
+  }
+  v.resize(len);
+  return v;
+}
+
+Options MakeEngineOptions(const BenchConfig& config, Env* env) {
+  Options options;
+  switch (config.system) {
+    case SystemKind::kDLsm:
+      options = Options();
+      options.env = env;
+      break;
+    case SystemKind::kDLsmBlock:
+      options = Options();
+      options.env = env;
+      options.table_format = TableFormat::kBlock;
+      options.block_size = 8192;
+      break;
+    case SystemKind::kRocks8K:
+      options = baselines::RocksDbRdmaOptions(env, 8192);
+      break;
+    case SystemKind::kRocks2K:
+      options = baselines::RocksDbRdmaOptions(env, 2048);
+      break;
+    case SystemKind::kMemoryRocks:
+      options = baselines::MemoryRocksDbRdmaOptions(
+          env, config.key_width + config.value_size + 32);
+      break;
+    case SystemKind::kNovaLsm:
+      // Sub-range count follows the paper's Nova-LSM configuration (64),
+      // scaled down with the data so each sub-range still flushes.
+      options = baselines::NovaLsmOptions(
+          env, config.num_keys >= 400000 ? 64 : 16);
+      break;
+    case SystemKind::kSherman:
+      DLSM_CHECK_MSG(false, "Sherman does not take engine options");
+  }
+  options.memtable_size = config.memtable_size;
+  options.sstable_size = config.sstable_size;
+  options.estimated_entry_size = config.key_width + config.value_size + 28;
+  options.l0_stop_writes_trigger = config.bulkload ? 1 << 30 : 36;
+  options.max_immutables = config.bulkload ? 1 << 20 : 16;
+  options.flush_threads = 4;
+  options.compaction_scheduler_threads = 4;
+  options.max_subcompactions = 12;
+  // config.placement is a dLSM ablation knob (Fig. 12); the baseline
+  // presets fix their own placement (the ports compact on the compute
+  // node, Nova-LSM at the storage component).
+  if (config.system == SystemKind::kDLsm ||
+      config.system == SystemKind::kDLsmBlock) {
+    options.compaction_placement = config.placement;
+  }
+  if (config.shards > 1) options.shards = config.shards;
+  if (config.override_switch_policy) {
+    options.switch_policy = config.switch_policy;
+  }
+  // Flush region: enough for the whole dataset plus compaction churn,
+  // pinned snapshots and per-shard slab rounding.
+  uint64_t data = config.num_keys *
+                  (config.key_width + config.value_size + 28) * 8 +
+                  (512ull << 20);
+  options.flush_region_size = data;
+  return options;
+}
+
+}  // namespace
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kDLsm:
+      return "dLSM";
+    case SystemKind::kDLsmBlock:
+      return "dLSM-Block";
+    case SystemKind::kRocks8K:
+      return "RocksDB-RDMA(8KB)";
+    case SystemKind::kRocks2K:
+      return "RocksDB-RDMA(2KB)";
+    case SystemKind::kMemoryRocks:
+      return "Memory-RocksDB-RDMA";
+    case SystemKind::kNovaLsm:
+      return "Nova-LSM";
+    case SystemKind::kSherman:
+      return "Sherman";
+  }
+  return "?";
+}
+
+std::string FormatThroughput(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mops/s", ops_per_sec / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f Kops/s", ops_per_sec / 1e3);
+  }
+  return buf;
+}
+
+std::vector<PhaseResult> RunBench(const BenchConfig& config,
+                                  const std::vector<Phase>& phases) {
+  std::vector<PhaseResult> results(phases.size());
+
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  uint64_t entry = config.key_width + config.value_size + 28;
+  // Memory node sized for the dataset with generous slack (MAP_NORESERVE:
+  // only touched pages cost physical memory).
+  size_t mem_dram = config.num_keys * entry * 10 + (2ull << 30);
+  rdma::Node* compute =
+      fabric.AddNode("compute", config.compute_cores, 2ull << 30);
+  rdma::Node* memory =
+      fabric.AddNode("memory", config.memory_cores, mem_dram);
+
+  env.Run(0, [&] {
+    std::unique_ptr<MemoryNodeService> service;
+    std::unique_ptr<DB> db;
+    DB* raw = nullptr;
+
+    if (config.system == SystemKind::kSherman) {
+      baselines::ShermanOptions sherman;
+      sherman.env = &env;
+      sherman.leaf_region_size = config.num_keys * entry * 12 + (512 << 20);
+      Status s = baselines::ShermanDB::Open(sherman, &fabric, compute,
+                                            memory, &raw);
+      DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    } else {
+      service = std::make_unique<MemoryNodeService>(
+          &fabric, memory, config.compaction_workers);
+      service->Start();
+      Options options = MakeEngineOptions(config, &env);
+      DbDeps deps;
+      deps.fabric = &fabric;
+      deps.compute = compute;
+      deps.memory = service.get();
+      Status s;
+      if (options.shards > 1) {
+        s = ShardedDB::Open(options, deps,
+                            ShardedDB::UniformDecimalBoundaries(
+                                options.shards, config.key_width),
+                            &raw);
+      } else {
+        s = DLsmDB::Open(options, deps, &raw);
+      }
+      DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    }
+    db.reset(raw);
+
+    const uint64_t key_range =
+        config.key_range != 0 ? config.key_range : config.num_keys;
+
+    // Runs `total` operations across config.threads workers; op(i, rnd)
+    // performs one operation. Returns the phase measurement.
+    auto run_phase = [&](uint64_t total,
+                         const std::function<void(uint64_t, Random*)>& op)
+        -> PhaseResult {
+      Barrier start(&env, config.threads + 1);
+      Barrier stop(&env, config.threads + 1);
+      std::vector<ThreadHandle> workers;
+      for (int t = 0; t < config.threads; t++) {
+        uint64_t begin = total * t / config.threads;
+        uint64_t end = total * (t + 1) / config.threads;
+        workers.push_back(env.StartThread(
+            compute->env_node(), "worker", [&, t, begin, end] {
+              Random rnd(config.seed + 17 * t);
+              start.Arrive();
+              for (uint64_t i = begin; i < end; i++) {
+                op(i, &rnd);
+                if (((i - begin) & 63) == 0) env.MaybeYield();
+              }
+              stop.Arrive();
+            }));
+      }
+      start.Arrive();
+      uint64_t t0 = env.NowNanos();
+      uint64_t wire0 = fabric.wire_bytes();
+      uint64_t busy0 = service != nullptr ? service->worker_busy_ns() : 0;
+      stop.Arrive();
+      uint64_t t1 = env.NowNanos();
+      for (ThreadHandle h : workers) env.Join(h);
+
+      PhaseResult r;
+      r.ops = total;
+      r.elapsed_s = static_cast<double>(t1 - t0) / 1e9;
+      r.ops_per_sec = r.elapsed_s > 0 ? total / r.elapsed_s : 0;
+      r.stats = db->GetStats();
+      r.wire_bytes = fabric.wire_bytes() - wire0;
+      if (service != nullptr && config.memory_cores > 0 && t1 > t0) {
+        r.memory_cpu_util =
+            static_cast<double>(service->worker_busy_ns() - busy0) /
+            static_cast<double>((t1 - t0) * config.memory_cores);
+        if (r.memory_cpu_util > 1.0) r.memory_cpu_util = 1.0;
+      }
+      r.l0_files = db->NumFilesAtLevel(0);
+      return r;
+    };
+
+    auto fill_op = [&](uint64_t i, Random* rnd) {
+      (void)i;
+      uint64_t k = rnd->Uniform(key_range);
+      Status s = db->Put(WriteOptions(), MakeKey(k, config.key_width),
+                         MakeValue(k, config.value_size, rnd));
+      DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    };
+    auto read_op = [&](uint64_t i, Random* rnd) {
+      (void)i;
+      uint64_t k = rnd->Uniform(key_range);
+      std::string value;
+      Status s =
+          db->Get(ReadOptions(), MakeKey(k, config.key_width), &value);
+      DLSM_CHECK_MSG(s.ok() || s.IsNotFound(), s.ToString().c_str());
+    };
+    auto mixed_op = [&](uint64_t i, Random* rnd) {
+      if (rnd->NextDouble() < config.read_ratio) {
+        read_op(i, rnd);
+      } else {
+        fill_op(i, rnd);
+      }
+    };
+
+    bool filled = false;
+    auto ensure_filled = [&](bool timed, PhaseResult* out) {
+      if (filled) return;
+      PhaseResult r = run_phase(config.num_keys, fill_op);
+      if (timed && out != nullptr) *out = r;
+      filled = true;
+    };
+
+    for (size_t p = 0; p < phases.size(); p++) {
+      switch (phases[p]) {
+        case Phase::kFillRandom:
+          ensure_filled(true, &results[p]);
+          break;
+        case Phase::kReadRandom: {
+          ensure_filled(false, nullptr);
+          // Paper: "the benchmark starts after all the background
+          // compaction tasks finish."
+          DLSM_CHECK(db->Flush().ok());
+          DLSM_CHECK(db->WaitForBackgroundIdle().ok());
+          results[p] = run_phase(config.num_keys, read_op);
+          break;
+        }
+        case Phase::kReadWriteMixed: {
+          ensure_filled(false, nullptr);
+          uint64_t ops =
+              config.mixed_ops != 0 ? config.mixed_ops : config.num_keys;
+          results[p] = run_phase(ops, mixed_op);
+          break;
+        }
+        case Phase::kReadSeq: {
+          ensure_filled(false, nullptr);
+          DLSM_CHECK(db->Flush().ok());
+          DLSM_CHECK(db->WaitForBackgroundIdle().ok());
+          // Whole-table scan with a single iterator (readseq), split
+          // nowhere: the paper scans the full database.
+          Barrier b0(&env, 2), b1(&env, 2);
+          uint64_t scanned = 0;
+          ThreadHandle h = env.StartThread(compute->env_node(), "scanner",
+                                           [&] {
+              b0.Arrive();
+              std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+              uint64_t count = 0;
+              for (it->SeekToFirst(); it->Valid(); it->Next()) {
+                count++;
+                if ((count & 255) == 0) env.MaybeYield();
+              }
+              scanned = count;
+              b1.Arrive();
+            });
+          b0.Arrive();
+          uint64_t t0 = env.NowNanos();
+          uint64_t wire0 = fabric.wire_bytes();
+          b1.Arrive();
+          uint64_t t1 = env.NowNanos();
+          env.Join(h);
+          PhaseResult r;
+          r.ops = scanned;
+          r.elapsed_s = static_cast<double>(t1 - t0) / 1e9;
+          r.ops_per_sec = r.elapsed_s > 0 ? scanned / r.elapsed_s : 0;
+          r.stats = db->GetStats();
+          r.wire_bytes = fabric.wire_bytes() - wire0;
+          r.l0_files = db->NumFilesAtLevel(0);
+          results[p] = r;
+          break;
+        }
+      }
+    }
+
+    DLSM_CHECK(db->Close().ok());
+    db.reset();
+    if (service != nullptr) service->Stop();
+  });
+
+  return results;
+}
+
+ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config) {
+  ClusterBenchResult result;
+  SimEnv env;
+  uint64_t entry = config.key_width + config.value_size + 28;
+  const int total_shards = config.compute_nodes * config.shards_per_compute;
+  const uint64_t key_range = config.num_keys;
+
+  // Sherman has no shard machinery: deploy one tree per compute node,
+  // each on its round-robin memory node, range-partitioned by compute.
+  if (config.system == SystemKind::kSherman) {
+    rdma::Fabric fabric(&env);
+    std::vector<rdma::Node*> computes, memories;
+    for (int i = 0; i < config.compute_nodes; i++) {
+      computes.push_back(fabric.AddNode("compute-" + std::to_string(i),
+                                        config.compute_cores, 2ull << 30));
+    }
+    for (int i = 0; i < config.memory_nodes; i++) {
+      memories.push_back(fabric.AddNode(
+          "memory-" + std::to_string(i), config.memory_cores,
+          config.num_keys * entry * 12 / config.memory_nodes +
+              (1ull << 30)));
+    }
+    env.Run(0, [&] {
+      std::vector<std::unique_ptr<DB>> trees;
+      for (int c = 0; c < config.compute_nodes; c++) {
+        baselines::ShermanOptions sherman;
+        sherman.env = &env;
+        sherman.leaf_region_size =
+            config.num_keys * entry * 12 / config.compute_nodes +
+            (256ull << 20);
+        DB* raw = nullptr;
+        Status s = baselines::ShermanDB::Open(
+            sherman, &fabric, computes[c],
+            memories[c % config.memory_nodes], &raw);
+        DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+        trees.emplace_back(raw);
+      }
+      auto run = [&](bool reads) {
+        int workers_total = config.compute_nodes * config.threads_per_compute;
+        Barrier start(&env, workers_total + 1), stop(&env, workers_total + 1);
+        std::vector<ThreadHandle> hs;
+        for (int c = 0; c < config.compute_nodes; c++) {
+          uint64_t lo = key_range * c / config.compute_nodes;
+          uint64_t hi = key_range * (c + 1) / config.compute_nodes;
+          for (int t = 0; t < config.threads_per_compute; t++) {
+            uint64_t ops = (hi - lo) / config.threads_per_compute;
+            hs.push_back(env.StartThread(
+                computes[c]->env_node(), "worker",
+                [&, c, t, lo, hi, ops, reads] {
+                  Random rnd(config.seed + c * 131 + t);
+                  start.Arrive();
+                  for (uint64_t i = 0; i < ops; i++) {
+                    uint64_t k = lo + rnd.Uniform(hi - lo);
+                    if (reads) {
+                      std::string value;
+                      Status s = trees[c]->Get(
+                          ReadOptions(), MakeKey(k, config.key_width),
+                          &value);
+                      DLSM_CHECK(s.ok() || s.IsNotFound());
+                    } else {
+                      Random vr(k);
+                      DLSM_CHECK(trees[c]
+                                     ->Put(WriteOptions(),
+                                           MakeKey(k, config.key_width),
+                                           MakeValue(k, config.value_size,
+                                                     &vr))
+                                     .ok());
+                    }
+                    if ((i & 63) == 0) env.MaybeYield();
+                  }
+                  stop.Arrive();
+                }));
+          }
+        }
+        start.Arrive();
+        uint64_t t0 = env.NowNanos();
+        stop.Arrive();
+        uint64_t t1 = env.NowNanos();
+        for (ThreadHandle h : hs) env.Join(h);
+        double elapsed = (t1 - t0) / 1e9;
+        return elapsed > 0 ? config.num_keys / elapsed : 0.0;
+      };
+      result.fill_ops_per_sec = run(false);
+      result.read_ops_per_sec = run(true);
+      for (auto& t : trees) DLSM_CHECK(t->Close().ok());
+    });
+    return result;
+  }
+
+  // LSM systems: the Sec. IX deployment via Cluster.
+  BenchConfig base;
+  base.system = config.system;
+  base.num_keys = config.num_keys;
+  base.value_size = config.value_size;
+  base.key_width = config.key_width;
+  base.memtable_size = config.memtable_size;
+  base.sstable_size = config.sstable_size;
+
+  ClusterTopology topology;
+  topology.compute_nodes = config.compute_nodes;
+  topology.memory_nodes = config.memory_nodes;
+  topology.shards_per_compute = config.shards_per_compute;
+  topology.compute_cores = config.compute_cores;
+  topology.memory_cores = config.memory_cores;
+  topology.compaction_workers_per_memory = config.compaction_workers;
+  topology.memory_dram =
+      config.num_keys * entry * 24 / config.memory_nodes + (4ull << 30);
+
+  env.Run(0, [&] {
+    Options options = MakeEngineOptions(base, &env);
+    options.shards = 1;  // Sharding is the cluster's job here.
+    // Per-shard scaling, as ShardedDB does for single-node lambda.
+    options.memtable_size = std::max<size_t>(
+        config.memtable_size / config.shards_per_compute, 64 << 10);
+    options.sstable_size = std::max<size_t>(
+        config.sstable_size / config.shards_per_compute, 128 << 10);
+    options.flush_region_size =
+        config.num_keys * entry * 4 / total_shards + (64ull << 20);
+    options.compaction_scheduler_threads = 2;
+    options.max_subcompactions = 4;
+
+    std::unique_ptr<Cluster> cluster;
+    Status s = Cluster::Create(
+        &env, options, topology,
+        ShardedDB::UniformDecimalBoundaries(total_shards, config.key_width),
+        &cluster);
+    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+
+    auto run = [&](bool reads) {
+      int workers_total = config.compute_nodes * config.threads_per_compute;
+      Barrier start(&env, workers_total + 1), stop(&env, workers_total + 1);
+      std::vector<ThreadHandle> hs;
+      for (int c = 0; c < config.compute_nodes; c++) {
+        uint64_t lo = key_range * c / config.compute_nodes;
+        uint64_t hi = key_range * (c + 1) / config.compute_nodes;
+        for (int t = 0; t < config.threads_per_compute; t++) {
+          uint64_t ops = (hi - lo) / config.threads_per_compute;
+          hs.push_back(env.StartThread(
+              cluster->compute_node(c)->env_node(), "worker",
+              [&, c, t, lo, hi, ops, reads] {
+                Random rnd(config.seed + c * 131 + t);
+                start.Arrive();
+                for (uint64_t i = 0; i < ops; i++) {
+                  uint64_t k = lo + rnd.Uniform(hi - lo);
+                  std::string key = MakeKey(k, config.key_width);
+                  if (reads) {
+                    std::string value;
+                    Status st = cluster->Get(key, &value);
+                    DLSM_CHECK(st.ok() || st.IsNotFound());
+                  } else {
+                    Random vr(k);
+                    DLSM_CHECK(cluster
+                                   ->Put(key, MakeValue(
+                                                  k, config.value_size, &vr))
+                                   .ok());
+                  }
+                  if ((i & 63) == 0) env.MaybeYield();
+                }
+                stop.Arrive();
+              }));
+        }
+      }
+      start.Arrive();
+      uint64_t t0 = env.NowNanos();
+      stop.Arrive();
+      uint64_t t1 = env.NowNanos();
+      for (ThreadHandle h : hs) env.Join(h);
+      double elapsed = (t1 - t0) / 1e9;
+      return elapsed > 0 ? config.num_keys / elapsed : 0.0;
+    };
+
+    result.fill_ops_per_sec = run(false);
+    DLSM_CHECK(cluster->Flush().ok());
+    DLSM_CHECK(cluster->WaitForBackgroundIdle().ok());
+    result.read_ops_per_sec = run(true);
+    DLSM_CHECK(cluster->Close().ok());
+  });
+  return result;
+}
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+uint64_t Flags::GetInt(const std::string& name, uint64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::stoull(it->second);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1";
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+}  // namespace bench
+}  // namespace dlsm

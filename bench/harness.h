@@ -1,0 +1,139 @@
+// Benchmark harness: assembles a simulated deployment (compute node(s),
+// memory node(s), 100 Gb/s fabric) for one of the seven evaluated systems
+// and drives db_bench-style workloads — randomfill (normal / bulkload),
+// randomread, mixed read/write, readseq — measuring throughput in virtual
+// time, exactly as the paper's Figs. 7-15 do on real hardware.
+//
+// Default sizes are the paper's setup scaled by ~1/16 (64 MB MemTables and
+// SSTables become 4 MB; 100 M keys become --keys, default 100 K) so every
+// figure regenerates in seconds on one host core. EXPERIMENTS.md records
+// the mapping.
+
+#ifndef DLSM_BENCH_HARNESS_H_
+#define DLSM_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+#include "src/core/options.h"
+
+namespace dlsm {
+namespace bench {
+
+/// The systems of Sec. XI-A.
+enum class SystemKind {
+  kDLsm,          ///< The paper's system.
+  kDLsmBlock,     ///< dLSM with 8 KB block SSTables (Fig. 13 ablation).
+  kRocks8K,       ///< RocksDB-RDMA (8 KB).
+  kRocks2K,       ///< RocksDB-RDMA (2 KB).
+  kMemoryRocks,   ///< Memory-RocksDB-RDMA (entry-sized blocks).
+  kNovaLsm,       ///< Nova-LSM (tmpfs port, sub-ranges, remote compaction).
+  kSherman,       ///< Sherman B+-tree.
+};
+
+const char* SystemName(SystemKind kind);
+
+/// One benchmark run's knobs.
+struct BenchConfig {
+  BenchConfig() {}
+  SystemKind system = SystemKind::kDLsm;
+  int threads = 1;
+  uint64_t num_keys = 100000;
+  uint64_t key_range = 0;  ///< 0 = num_keys.
+  size_t value_size = 400;
+  int key_width = 16;
+  int shards = 1;              ///< dLSM-lambda (Sec. VII).
+  bool bulkload = false;       ///< No L0 stop trigger (Fig. 7b).
+  double read_ratio = 1.0;     ///< For the mixed workload.
+  uint64_t mixed_ops = 0;      ///< 0 = num_keys.
+  int compute_cores = 24;
+  int memory_cores = 4;
+  int compaction_workers = 12;
+  CompactionPlacement placement = CompactionPlacement::kNearData;
+  /// Engine scale: MemTable/SSTable bytes (paper 64 MB, default 4 MB).
+  size_t memtable_size = 4 << 20;
+  size_t sstable_size = 4 << 20;
+  uint64_t seed = 301;
+  /// Ablation overrides (applied after the system preset).
+  bool override_switch_policy = false;
+  MemTableSwitchPolicy switch_policy = MemTableSwitchPolicy::kSeqRange;
+};
+
+/// One phase's outcome.
+struct PhaseResult {
+  double elapsed_s = 0;   ///< Virtual seconds.
+  double ops_per_sec = 0;
+  uint64_t ops = 0;
+  DbStats stats;          ///< DB counters at phase end.
+  uint64_t wire_bytes = 0;     ///< Fabric bytes moved during the phase.
+  double memory_cpu_util = 0;  ///< Memory-node worker utilization [0,1].
+  int l0_files = 0;
+};
+
+/// Workload phases, named after their db_bench counterparts.
+enum class Phase {
+  kFillRandom,
+  kReadRandom,
+  kReadWriteMixed,
+  kReadSeq,
+};
+
+/// Runs `phases` in order against a fresh deployment of config.system;
+/// returns one result per phase. The fill phase always runs first
+/// implicitly when not listed (read benches need data).
+std::vector<PhaseResult> RunBench(const BenchConfig& config,
+                                  const std::vector<Phase>& phases);
+
+/// Formats ops/s as the paper's figures do (Kops/Mops).
+std::string FormatThroughput(double ops_per_sec);
+
+/// Multi-node deployment knobs (paper Sec. IX / Figs. 14-15).
+struct ClusterBenchConfig {
+  ClusterBenchConfig() {}
+  SystemKind system = SystemKind::kDLsm;
+  int compute_nodes = 1;
+  int memory_nodes = 1;
+  int shards_per_compute = 8;  ///< lambda.
+  int threads_per_compute = 8;
+  uint64_t num_keys = 100000;  ///< Total across the cluster.
+  size_t value_size = 400;
+  int key_width = 16;
+  size_t memtable_size = 4 << 20;
+  size_t sstable_size = 4 << 20;
+  int compute_cores = 16;      ///< CloudLab c6220: 2x8 cores.
+  int memory_cores = 4;
+  int compaction_workers = 8;
+  uint64_t seed = 301;
+};
+
+struct ClusterBenchResult {
+  double fill_ops_per_sec = 0;
+  double read_ops_per_sec = 0;
+};
+
+/// Fills then reads across the whole cluster; client threads run on their
+/// keys' owning compute node, as the paper's multi-node db_bench does.
+ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config);
+
+/// Tiny --key=value flag parser for the figure binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+  uint64_t GetInt(const std::string& name, uint64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bench
+}  // namespace dlsm
+
+#endif  // DLSM_BENCH_HARNESS_H_

@@ -1,0 +1,161 @@
+// Wall-clock microbenchmarks (google-benchmark) of the data structures on
+// dLSM's hot paths: skiplist insert/lookup, bloom filter build/probe,
+// varint coding, CRC32C, byte-record vs block build and parse. These are
+// host-hardware numbers (not virtual time); they feed the CPU cost side of
+// the simulation and catch regressions in the real code.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/bloom.h"
+#include "src/core/dbformat.h"
+#include "src/core/memtable.h"
+#include "src/core/skiplist.h"
+#include "src/util/arena.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+#include "src/util/random.h"
+
+namespace dlsm {
+namespace {
+
+std::string BenchKey(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(n));
+  return std::string(buf);
+}
+
+void BM_SkipListInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Arena arena;
+    struct Cmp {
+      int operator()(const char* a, const char* b) const {
+        return strcmp(a, b);
+      }
+    };
+    SkipList<const char*, Cmp> list(Cmp(), &arena);
+    Random rnd(301);
+    std::vector<std::string> keys;
+    for (int i = 0; i < state.range(0); i++) {
+      keys.push_back(BenchKey(rnd.Next64()));
+    }
+    state.ResumeTiming();
+    for (const std::string& k : keys) {
+      char* mem = arena.Allocate(k.size() + 1);
+      memcpy(mem, k.c_str(), k.size() + 1);
+      list.Insert(mem);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SkipListInsert)->Arg(1000)->Arg(10000);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::string value(400, 'v');
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemTable* mem = new MemTable(icmp, 0, kMaxSequenceNumber);
+    mem->Ref();
+    Random rnd(301);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); i++) {
+      mem->Add(i + 1, kTypeValue, BenchKey(rnd.Next64()), value);
+    }
+    state.PauseTiming();
+    mem->Unref();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MemTableAdd)->Arg(10000);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable* mem = new MemTable(icmp, 0, kMaxSequenceNumber);
+  mem->Ref();
+  std::string value(400, 'v');
+  const int kN = 100000;
+  for (int i = 0; i < kN; i++) {
+    mem->Add(i + 1, kTypeValue, BenchKey(i), value);
+  }
+  Random rnd(17);
+  for (auto _ : state) {
+    LookupKey lkey(BenchKey(rnd.Uniform(kN)), kMaxSequenceNumber);
+    std::string out;
+    Status s;
+    benchmark::DoNotOptimize(mem->Get(lkey, &out, &s));
+  }
+  mem->Unref();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BloomCreate(benchmark::State& state) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < state.range(0); i++) keys.push_back(BenchKey(i));
+  for (const auto& k : keys) slices.emplace_back(k);
+  for (auto _ : state) {
+    std::string filter;
+    policy.CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                        &filter);
+    benchmark::DoNotOptimize(filter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BloomCreate)->Arg(10000);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 10000; i++) keys.push_back(BenchKey(i));
+  for (const auto& k : keys) slices.emplace_back(k);
+  std::string filter;
+  policy.CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                      &filter);
+  Random rnd(7);
+  for (auto _ : state) {
+    std::string probe = BenchKey(rnd.Uniform(20000));
+    benchmark::DoNotOptimize(policy.KeyMayMatch(probe, filter));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  Random rnd(3);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; i++) values.push_back(rnd.Next64() >> (i % 64));
+  for (auto _ : state) {
+    std::string buf;
+    for (uint64_t v : values) PutVarint64(&buf, v);
+    Slice input(buf);
+    uint64_t out = 0;
+    while (GetVarint64(&input, &out)) {
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace dlsm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// The Sec. I motivation claim: transferring data in 64 B units vs 1 MB
+// units differs by ~100x on the modeled EDR link (the OFED perf-test
+// observation that motivates the LSM design). Sweeps payload size and
+// prints achieved one-sided READ bandwidth.
+//
+// Usage: rdma_primitives [--total_mb=64]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/sim/sim_env.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t total = flags.GetInt("total_mb", 64) << 20;
+
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* compute = fabric.AddNode("compute", 24, 1ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 1ull << 30);
+
+  std::printf("\n=== RDMA one-sided READ bandwidth vs payload size ===\n");
+  std::printf("(link: %.0f Gb/s, %.1f us read latency)\n",
+              fabric.params().bandwidth_gbps,
+              fabric.params().read_latency_ns / 1000.0);
+  std::printf("%12s %14s %14s\n", "payload", "GB/s", "ops/s");
+
+  env.Run(0, [&] {
+    char* remote = memory->AllocDram(4 << 20);
+    rdma::MemoryRegion mr = fabric.RegisterMemory(memory, remote, 4 << 20);
+    rdma::RdmaManager mgr(&fabric, compute, memory);
+    std::vector<char> buf(4 << 20);
+
+    // Pipelined reads at queue depth 16, as the OFED perf-test drives the
+    // NIC (the paper's Sec. I measurement).
+    constexpr int kQueueDepth = 16;
+    double small_bw = 0, big_bw = 0;
+    for (size_t payload : {64ul, 256ul, 1024ul, 4096ul, 16384ul, 65536ul,
+                           262144ul, 1048576ul}) {
+      uint64_t ops = total / payload;
+      if (ops > 200000) ops = 200000;
+      rdma::QueuePair* qp = mgr.ThreadQp();
+      uint64_t t0 = env.NowNanos();
+      uint64_t posted = 0, completed = 0;
+      rdma::Completion c;
+      while (completed < ops) {
+        while (posted < ops && posted - completed < kQueueDepth) {
+          qp->PostRead(buf.data(), mr.addr, mr.rkey, payload);
+          posted++;
+        }
+        c = qp->WaitCompletion();
+        DLSM_CHECK(c.status.ok());
+        completed++;
+      }
+      uint64_t t1 = env.NowNanos();
+      double secs = (t1 - t0) / 1e9;
+      double gbs = ops * payload / secs / 1e9;
+      std::printf("%12zu %14.3f %14.0f\n", payload, gbs, ops / secs);
+      if (payload == 64) small_bw = gbs;
+      if (payload == 1048576) big_bw = gbs;
+    }
+    std::printf("\n64B vs 1MB throughput gap: %.0fx (paper cites ~100x)\n",
+                big_bw / small_bw);
+  });
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dlsm
+
+int main(int argc, char** argv) { return dlsm::bench::Main(argc, argv); }

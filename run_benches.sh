@@ -1,0 +1,24 @@
+#!/bin/bash
+# Regenerates every paper figure; output to bench_output.txt.
+set -u
+cd "$(dirname "$0")"
+B=build/bench
+{
+echo "##########################################################"
+echo "# dLSM reproduction: full benchmark sweep"
+echo "# $(date)"
+echo "##########################################################"
+timeout 1200 $B/rdma_primitives
+timeout 2400 $B/fig7_write --keys=60000
+timeout 2400 $B/fig8_read --keys=60000
+timeout 2400 $B/fig9_datasizes --base=30000 --steps=4
+timeout 2400 $B/fig10_mixed --keys=60000
+timeout 1200 $B/fig11_scan --keys=80000
+timeout 2400 $B/fig12_compaction --keys=150000
+timeout 1200 $B/fig13_byteaddr --keys=80000
+timeout 2400 $B/fig14_scalability --base=20000
+timeout 2400 $B/fig15_multinode --base=20000
+timeout 1200 $B/ablations --keys=60000
+echo; echo "=== micro benchmarks (wall clock, google-benchmark) ==="
+timeout 1200 $B/micro_bench 2>&1 | grep -v "^\*\*\*"
+} 2>&1

@@ -1,0 +1,52 @@
+#include "src/baselines/presets.h"
+
+namespace dlsm {
+namespace baselines {
+
+namespace {
+
+Options CommonPortOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.write_path = WritePath::kWriterQueue;
+  options.switch_policy = MemTableSwitchPolicy::kDoubleCheckedSize;
+  options.table_format = TableFormat::kBlock;
+  options.extra_io_copy = true;  // The file-system layer of the port.
+  options.compaction_placement = CompactionPlacement::kComputeSide;
+  return options;
+}
+
+}  // namespace
+
+Options RocksDbRdmaOptions(Env* env, size_t block_size) {
+  Options options = CommonPortOptions(env);
+  options.block_size = block_size;
+  // The straight port keeps RocksDB's storage-oriented behavior: index
+  // blocks live with the table and are fetched per probe. Only the
+  // memory-optimized variant (and dLSM) cache them on the compute node.
+  options.cache_index_blocks = false;
+  return options;
+}
+
+Options MemoryRocksDbRdmaOptions(Env* env, size_t entry_size) {
+  Options options = CommonPortOptions(env);
+  // Block per entry: reads fetch a single kv-sized block, but still pay
+  // the block wrapper (paper: "it does not need to go through the block
+  // wrapper" is dLSM's advantage over this baseline).
+  options.block_size = entry_size;
+  return options;
+}
+
+Options NovaLsmOptions(Env* env, int subranges) {
+  Options options = CommonPortOptions(env);
+  options.block_size = 8192;
+  // Nova-LSM executes compaction at the storage component.
+  options.compaction_placement = CompactionPlacement::kNearData;
+  // The long read path: point reads are served by the storage node.
+  options.reads_via_rpc = true;
+  options.shards = subranges;
+  return options;
+}
+
+}  // namespace baselines
+}  // namespace dlsm

@@ -1,0 +1,43 @@
+// Baseline configurations (paper Sec. XI-A).
+//
+// The paper's LSM baselines are ports of RocksDB / Nova-LSM onto the
+// disaggregated setup; they differ from dLSM exactly in the mechanisms this
+// engine exposes as options. Each preset composes the mechanisms that
+// define one baseline:
+//
+//  * RocksDB-RDMA (8 KB / 2 KB): mutexed writer-queue commit path, naive
+//    size-triggered MemTable switching, block SSTables of the given size
+//    read at block granularity, one extra buffer copy per I/O for the
+//    RDMA-oriented file system, and compute-side compaction that pulls and
+//    pushes every byte over the wire.
+//  * Memory-RocksDB-RDMA: the same, with entry-sized blocks and the index
+//    cached on the compute node (so reads fetch one tiny block).
+//  * Nova-LSM: writer-queue commit path, block SSTables over tmpfs (extra
+//    copy), remote compaction through the storage layer, server-mediated
+//    point reads (the "long read path"), and many sub-ranges for parallel
+//    L0 compaction — deploy with options.shards = 64 via ShardedDB.
+//
+// Sherman (baseline #5) is a different index entirely; see sherman.h.
+
+#ifndef DLSM_BASELINES_PRESETS_H_
+#define DLSM_BASELINES_PRESETS_H_
+
+#include "src/core/options.h"
+
+namespace dlsm {
+namespace baselines {
+
+/// Starts from dLSM defaults and applies the RocksDB-RDMA port mechanisms.
+Options RocksDbRdmaOptions(Env* env, size_t block_size);
+
+/// RocksDB-RDMA with entry-sized blocks ("Memory-RocksDB-RDMA").
+Options MemoryRocksDbRdmaOptions(Env* env, size_t entry_size);
+
+/// Nova-LSM-style configuration. Combine with options.shards (sub-ranges;
+/// the paper uses 64) and open through ShardedDB.
+Options NovaLsmOptions(Env* env, int subranges);
+
+}  // namespace baselines
+}  // namespace dlsm
+
+#endif  // DLSM_BASELINES_PRESETS_H_

@@ -1,0 +1,442 @@
+#include "src/baselines/sherman.h"
+
+#include <algorithm>
+
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace baselines {
+
+namespace {
+
+// On-leaf layout:
+//   u64 lock | u64 right_sibling | u32 count |
+//   count * [varint32 klen | key | varint32 vlen | value]
+constexpr size_t kLeafHeader = 8 + 8 + 4;
+
+class ShermanSnapshot : public Snapshot {
+ public:
+  uint64_t sequence() const override { return 0; }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+ShermanDB::ShermanDB(const ShermanOptions& options, rdma::Fabric* fabric,
+                     rdma::Node* compute, rdma::Node* memory)
+    : options_(options), fabric_(fabric), compute_(compute),
+      memory_(memory) {}
+
+Status ShermanDB::Open(const ShermanOptions& options, rdma::Fabric* fabric,
+                       rdma::Node* compute, rdma::Node* memory, DB** dbptr) {
+  *dbptr = nullptr;
+  if (options.env == nullptr) {
+    return Status::InvalidArgument("ShermanOptions.env must be set");
+  }
+  auto db = std::unique_ptr<ShermanDB>(
+      new ShermanDB(options, fabric, compute, memory));
+  DLSM_RETURN_NOT_OK(db->Init());
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+Status ShermanDB::Init() {
+  mgr_ = std::make_unique<rdma::RdmaManager>(fabric_, compute_, memory_);
+  char* base = memory_->AllocDram(options_.leaf_region_size);
+  if (base == nullptr) {
+    return Status::OutOfMemory("memory node cannot provision leaf region");
+  }
+  region_ = fabric_->RegisterMemory(memory_, base, options_.leaf_region_size);
+  leaf_alloc_ = std::make_unique<remote::SlabAllocator>(
+      region_, options_.leaf_size, compute_->id());
+
+  // Root leaf: empty, owns the whole key space.
+  remote::RemoteChunk first = leaf_alloc_->Allocate();
+  if (!first.valid()) return Status::OutOfMemory("leaf region too small");
+  Leaf empty;
+  DLSM_RETURN_NOT_OK(WriteLeafUnlock(first.addr, empty));
+  leaf_index_[""] = first.addr;
+  return Status::OK();
+}
+
+ShermanDB::~ShermanDB() { Close(); }
+
+Status ShermanDB::Close() {
+  closed_ = true;
+  return Status::OK();
+}
+
+uint64_t ShermanDB::num_leaves() const { return leaf_alloc_->allocated_chunks(); }
+
+// ---------------------------------------------------------------------------
+// Leaf I/O
+// ---------------------------------------------------------------------------
+
+size_t ShermanDB::SerializedSize(const Leaf& leaf) const {
+  size_t n = kLeafHeader;
+  for (const LeafEntry& e : leaf.entries) {
+    n += VarintLength(e.key.size()) + e.key.size() +
+         VarintLength(e.value.size()) + e.value.size();
+  }
+  return n;
+}
+
+void ShermanDB::SerializeLeaf(const Leaf& leaf, std::string* out) const {
+  out->clear();
+  PutFixed64(out, leaf.lock);
+  PutFixed64(out, leaf.right_sibling);
+  PutFixed32(out, static_cast<uint32_t>(leaf.entries.size()));
+  for (const LeafEntry& e : leaf.entries) {
+    PutLengthPrefixedSlice(out, e.key);
+    PutLengthPrefixedSlice(out, e.value);
+  }
+  DLSM_CHECK(out->size() <= options_.leaf_size);
+  out->resize(options_.leaf_size, '\0');
+}
+
+bool ShermanDB::ParseLeaf(const char* data, size_t len, Leaf* leaf) const {
+  if (len < kLeafHeader) return false;
+  leaf->lock = DecodeFixed64(data);
+  leaf->right_sibling = DecodeFixed64(data + 8);
+  uint32_t count = DecodeFixed32(data + 16);
+  leaf->entries.clear();
+  Slice input(data + kLeafHeader, len - kLeafHeader);
+  for (uint32_t i = 0; i < count; i++) {
+    Slice k, v;
+    if (!GetLengthPrefixedSlice(&input, &k) ||
+        !GetLengthPrefixedSlice(&input, &v)) {
+      return false;
+    }
+    LeafEntry e;
+    e.key = k.ToString();
+    e.value = v.ToString();
+    leaf->entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+Status ShermanDB::LockLeaf(uint64_t addr) {
+  Env* env = options_.env;
+  for (;;) {
+    uint64_t prev = 0;
+    DLSM_RETURN_NOT_OK(mgr_->CmpSwap(addr, region_.rkey, 0, 1, &prev));
+    if (prev == 0) return Status::OK();
+    env->YieldToOthers();  // Contended: spin via RDMA CAS, as Sherman does.
+  }
+}
+
+Status ShermanDB::ReadLeaf(uint64_t addr, Leaf* leaf) {
+  std::string buf(options_.leaf_size, '\0');
+  for (int attempt = 0; attempt < 64; attempt++) {
+    DLSM_RETURN_NOT_OK(
+        mgr_->Read(buf.data(), addr, region_.rkey, options_.leaf_size));
+    if (ParseLeaf(buf.data(), buf.size(), leaf)) {
+      return Status::OK();
+    }
+    options_.env->YieldToOthers();  // Torn concurrent update; retry.
+  }
+  return Status::Corruption("persistent torn leaf read");
+}
+
+Status ShermanDB::WriteLeafUnlock(uint64_t addr, const Leaf& leaf) {
+  Leaf unlocked = leaf;
+  unlocked.lock = 0;
+  std::string buf;
+  SerializeLeaf(unlocked, &buf);
+  // Single write covering the whole leaf; clearing the lock word releases
+  // the leaf in the same round trip.
+  return mgr_->Write(buf.data(), addr, region_.rkey, buf.size());
+}
+
+// ---------------------------------------------------------------------------
+// Routing (cached internal nodes)
+// ---------------------------------------------------------------------------
+
+uint64_t ShermanDB::RouteToLeaf(const Slice& key) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = leaf_index_.upper_bound(key.ToString());
+  DLSM_CHECK(it != leaf_index_.begin());
+  --it;
+  return it->second;
+}
+
+bool ShermanDB::RouteStillValid(const Slice& key, uint64_t addr) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = leaf_index_.upper_bound(key.ToString());
+  --it;
+  return it->second == addr;
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+Status ShermanDB::Update(const Slice& key, const Slice* value) {
+  if (value != nullptr &&
+      key.size() + value->size() + 16 > options_.leaf_size - kLeafHeader) {
+    return Status::InvalidArgument("entry larger than a Sherman leaf");
+  }
+  for (;;) {
+    uint64_t addr = RouteToLeaf(key);
+    DLSM_RETURN_NOT_OK(LockLeaf(addr));
+    if (!RouteStillValid(key, addr)) {
+      // The leaf split under us; release and retry against the new route.
+      Leaf current;
+      DLSM_RETURN_NOT_OK(ReadLeaf(addr, &current));
+      DLSM_RETURN_NOT_OK(WriteLeafUnlock(addr, current));
+      continue;
+    }
+    Leaf leaf;
+    DLSM_RETURN_NOT_OK(ReadLeaf(addr, &leaf));
+
+    // Apply locally.
+    auto it = std::lower_bound(
+        leaf.entries.begin(), leaf.entries.end(), key,
+        [](const LeafEntry& e, const Slice& k) {
+          return Slice(e.key).compare(k) < 0;
+        });
+    if (value == nullptr) {
+      if (it != leaf.entries.end() && Slice(it->key) == key) {
+        leaf.entries.erase(it);
+      }
+    } else if (it != leaf.entries.end() && Slice(it->key) == key) {
+      it->value = value->ToString();
+    } else {
+      LeafEntry e;
+      e.key = key.ToString();
+      e.value = value->ToString();
+      leaf.entries.insert(it, std::move(e));
+    }
+
+    if (SerializedSize(leaf) <= options_.leaf_size) {
+      DLSM_RETURN_NOT_OK(WriteLeafUnlock(addr, leaf));
+      stat_writes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Split: upper half moves to a fresh leaf chained as right sibling.
+    remote::RemoteChunk right_chunk = leaf_alloc_->Allocate();
+    if (!right_chunk.valid()) {
+      DLSM_RETURN_NOT_OK(WriteLeafUnlock(addr, leaf));  // Best effort.
+      return Status::OutOfMemory("Sherman leaf region exhausted");
+    }
+    Leaf right;
+    size_t mid = leaf.entries.size() / 2;
+    right.entries.assign(leaf.entries.begin() + mid, leaf.entries.end());
+    right.right_sibling = leaf.right_sibling;
+    leaf.entries.resize(mid);
+    leaf.right_sibling = right_chunk.addr;
+    std::string right_smallest = right.entries.front().key;
+
+    DLSM_RETURN_NOT_OK(WriteLeafUnlock(right_chunk.addr, right));
+    DLSM_RETURN_NOT_OK(WriteLeafUnlock(addr, leaf));
+    {
+      // Update the cached internal nodes (a local operation in Sherman,
+      // plus an internal-node write-back we fold into the cache).
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      leaf_index_[right_smallest] = right_chunk.addr;
+    }
+    stat_writes_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+}
+
+Status ShermanDB::Put(const WriteOptions&, const Slice& key,
+                      const Slice& value) {
+  return Update(key, &value);
+}
+
+Status ShermanDB::Delete(const WriteOptions&, const Slice& key) {
+  return Update(key, nullptr);
+}
+
+Status ShermanDB::Write(const WriteOptions& options, WriteBatch* batch) {
+  struct Applier : public WriteBatch::Handler {
+    ShermanDB* db;
+    Status status;
+    void Put(const Slice& key, const Slice& value) override {
+      if (status.ok()) status = db->Update(key, &value);
+    }
+    void Delete(const Slice& key) override {
+      if (status.ok()) status = db->Update(key, nullptr);
+    }
+  };
+  (void)options;
+  Applier applier;
+  applier.db = this;
+  DLSM_RETURN_NOT_OK(batch->Iterate(&applier));
+  return applier.status;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Status ShermanDB::Get(const ReadOptions&, const Slice& key,
+                      std::string* value) {
+  stat_reads_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    uint64_t addr = RouteToLeaf(key);
+    Leaf leaf;
+    DLSM_RETURN_NOT_OK(ReadLeaf(addr, &leaf));  // One RDMA READ.
+    if (!RouteStillValid(key, addr)) {
+      continue;  // Split raced with us.
+    }
+    auto it = std::lower_bound(
+        leaf.entries.begin(), leaf.entries.end(), key,
+        [](const LeafEntry& e, const Slice& k) {
+          return Slice(e.key).compare(k) < 0;
+        });
+    if (it != leaf.entries.end() && Slice(it->key) == key) {
+      *value = it->value;
+      return Status::OK();
+    }
+    return Status::NotFound(Slice());
+  }
+}
+
+/// Walks leaves in key order, one 1 KB RDMA READ per leaf.
+class ShermanIterator : public Iterator {
+ public:
+  explicit ShermanIterator(ShermanDB* db) : db_(db) {}
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+  Slice key() const override { return entries_[pos_].first; }
+  Slice value() const override { return entries_[pos_].second; }
+  Status status() const override { return status_; }
+
+  void SeekToFirst() override {
+    SnapshotRouting();
+    route_pos_ = 0;
+    LoadUntilNonEmptyForward();
+  }
+
+  void SeekToLast() override {
+    SnapshotRouting();
+    route_pos_ = routes_.empty() ? 0 : routes_.size() - 1;
+    LoadCurrent();
+    while (entries_.empty() && route_pos_ > 0) {
+      route_pos_--;
+      LoadCurrent();
+    }
+    pos_ = entries_.empty() ? 0 : entries_.size() - 1;
+  }
+
+  void Seek(const Slice& target) override {
+    SnapshotRouting();
+    // Last route whose separator is <= target.
+    size_t lo = 0, hi = routes_.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (Slice(routes_[mid].first).compare(target) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    route_pos_ = lo == 0 ? 0 : lo - 1;
+    LoadCurrent();
+    pos_ = 0;
+    while (pos_ < entries_.size() &&
+           Slice(entries_[pos_].first).compare(target) < 0) {
+      pos_++;
+    }
+    if (pos_ >= entries_.size()) {
+      AdvanceLeafForward();
+    }
+  }
+
+  void Next() override {
+    DLSM_CHECK(Valid());
+    pos_++;
+    if (pos_ >= entries_.size()) {
+      AdvanceLeafForward();
+    }
+  }
+
+  void Prev() override {
+    DLSM_CHECK(Valid());
+    if (pos_ > 0) {
+      pos_--;
+      return;
+    }
+    while (route_pos_ > 0) {
+      route_pos_--;
+      LoadCurrent();
+      if (!entries_.empty()) {
+        pos_ = entries_.size() - 1;
+        return;
+      }
+    }
+    entries_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  void SnapshotRouting() {
+    std::lock_guard<std::mutex> lock(db_->meta_mu_);
+    routes_.assign(db_->leaf_index_.begin(), db_->leaf_index_.end());
+  }
+
+  void LoadCurrent() {
+    entries_.clear();
+    pos_ = 0;
+    if (route_pos_ >= routes_.size()) return;
+    ShermanDB::Leaf leaf;
+    Status s = db_->ReadLeaf(routes_[route_pos_].second, &leaf);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    for (auto& e : leaf.entries) {
+      entries_.emplace_back(std::move(e.key), std::move(e.value));
+    }
+  }
+
+  void LoadUntilNonEmptyForward() {
+    LoadCurrent();
+    while (entries_.empty() && route_pos_ + 1 < routes_.size()) {
+      route_pos_++;
+      LoadCurrent();
+    }
+  }
+
+  void AdvanceLeafForward() {
+    if (route_pos_ + 1 >= routes_.size()) {
+      entries_.clear();
+      pos_ = 0;
+      return;
+    }
+    route_pos_++;
+    LoadUntilNonEmptyForward();
+  }
+
+  ShermanDB* db_;
+  std::vector<std::pair<std::string, uint64_t>> routes_;
+  size_t route_pos_ = 0;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+Iterator* ShermanDB::NewIterator(const ReadOptions&) {
+  return new ShermanIterator(this);
+}
+
+const Snapshot* ShermanDB::GetSnapshot() { return new ShermanSnapshot(); }
+
+void ShermanDB::ReleaseSnapshot(const Snapshot* snapshot) { delete snapshot; }
+
+DbStats ShermanDB::GetStats() {
+  DbStats s;
+  s.writes = stat_writes_.load();
+  s.reads = stat_reads_.load();
+  return s;
+}
+
+}  // namespace baselines
+}  // namespace dlsm

@@ -1,0 +1,131 @@
+// Sherman-style B+-tree over disaggregated memory (paper baseline #5,
+// [Wang, Lu, Shu; SIGMOD'22]).
+//
+// Model, following the paper's description of how Sherman behaves in this
+// setting: internal nodes are cached in the compute node's local memory
+// (here: an ordered map from separator key to leaf address — the cached
+// internal search path costs local CPU only); leaf nodes are fixed-size
+// blocks (default 1 KB) in remote memory.
+//
+//  * A write locks the leaf with an RDMA CAS, reads the 1 KB leaf, applies
+//    the change locally, and writes the whole leaf back (the write clears
+//    the lock word) — the read-modify-write round trips that make Sherman
+//    writes slow relative to dLSM's buffered writes.
+//  * A read issues exactly one RDMA READ of the leaf (the internal path is
+//    cached), which is why Sherman slightly beats dLSM on random reads.
+//  * A scan walks the leaves in key order, fetching one 1 KB leaf per
+//    RDMA READ (no multi-MB prefetch).
+//
+// Wrapped in the DB interface so the bench harness drives all systems
+// uniformly. Snapshots are not supported (Sherman is a single-version
+// index); Flush/WaitForBackgroundIdle are no-ops (no background work).
+
+#ifndef DLSM_BASELINES_SHERMAN_H_
+#define DLSM_BASELINES_SHERMAN_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/remote/remote_alloc.h"
+
+namespace dlsm {
+namespace baselines {
+
+struct ShermanOptions {
+  ShermanOptions() {}
+  Env* env = nullptr;
+  /// Leaf node size; the paper follows Sherman's default of 1 KB.
+  size_t leaf_size = 1024;
+  /// Remote region provisioned for leaves.
+  size_t leaf_region_size = 1ull << 31;
+};
+
+/// Sherman-style B+-tree exposed through the DB interface.
+class ShermanDB : public DB {
+ public:
+  static Status Open(const ShermanOptions& options, rdma::Fabric* fabric,
+                     rdma::Node* compute, rdma::Node* memory, DB** dbptr);
+
+  ~ShermanDB() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status Flush() override { return Status::OK(); }
+  Status WaitForBackgroundIdle() override { return Status::OK(); }
+  DbStats GetStats() override;
+  int NumFilesAtLevel(int) override { return 0; }
+  Status Close() override;
+
+  /// Number of leaves currently allocated (space accounting, Fig. 9).
+  uint64_t num_leaves() const;
+
+ private:
+  friend class ShermanIterator;
+
+  struct LeafEntry {
+    std::string key;
+    std::string value;
+    bool tombstone = false;  // Unused; deletes remove entries outright.
+  };
+  struct Leaf {
+    uint64_t lock = 0;
+    uint64_t right_sibling = 0;
+    std::vector<LeafEntry> entries;
+  };
+
+  ShermanDB(const ShermanOptions& options, rdma::Fabric* fabric,
+            rdma::Node* compute, rdma::Node* memory);
+
+  Status Init();
+
+  /// Local cached-internal-node search: leaf address owning key.
+  uint64_t RouteToLeaf(const Slice& key);
+  /// Re-validates the route under the metadata lock.
+  bool RouteStillValid(const Slice& key, uint64_t addr);
+
+  Status LockLeaf(uint64_t addr);
+  /// Reads and parses a leaf; retries on a torn concurrent update.
+  Status ReadLeaf(uint64_t addr, Leaf* leaf);
+  Status WriteLeafUnlock(uint64_t addr, const Leaf& leaf);
+  size_t SerializedSize(const Leaf& leaf) const;
+  void SerializeLeaf(const Leaf& leaf, std::string* out) const;
+  bool ParseLeaf(const char* data, size_t len, Leaf* leaf) const;
+
+  /// Applies one update (value == nullptr means delete) to the tree.
+  Status Update(const Slice& key, const Slice* value);
+
+  ShermanOptions options_;
+  rdma::Fabric* fabric_;
+  rdma::Node* compute_;
+  rdma::Node* memory_;
+  std::unique_ptr<rdma::RdmaManager> mgr_;
+  rdma::MemoryRegion region_;
+  std::unique_ptr<remote::SlabAllocator> leaf_alloc_;
+
+  /// Cached internal nodes: separator (smallest key in leaf) -> leaf addr.
+  std::mutex meta_mu_;
+  std::map<std::string, uint64_t> leaf_index_;
+
+  std::atomic<uint64_t> stat_writes_{0};
+  std::atomic<uint64_t> stat_reads_{0};
+  bool closed_ = false;
+};
+
+}  // namespace baselines
+}  // namespace dlsm
+
+#endif  // DLSM_BASELINES_SHERMAN_H_

@@ -1,0 +1,68 @@
+#include "src/core/bloom.h"
+
+#include "src/util/hash.h"
+
+namespace dlsm {
+
+namespace {
+uint32_t BloomHash(const Slice& key) {
+  return Hash(key.data(), key.size(), 0xbc9f1d34);
+}
+}  // namespace
+
+BloomFilterPolicy::BloomFilterPolicy(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = bits_per_key * ln(2), rounded; clamp to a sane range.
+  k_ = static_cast<int>(bits_per_key * 0.69);
+  if (k_ < 1) k_ = 1;
+  if (k_ > 30) k_ = 30;
+}
+
+void BloomFilterPolicy::CreateFilter(const Slice* keys, int n,
+                                     std::string* dst) const {
+  size_t bits = static_cast<size_t>(n) * bits_per_key_;
+  if (bits < 64) bits = 64;
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const size_t init_size = dst->size();
+  dst->resize(init_size + bytes, 0);
+  dst->push_back(static_cast<char>(k_));  // Probe count in the last byte.
+  char* array = &(*dst)[init_size];
+  for (int i = 0; i < n; i++) {
+    // Double hashing: h, h+delta, h+2*delta, ...
+    uint32_t h = BloomHash(keys[i]);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < k_; j++) {
+      const uint32_t bitpos = h % bits;
+      array[bitpos / 8] |= (1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+}
+
+bool BloomFilterPolicy::KeyMayMatch(const Slice& key,
+                                    const Slice& filter) const {
+  const size_t len = filter.size();
+  if (len < 2) return false;
+
+  const char* array = filter.data();
+  const size_t bits = (len - 1) * 8;
+
+  const int k = array[len - 1];
+  if (k > 30) {
+    // Reserved for future encodings; treat as a match.
+    return true;
+  }
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < k; j++) {
+    const uint32_t bitpos = h % bits;
+    if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace dlsm

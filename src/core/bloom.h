@@ -1,0 +1,35 @@
+// Bloom filter (double-hashing scheme, as in LevelDB's built-in policy).
+// Each SSTable carries one filter over its user keys; the compute node
+// caches filters locally to skip remote reads (paper Secs. II-C, VI).
+
+#ifndef DLSM_CORE_BLOOM_H_
+#define DLSM_CORE_BLOOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+/// Builds and probes bloom filters with a configurable bits-per-key budget.
+class BloomFilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  /// Appends a filter over keys[0..n) to *dst.
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const;
+
+  /// Returns false only if key is definitely not in the filter.
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const;
+
+  int bits_per_key() const { return bits_per_key_; }
+
+ private:
+  int bits_per_key_;
+  int k_;  // Number of probes.
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_BLOOM_H_

@@ -1,0 +1,111 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+Status Cluster::Create(Env* env, const Options& options,
+                       const ClusterTopology& topology,
+                       std::vector<std::string> boundaries,
+                       std::unique_ptr<Cluster>* out) {
+  int total_shards = topology.compute_nodes * topology.shards_per_compute;
+  if (static_cast<int>(boundaries.size()) != total_shards - 1) {
+    return Status::InvalidArgument("boundaries must have #shards-1 entries");
+  }
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    return Status::InvalidArgument("boundaries must be sorted");
+  }
+
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->topology_ = topology;
+  cluster->boundaries_ = std::move(boundaries);
+  cluster->fabric_ = std::make_unique<rdma::Fabric>(env);
+
+  for (int i = 0; i < topology.compute_nodes; i++) {
+    cluster->computes_.push_back(cluster->fabric_->AddNode(
+        "compute-" + std::to_string(i), topology.compute_cores,
+        topology.compute_dram));
+    cluster->flush_pools_.push_back(std::make_unique<ThreadPool>(
+        env, cluster->computes_.back()->env_node(), options.flush_threads,
+        "flush-c" + std::to_string(i)));
+  }
+  for (int i = 0; i < topology.memory_nodes; i++) {
+    rdma::Node* node = cluster->fabric_->AddNode(
+        "memory-" + std::to_string(i), topology.memory_cores,
+        topology.memory_dram);
+    cluster->memories_.push_back(std::make_unique<MemoryNodeService>(
+        cluster->fabric_.get(), node,
+        topology.compaction_workers_per_memory));
+    cluster->memories_.back()->Start();
+  }
+
+  Options shard_options = options;
+  shard_options.shards = 1;
+  shard_options.env = env;
+
+  // Shard s lives on compute s/lambda; its SSTables on memory s%m
+  // (round-robin, Fig. 5).
+  for (int s = 0; s < total_shards; s++) {
+    int c = s / topology.shards_per_compute;
+    int m = s % topology.memory_nodes;
+    auto key = std::make_pair(c, m);
+    if (cluster->rpcs_.find(key) == cluster->rpcs_.end()) {
+      cluster->rpcs_[key] = std::make_unique<remote::RpcClient>(
+          cluster->fabric_.get(), cluster->computes_[c],
+          cluster->memories_[m]->rpc_server());
+    }
+    DbDeps deps;
+    deps.fabric = cluster->fabric_.get();
+    deps.compute = cluster->computes_[c];
+    deps.memory = cluster->memories_[m].get();
+    deps.shared_flush_pool = cluster->flush_pools_[c].get();
+    deps.shared_rpc = cluster->rpcs_[key].get();
+    DB* db = nullptr;
+    DLSM_RETURN_NOT_OK(DLsmDB::Open(shard_options, deps, &db));
+    cluster->shards_.emplace_back(db);
+  }
+
+  *out = std::move(cluster);
+  return Status::OK();
+}
+
+Cluster::~Cluster() { Close(); }
+
+int Cluster::ShardForKey(const Slice& key) const {
+  auto it = std::upper_bound(
+      boundaries_.begin(), boundaries_.end(), key,
+      [](const Slice& k, const std::string& b) { return k.compare(b) < 0; });
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+Status Cluster::Flush() {
+  for (auto& shard : shards_) {
+    DLSM_RETURN_NOT_OK(shard->Flush());
+  }
+  return Status::OK();
+}
+
+Status Cluster::WaitForBackgroundIdle() {
+  for (auto& shard : shards_) {
+    DLSM_RETURN_NOT_OK(shard->WaitForBackgroundIdle());
+  }
+  return Status::OK();
+}
+
+Status Cluster::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  for (auto& shard : shards_) {
+    DLSM_RETURN_NOT_OK(shard->Close());
+  }
+  shards_.clear();
+  flush_pools_.clear();
+  rpcs_.clear();
+  for (auto& m : memories_) m->Stop();
+  memories_.clear();
+  return Status::OK();
+}
+
+}  // namespace dlsm

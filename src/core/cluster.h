@@ -1,0 +1,91 @@
+// Multi-compute / multi-memory deployment (paper Sec. IX, Fig. 5).
+//
+// c compute nodes each own lambda range shards; the c*lambda shards are
+// assigned round-robin to the m memory nodes. Every shard is a complete
+// dLSM instance whose MemTables live on its compute node and whose
+// SSTables live on its memory node; single-shard accesses need no
+// cross-node synchronization.
+
+#ifndef DLSM_CORE_CLUSTER_H_
+#define DLSM_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+#include "src/core/db_impl.h"
+#include "src/core/memory_node_service.h"
+#include "src/rdma/fabric.h"
+
+namespace dlsm {
+
+struct ClusterTopology {
+  ClusterTopology() {}
+  int compute_nodes = 1;
+  int memory_nodes = 1;
+  /// Shards per compute node (lambda in the paper).
+  int shards_per_compute = 1;
+  int compute_cores = 24;
+  int memory_cores = 4;
+  int compaction_workers_per_memory = 12;
+  size_t compute_dram = 4ull << 30;
+  size_t memory_dram = 16ull << 30;
+};
+
+/// Owns the whole deployment: fabric, nodes, memory-node services and the
+/// per-shard DBs, plus key routing.
+class Cluster {
+ public:
+  /// Builds the deployment. boundaries partition the global key space into
+  /// compute_nodes * shards_per_compute ranges (size = #shards - 1).
+  static Status Create(Env* env, const Options& options,
+                       const ClusterTopology& topology,
+                       std::vector<std::string> boundaries,
+                       std::unique_ptr<Cluster>* out);
+
+  ~Cluster();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardForKey(const Slice& key) const;
+  DB* shard_db(int shard) { return shards_[shard].get(); }
+  /// The compute node that owns a shard's MemTables.
+  int ComputeOfShard(int shard) const {
+    return shard / topology_.shards_per_compute;
+  }
+  rdma::Node* compute_node(int i) { return computes_[i]; }
+  rdma::Fabric* fabric() { return fabric_.get(); }
+  MemoryNodeService* memory_service(int i) { return memories_[i].get(); }
+  int num_memory_nodes() const { return static_cast<int>(memories_.size()); }
+
+  /// Convenience: routes a Put/Get to the owning shard.
+  Status Put(const Slice& key, const Slice& value) {
+    return shards_[ShardForKey(key)]->Put(WriteOptions(), key, value);
+  }
+  Status Get(const Slice& key, std::string* value) {
+    return shards_[ShardForKey(key)]->Get(ReadOptions(), key, value);
+  }
+
+  Status Flush();
+  Status WaitForBackgroundIdle();
+  Status Close();
+
+ private:
+  Cluster() = default;
+
+  ClusterTopology topology_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::vector<rdma::Node*> computes_;
+  std::vector<std::unique_ptr<MemoryNodeService>> memories_;
+  std::vector<std::unique_ptr<ThreadPool>> flush_pools_;  // Per compute.
+  // One RPC client per (compute, memory) pair in use.
+  std::map<std::pair<int, int>, std::unique_ptr<remote::RpcClient>> rpcs_;
+  std::vector<std::string> boundaries_;
+  std::vector<std::unique_ptr<DB>> shards_;
+  bool closed_ = false;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_CLUSTER_H_

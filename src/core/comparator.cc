@@ -1,0 +1,22 @@
+#include "src/core/comparator.h"
+
+namespace dlsm {
+
+namespace {
+
+class BytewiseComparatorImpl : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+  const char* Name() const override { return "dlsm.BytewiseComparator"; }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static BytewiseComparatorImpl comparator;
+  return &comparator;
+}
+
+}  // namespace dlsm

@@ -1,0 +1,27 @@
+// Comparator interface for user keys, as in LevelDB/RocksDB.
+
+#ifndef DLSM_CORE_COMPARATOR_H_
+#define DLSM_CORE_COMPARATOR_H_
+
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+/// A total order over user keys.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  /// Three-way comparison: <0, 0, >0 as a is <, ==, > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  /// The comparator's name, recorded in table metadata.
+  virtual const char* Name() const = 0;
+};
+
+/// Returns the singleton lexicographic (memcmp-order) comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_COMPARATOR_H_

@@ -1,0 +1,77 @@
+// Public dLSM database interface.
+
+#ifndef DLSM_CORE_DB_H_
+#define DLSM_CORE_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/iterator.h"
+#include "src/core/options.h"
+#include "src/core/write_batch.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+
+/// An immutable view of the database as of some sequence number.
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+  virtual uint64_t sequence() const = 0;
+};
+
+/// Aggregate engine statistics (all monotonic counters).
+struct DbStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_input_bytes = 0;
+  uint64_t compaction_output_bytes = 0;
+  uint64_t stall_ns = 0;          ///< Total write-stall virtual time.
+  uint64_t bloom_useful = 0;      ///< Remote reads skipped by bloom filters.
+};
+
+/// A key-value store. Thread-safe: any number of concurrent readers and
+/// writers. Iterators and snapshots must be released before Close().
+class DB {
+ public:
+  virtual ~DB() = default;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* batch) = 0;
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  /// Iterator over user keys/values at the read snapshot. Caller deletes.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  /// Forces the current MemTable out and waits until every immutable
+  /// MemTable has been flushed.
+  virtual Status Flush() = 0;
+
+  /// Blocks until no flush or compaction work remains (bench warm-down;
+  /// the paper's read benchmarks "start after all the background
+  /// compaction tasks finish").
+  virtual Status WaitForBackgroundIdle() = 0;
+
+  virtual DbStats GetStats() = 0;
+
+  /// Number of SSTables at the given level (diagnostics).
+  virtual int NumFilesAtLevel(int level) = 0;
+
+  /// Stops background work and releases resources. Called by the
+  /// destructor if needed.
+  virtual Status Close() = 0;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_DB_H_

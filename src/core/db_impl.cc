@@ -1,0 +1,937 @@
+#include "src/core/db_impl.h"
+
+#include <algorithm>
+
+#include "src/core/db_iter.h"
+#include "src/core/merger.h"
+#include "src/core/table_reader.h"
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+
+constexpr int kGcBatchSize = 32;
+
+class SnapshotImpl : public Snapshot {
+ public:
+  explicit SnapshotImpl(uint64_t seq) : seq_(seq) {}
+  uint64_t sequence() const override { return seq_; }
+
+ private:
+  uint64_t seq_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Status DLsmDB::Open(const Options& options, const DbDeps& deps, DB** dbptr) {
+  *dbptr = nullptr;
+  if (options.env == nullptr || deps.fabric == nullptr ||
+      deps.compute == nullptr || deps.memory == nullptr) {
+    return Status::InvalidArgument("missing env/fabric/node wiring");
+  }
+  auto db = std::unique_ptr<DLsmDB>(new DLsmDB(options, deps));
+  DLSM_RETURN_NOT_OK(db->Init());
+  *dbptr = db.release();
+  return Status::OK();
+}
+
+DLsmDB::DLsmDB(const Options& options, const DbDeps& deps)
+    : options_(options),
+      deps_(deps),
+      env_(options.env),
+      icmp_(options.comparator),
+      bloom_(options.bloom_bits_per_key),
+      mem_mu_(options.env),
+      backpressure_cv_(options.env, &mem_mu_),
+      comp_mu_(options.env),
+      comp_cv_(options.env, &comp_mu_),
+      snap_mu_(options.env) {}
+
+uint64_t DLsmDB::SeqRange() const {
+  if (options_.memtable_seq_range != 0) return options_.memtable_seq_range;
+  uint64_t derived = options_.memtable_size / options_.estimated_entry_size;
+  return derived < 1024 ? 1024 : derived;
+}
+
+Status DLsmDB::Init() {
+  mgr_ = std::make_unique<rdma::RdmaManager>(deps_.fabric, deps_.compute,
+                                             deps_.memory->node());
+  if (deps_.shared_rpc != nullptr) {
+    rpc_ = deps_.shared_rpc;
+  } else {
+    owned_rpc_ = std::make_unique<remote::RpcClient>(
+        deps_.fabric, deps_.compute, deps_.memory->rpc_server());
+    rpc_ = owned_rpc_.get();
+  }
+
+  // Acquire the compute-controlled flush region from the memory node via
+  // the general-purpose RPC (paper Sec. V-A).
+  std::string args, reply;
+  PutFixed64(&args, options_.flush_region_size);
+  DLSM_RETURN_NOT_OK(
+      rpc_->Call(remote::RpcType::kAllocFlushRegion, args, &reply));
+  if (reply.size() < 12) return Status::Corruption("bad alloc-region reply");
+  uint64_t region_addr = DecodeFixed64(reply.data());
+  uint32_t region_rkey = DecodeFixed32(reply.data() + 8);
+  if (region_addr == 0) {
+    return Status::OutOfMemory("memory node cannot provision flush region");
+  }
+  rdma::MemoryRegion region;
+  region.addr = region_addr;
+  region.rkey = region_rkey;
+  region.length = options_.flush_region_size;
+  region.node_id = deps_.memory->node()->id();
+  size_t slab = options_.sstable_slab_size != 0
+                    ? options_.sstable_slab_size
+                    : options_.sstable_size + options_.sstable_size / 2;
+  flush_alloc_ = std::make_unique<remote::SlabAllocator>(
+      region, slab, deps_.compute->id());
+
+  read_path_.mgr = mgr_.get();
+  read_path_.rpc = options_.reads_via_rpc ? rpc_ : nullptr;
+  read_path_.extra_copy = options_.extra_io_copy;
+  read_path_.uncached_index = !options_.cache_index_blocks;
+
+  if (options_.write_path == WritePath::kWriterQueue) {
+    write_mu_ = std::make_unique<Mutex>(env_);
+  }
+
+  versions_ = std::make_unique<VersionSet>(&icmp_, &options_);
+
+  if (deps_.shared_flush_pool != nullptr) {
+    flush_pool_ = deps_.shared_flush_pool;
+  } else {
+    owned_flush_pool_ = std::make_unique<ThreadPool>(
+        env_, deps_.compute->env_node(), options_.flush_threads, "flush");
+    flush_pool_ = owned_flush_pool_.get();
+  }
+
+  // Initial MemTable covering the first sequence range.
+  MemTable* mem;
+  if (options_.switch_policy == MemTableSwitchPolicy::kSeqRange) {
+    mem = new MemTable(icmp_, 1, 1 + SeqRange());
+  } else {
+    mem = new MemTable(icmp_, 0, kMaxSequenceNumber);
+  }
+  mem->Ref();
+  mem_.store(mem, std::memory_order_release);
+
+  for (int i = 0; i < options_.compaction_scheduler_threads; i++) {
+    coordinators_.push_back(env_->StartThread(
+        deps_.compute->env_node(), "compaction-coordinator",
+        [this] { CompactionCoordinatorLoop(); }));
+  }
+  return Status::OK();
+}
+
+DLsmDB::~DLsmDB() { Close(); }
+
+// ---------------------------------------------------------------------------
+// Write path (Sec. IV)
+// ---------------------------------------------------------------------------
+
+Status DLsmDB::Put(const WriteOptions& options, const Slice& key,
+                   const Slice& value) {
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, &batch);
+}
+
+Status DLsmDB::Delete(const WriteOptions& options, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, &batch);
+}
+
+Status DLsmDB::Write(const WriteOptions& options, WriteBatch* batch) {
+  (void)options;
+  if (options_.write_path == WritePath::kWriterQueue) {
+    return WriteQueued(batch);
+  }
+  return WriteInternal(batch);
+}
+
+Status DLsmDB::WriteInternal(WriteBatch* batch) {
+  const uint32_t n = WriteBatchInternal::Count(batch);
+  if (n == 0) return Status::OK();
+
+  bool have_seq = false;
+  SequenceNumber seq_base = 0;
+  for (;;) {
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    cur->BeginWrite();
+    if (cur->immutable()) {
+      // Lost a switch race; the new table is (or is about to be) current.
+      cur->EndWrite();
+      env_->MaybeYield();
+      continue;
+    }
+    if (!have_seq) {
+      // Atomic sequence allocation — the only synchronization on the hot
+      // path (Fig. 3). BeginWrite precedes allocation, which guarantees a
+      // flusher can never seal this table between our range check and our
+      // insert (see HandleSwitch).
+      seq_base = sequence_.fetch_add(n, std::memory_order_acq_rel) + 1;
+      have_seq = true;
+    }
+    if (cur->AcceptsSequence(seq_base)) {
+      Status s = WriteBatchInternal::InsertInto(batch, seq_base, cur);
+      cur->EndWrite();
+      stat_writes_.fetch_add(n, std::memory_order_relaxed);
+      if (options_.switch_policy == MemTableSwitchPolicy::kDoubleCheckedSize &&
+          cur->ApproximateMemoryUsage() >= options_.memtable_size) {
+        // Naive policy: double-checked locking on the size limit.
+        MutexLock l(&mem_mu_);
+        if (mem_.load(std::memory_order_acquire) == cur &&
+            cur->ApproximateMemoryUsage() >= options_.memtable_size) {
+          SwitchMemTableLocked();
+        }
+      }
+      return s;
+    }
+    cur->EndWrite();
+    if (seq_base >= cur->seq_limit()) {
+      DLSM_RETURN_NOT_OK(HandleSwitch(seq_base));
+      // Retry; the new current table's range covers seq_base (unless
+      // further switches raced past it, handled below).
+    } else {
+      // Our sequence landed behind the current table's range because other
+      // writers pushed multiple switches while we were descheduled.
+      // Discard the stale sequence numbers (gaps are harmless) and
+      // reallocate — this keeps "newer version in newer table" absolute.
+      have_seq = false;
+    }
+  }
+}
+
+/// A parked writer in the RocksDB-style queue.
+struct DLsmDB::QueuedWriter {
+  QueuedWriter(Env* env, Mutex* mu) : cv(env, mu) {}
+  WriteBatch* batch = nullptr;
+  bool done = false;
+  Status status;
+  CondVar cv;
+};
+
+Status DLsmDB::WriteQueued(WriteBatch* batch) {
+  QueuedWriter w(env_, write_mu_.get());
+  w.batch = batch;
+
+  write_mu_->Lock();
+  write_queue_.push_back(&w);
+  while (!w.done && &w != write_queue_.front()) {
+    w.cv.Wait();
+  }
+  if (w.done) {
+    write_mu_->Unlock();
+    return w.status;
+  }
+
+  // Queue head: commit a group (RocksDB group commit). The group is built
+  // under the mutex; the inserts run outside it, then the group is retired.
+  std::vector<QueuedWriter*> group;
+  size_t group_bytes = 0;
+  for (QueuedWriter* qw : write_queue_) {
+    group.push_back(qw);
+    group_bytes += qw->batch->ApproximateSize();
+    if (group_bytes > (1 << 20)) break;
+  }
+  write_mu_->Unlock();
+
+  for (QueuedWriter* qw : group) {
+    qw->status = WriteInternal(qw->batch);
+  }
+
+  write_mu_->Lock();
+  for (QueuedWriter* qw : group) {
+    DLSM_CHECK(write_queue_.front() == qw);
+    write_queue_.pop_front();
+    if (qw != &w) {
+      qw->done = true;
+      qw->cv.Signal();
+    }
+  }
+  if (!write_queue_.empty()) {
+    write_queue_.front()->cv.Signal();  // Promote the next leader.
+  }
+  write_mu_->Unlock();
+  return w.status;
+}
+
+Status DLsmDB::HandleSwitch(SequenceNumber seq) {
+  MutexLock l(&mem_mu_);
+  MemTable* cur = mem_.load(std::memory_order_acquire);
+  while (seq >= cur->seq_limit() && !shutdown_.load()) {
+    // Backpressure before installing a new table: too many immutables
+    // (flushing can't keep up) or L0 at the stop trigger (compaction
+    // can't keep up) — the paper's write stalls.
+    uint64_t stall_start = 0;
+    while (!shutdown_.load() &&
+           (static_cast<int>(imms_.size()) >= options_.max_immutables ||
+            versions_->NeedsStall())) {
+      if (stall_start == 0) stall_start = env_->NowNanos();
+      backpressure_cv_.TimedWait(2'000'000);  // 2 ms, re-check triggers.
+    }
+    if (stall_start != 0) {
+      stat_stall_ns_.fetch_add(env_->NowNanos() - stall_start,
+                               std::memory_order_relaxed);
+    }
+    cur = mem_.load(std::memory_order_acquire);
+    if (seq < cur->seq_limit()) break;  // Another writer switched for us.
+    SwitchMemTableLocked();
+    cur = mem_.load(std::memory_order_acquire);
+  }
+  return Status::OK();
+}
+
+void DLsmDB::SwitchMemTableLocked() {
+  MemTable* old = mem_.load(std::memory_order_acquire);
+  SequenceNumber base, limit;
+  if (options_.switch_policy == MemTableSwitchPolicy::kSeqRange) {
+    base = old->seq_limit();
+    limit = base + SeqRange();
+  } else {
+    base = 0;
+    limit = kMaxSequenceNumber;
+  }
+  MemTable* next = new MemTable(icmp_, base, limit);
+  next->Ref();
+  old->MarkImmutable();
+  imms_.push_back(old);  // Transfers our reference.
+  mem_.store(next, std::memory_order_release);
+  ScheduleFlushLocked(old);
+}
+
+void DLsmDB::ScheduleFlushLocked(MemTable* mem) {
+  pending_flushes_++;
+  uint64_t l0_order = mem->seq_base();
+  flush_pool_->Submit([this, mem, l0_order] { FlushJob(mem, l0_order); });
+}
+
+// ---------------------------------------------------------------------------
+// Flush (Sec. X-C)
+// ---------------------------------------------------------------------------
+
+void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
+  // Wait out in-flight writers still inserting into this table.
+  while (mem->active_writers() > 0) {
+    env_->YieldToOthers();
+  }
+
+  Status s;
+  std::vector<CompactionOutput> outputs;
+  if (mem->num_entries() > 0) {
+    auto new_output = [this](remote::RemoteChunk* chunk,
+                             std::unique_ptr<TableSink>* sink) -> Status {
+      remote::RemoteChunk c = flush_alloc_->Allocate();
+      for (int tries = 0; !c.valid() && tries < 10000; tries++) {
+        // Flush region exhausted: give GC and compaction a chance.
+        DrainGc();
+        env_->SleepNanos(1'000'000);
+        c = flush_alloc_->Allocate();
+      }
+      if (!c.valid()) {
+        return Status::OutOfMemory("flush region exhausted");
+      }
+      *chunk = c;
+      std::unique_ptr<TableSink> base = std::make_unique<AsyncRemoteSink>(
+          mgr_.get(), c, options_.flush_buffer_size,
+          options_.flush_buffers_per_thread);
+      *sink = options_.extra_io_copy
+                  ? std::make_unique<CopySink>(std::move(base))
+                  : std::move(base);
+      return Status::OK();
+    };
+
+    s = MergeAndBuild(env_, mem->NewIterator(), icmp_, bloom_,
+                      OldestSnapshot(), /*drop_tombstones=*/false,
+                      options_.sstable_size, options_.table_format,
+                      options_.block_size, new_output, &outputs);
+    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+
+  // Flushes BUILD in parallel but INSTALL in MemTable age order: if a
+  // newer table's tombstone reached L0 (and possibly a bottommost
+  // compaction) while an older table holding a shadowed value were still
+  // unflushed, the deleted value would resurrect once that older table
+  // landed. imms_ is oldest-first; install only at its head. The flush
+  // pool is FIFO over switch order, so the head's job is always already
+  // running — no deadlock.
+  {
+    MutexLock l(&mem_mu_);
+    while (!(imms_.front() == mem)) {
+      backpressure_cv_.Wait();
+    }
+  }
+  if (!outputs.empty()) {
+    VersionEdit edit;
+    for (const CompactionOutput& out : outputs) {
+      edit.AddFile(0, InstallOutput(out, l0_order));
+    }
+    versions_->Apply(edit);
+    stat_flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    MutexLock l(&mem_mu_);
+    DLSM_CHECK(imms_.front() == mem);
+    imms_.pop_front();
+    pending_flushes_--;
+    backpressure_cv_.SignalAll();
+  }
+  mem->Unref();
+  {
+    MutexLock l(&comp_mu_);
+    comp_cv_.SignalAll();  // L0 may now warrant compaction.
+  }
+  DrainGc();
+}
+
+// ---------------------------------------------------------------------------
+// Reads (Secs. III, VI)
+// ---------------------------------------------------------------------------
+
+Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  stat_reads_.fetch_add(1, std::memory_order_relaxed);
+  SequenceNumber snapshot = options.snapshot_sequence != ~0ull
+                                ? options.snapshot_sequence
+                                : sequence_.load(std::memory_order_acquire);
+  LookupKey lkey(key, snapshot);
+
+  // Pin the MemTable chain (current + immutables), newest first.
+  std::vector<MemTable*> tables;
+  {
+    MutexLock l(&mem_mu_);
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    cur->Ref();
+    tables.push_back(cur);
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      (*it)->Ref();
+      tables.push_back(*it);
+    }
+  }
+  Status result = Status::NotFound(Slice());
+  bool done = false;
+  for (MemTable* m : tables) {
+    std::string v;
+    Status s;
+    if (!done && m->Get(lkey, &v, &s)) {
+      done = true;
+      result = s;
+      if (s.ok()) *value = std::move(v);
+    }
+  }
+  for (MemTable* m : tables) m->Unref();
+  if (done) return result;
+
+  // SSTables: pinned via the version reference.
+  VersionRef version = versions_->current();
+  for (const FileRef& f : version->CollectSearchOrder(icmp_, key)) {
+    TableLookupResult lookup;
+    bool bloom_skip = false;
+    Status s = TableGet(read_path_, icmp_, bloom_, *f, lkey, &lookup, value,
+                        &bloom_skip);
+    DLSM_RETURN_NOT_OK(s);
+    if (bloom_skip) {
+      stat_bloom_useful_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (lookup == TableLookupResult::kFound) return Status::OK();
+    if (lookup == TableLookupResult::kDeleted) {
+      return Status::NotFound(Slice());
+    }
+  }
+  return Status::NotFound(Slice());
+}
+
+Iterator* DLsmDB::NewIterator(const ReadOptions& options) {
+  SequenceNumber snapshot = options.snapshot_sequence != ~0ull
+                                ? options.snapshot_sequence
+                                : sequence_.load(std::memory_order_acquire);
+
+  std::vector<Iterator*> children;
+  std::vector<MemTable*> pinned;
+  {
+    MutexLock l(&mem_mu_);
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    cur->Ref();
+    pinned.push_back(cur);
+    children.push_back(cur->NewIterator());
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      (*it)->Ref();
+      pinned.push_back(*it);
+      children.push_back((*it)->NewIterator());
+    }
+  }
+  VersionRef version = versions_->current();
+  version->AddIterators(read_path_, icmp_, options_.scan_prefetch_size,
+                        &children);
+
+  Iterator* merged = NewMergingIterator(&icmp_, children.data(),
+                                        static_cast<int>(children.size()));
+  auto cleanup = [pinned = std::move(pinned), version]() mutable {
+    for (MemTable* m : pinned) m->Unref();
+    version.reset();
+  };
+  return NewDBIterator(&icmp_, merged, snapshot, std::move(cleanup));
+}
+
+const Snapshot* DLsmDB::GetSnapshot() {
+  MutexLock l(&snap_mu_);
+  uint64_t seq = sequence_.load(std::memory_order_acquire);
+  snapshots_.insert(seq);
+  return new SnapshotImpl(seq);
+}
+
+void DLsmDB::ReleaseSnapshot(const Snapshot* snapshot) {
+  if (snapshot == nullptr) return;
+  {
+    MutexLock l(&snap_mu_);
+    auto it = snapshots_.find(snapshot->sequence());
+    DLSM_CHECK(it != snapshots_.end());
+    snapshots_.erase(it);
+  }
+  delete snapshot;
+}
+
+SequenceNumber DLsmDB::OldestSnapshot() {
+  MutexLock l(&snap_mu_);
+  if (snapshots_.empty()) {
+    return sequence_.load(std::memory_order_acquire);
+  }
+  return *snapshots_.begin();
+}
+
+// ---------------------------------------------------------------------------
+// Compaction (Sec. V)
+// ---------------------------------------------------------------------------
+
+void DLsmDB::CompactionCoordinatorLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    {
+      MutexLock l(&comp_mu_);
+      while (!shutdown_.load() && !versions_->NeedsCompaction()) {
+        comp_cv_.TimedWait(5'000'000);  // 5 ms.
+      }
+    }
+    if (shutdown_.load()) break;
+
+    CompactionPick pick = versions_->PickCompaction();
+    if (!pick.valid()) {
+      env_->SleepNanos(1'000'000);
+      continue;
+    }
+    {
+      MutexLock l(&comp_mu_);
+      running_compactions_++;
+    }
+    Status s = RunCompaction(pick);
+    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    versions_->ReleaseCompaction(pick);
+    {
+      MutexLock l(&comp_mu_);
+      running_compactions_--;
+      comp_cv_.SignalAll();
+    }
+    {
+      // L0 shrank: stalled writers may proceed.
+      MutexLock l(&mem_mu_);
+      backpressure_cv_.SignalAll();
+    }
+    DrainGc();
+  }
+}
+
+Status DLsmDB::RunCompaction(const CompactionPick& pick) {
+  std::vector<CompactionOutput> outputs;
+  Status s =
+      options_.compaction_placement == CompactionPlacement::kNearData
+          ? RunNearDataCompaction(pick, &outputs)
+          : RunComputeSideCompaction(pick, &outputs);
+  DLSM_RETURN_NOT_OK(s);
+
+  VersionEdit edit;
+  for (int which = 0; which < 2; which++) {
+    for (const FileRef& f : pick.inputs[which]) {
+      edit.DeleteFile(pick.level + which, f->number);
+    }
+  }
+  for (const CompactionOutput& out : outputs) {
+    edit.AddFile(pick.level + 1, InstallOutput(out, 0));
+    stat_comp_out_.fetch_add(out.data_len, std::memory_order_relaxed);
+  }
+  versions_->Apply(edit);
+  stat_compactions_.fetch_add(1, std::memory_order_relaxed);
+  stat_comp_in_.fetch_add(pick.InputBytes(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+CompactionInput DLsmDB::MakeInput(const FileRef& f, const Slice* lo,
+                                  const Slice* hi) const {
+  CompactionInput in;
+  in.addr = f->chunk.addr;
+  if (options_.table_format == TableFormat::kBlock) {
+    in.format = 2;
+    in.start_off = 0;
+    in.end_off = f->data_len;
+    in.index_blob = f->index->blob();
+    return in;
+  }
+  in.format = 1;
+  auto offset_of = [&](const Slice& user_key) -> uint64_t {
+    InternalKey ik(user_key, kMaxSequenceNumber, kValueTypeForSeek);
+    size_t pos = f->index->Find(icmp_, ik.Encode());
+    if (pos >= f->index->num_entries()) return f->data_len;
+    return f->index->entry(pos).offset;
+  };
+  in.start_off = lo != nullptr ? offset_of(*lo) : 0;
+  in.end_off = hi != nullptr ? offset_of(*hi) : f->data_len;
+  return in;
+}
+
+Status DLsmDB::IssueCompactionRpc(const CompactionTask& task,
+                                  CompactionResult* result) {
+  std::string reply;
+  DLSM_RETURN_NOT_OK(rpc_->CallWithWakeup(remote::RpcType::kCompaction,
+                                          task.Serialize(), &reply));
+  if (reply.empty()) return Status::Corruption("empty compaction reply");
+  if (reply[0] != 1) {
+    return Status::IOError("near-data compaction failed",
+                           Slice(reply.data() + 1, reply.size() - 1));
+  }
+  if (!CompactionResult::Deserialize(
+          Slice(reply.data() + 1, reply.size() - 1), result)) {
+    return Status::Corruption("bad compaction reply");
+  }
+  return Status::OK();
+}
+
+Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
+                                     std::vector<CompactionOutput>* outputs) {
+  const uint64_t slab = flush_alloc_->chunk_size();
+  auto make_task = [&](std::vector<CompactionInput> inputs) {
+    CompactionTask task;
+    task.inputs = std::move(inputs);
+    task.smallest_snapshot = OldestSnapshot();
+    task.drop_tombstones = pick.bottommost;
+    task.target_file_size = options_.sstable_size;
+    task.output_chunk_size = slab;
+    task.output_format =
+        options_.table_format == TableFormat::kByteAddressable ? 1 : 2;
+    task.block_size = static_cast<uint32_t>(options_.block_size);
+    task.bloom_bits_per_key =
+        static_cast<uint32_t>(options_.bloom_bits_per_key);
+    return task;
+  };
+
+  // Sub-compaction partitioning (Sec. V-A: "divide a large compaction task
+  // into multiple parallel sub-compaction tasks"): only L0 compactions of
+  // byte-addressable tables are split — the per-record index lets the
+  // compute node hand each worker an exact byte slice of every L0 file.
+  std::vector<std::string> bounds;
+  if (pick.level == 0 && options_.max_subcompactions > 1 &&
+      options_.table_format == TableFormat::kByteAddressable) {
+    const auto& l1 = pick.inputs[1];
+    if (l1.size() >= 2) {
+      size_t k = std::min<size_t>(options_.max_subcompactions, l1.size());
+      // Boundaries at (a subset of) L1 file smallest keys: every L1 file
+      // then belongs to exactly one range.
+      for (size_t i = 1; i < k; i++) {
+        size_t idx = i * l1.size() / k;
+        if (idx == 0) continue;
+        bounds.push_back(
+            ExtractUserKey(l1[idx]->smallest.Encode()).ToString());
+      }
+    } else if (l1.empty() && !pick.inputs[0].empty()) {
+      // No L1 yet: carve boundaries from the largest L0 file's index.
+      const FileRef* biggest = &pick.inputs[0][0];
+      for (const FileRef& f : pick.inputs[0]) {
+        if (f->num_entries > (*biggest)->num_entries) biggest = &f;
+      }
+      const TableIndex& index = *(*biggest)->index;
+      size_t k = std::min<size_t>(options_.max_subcompactions, 4);
+      for (size_t i = 1; i < k && index.num_entries() > k; i++) {
+        size_t pos = i * index.num_entries() / k;
+        bounds.push_back(
+            ExtractUserKey(index.entry(pos).key).ToString());
+      }
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  }
+
+  std::vector<CompactionTask> tasks;
+  if (bounds.empty()) {
+    std::vector<CompactionInput> inputs;
+    for (int which = 0; which < 2; which++) {
+      for (const FileRef& f : pick.inputs[which]) {
+        CompactionInput in = MakeInput(f, nullptr, nullptr);
+        if (in.start_off < in.end_off) inputs.push_back(std::move(in));
+      }
+    }
+    tasks.push_back(make_task(std::move(inputs)));
+  } else {
+    const Comparator* ucmp = icmp_.user_comparator();
+    size_t ranges = bounds.size() + 1;
+    for (size_t r = 0; r < ranges; r++) {
+      const std::string* lo = r == 0 ? nullptr : &bounds[r - 1];
+      const std::string* hi = r == ranges - 1 ? nullptr : &bounds[r];
+      std::vector<CompactionInput> inputs;
+      for (const FileRef& f : pick.inputs[0]) {
+        Slice lo_s, hi_s;
+        if (lo != nullptr) lo_s = Slice(*lo);
+        if (hi != nullptr) hi_s = Slice(*hi);
+        CompactionInput in = MakeInput(f, lo ? &lo_s : nullptr,
+                                       hi ? &hi_s : nullptr);
+        if (in.start_off < in.end_off) inputs.push_back(std::move(in));
+      }
+      for (const FileRef& f : pick.inputs[1]) {
+        // An L1 file belongs to range r iff its smallest key is in it.
+        Slice s = ExtractUserKey(f->smallest.Encode());
+        bool ge_lo = lo == nullptr || ucmp->Compare(s, Slice(*lo)) >= 0;
+        bool lt_hi = hi == nullptr || ucmp->Compare(s, Slice(*hi)) < 0;
+        if (ge_lo && lt_hi) {
+          inputs.push_back(MakeInput(f, nullptr, nullptr));
+        }
+      }
+      if (!inputs.empty()) tasks.push_back(make_task(std::move(inputs)));
+    }
+  }
+  if (tasks.empty()) return Status::OK();
+
+  // Issue sub-compactions in parallel; this thread takes the first.
+  std::vector<CompactionResult> results(tasks.size());
+  std::vector<Status> statuses(tasks.size());
+  std::vector<ThreadHandle> helpers;
+  for (size_t i = 1; i < tasks.size(); i++) {
+    helpers.push_back(env_->StartThread(
+        deps_.compute->env_node(), "subcompaction", [this, &tasks, &results,
+                                                     &statuses, i] {
+          statuses[i] = IssueCompactionRpc(tasks[i], &results[i]);
+        }));
+  }
+  statuses[0] = IssueCompactionRpc(tasks[0], &results[0]);
+  for (ThreadHandle h : helpers) env_->Join(h);
+
+  for (size_t i = 0; i < tasks.size(); i++) {
+    DLSM_RETURN_NOT_OK(statuses[i]);
+    for (CompactionOutput& out : results[i].outputs) {
+      outputs->push_back(std::move(out));
+    }
+  }
+  return Status::OK();
+}
+
+Status DLsmDB::RunComputeSideCompaction(
+    const CompactionPick& pick, std::vector<CompactionOutput>* outputs) {
+  // The ablation path (Fig. 12 "compute"): inputs are pulled over the wire
+  // and merged here; outputs are pushed back with the flush pipeline.
+  std::vector<Iterator*> children;
+  for (int which = 0; which < 2; which++) {
+    for (const FileRef& f : pick.inputs[which]) {
+      children.push_back(NewRemoteTableIterator(
+          read_path_, icmp_, f, options_.scan_prefetch_size));
+    }
+  }
+  Iterator* merged = NewMergingIterator(&icmp_, children.data(),
+                                        static_cast<int>(children.size()));
+
+  auto new_output = [this](remote::RemoteChunk* chunk,
+                           std::unique_ptr<TableSink>* sink) -> Status {
+    remote::RemoteChunk c = flush_alloc_->Allocate();
+    if (!c.valid()) {
+      return Status::OutOfMemory("flush region exhausted (compaction)");
+    }
+    *chunk = c;
+    std::unique_ptr<TableSink> base = std::make_unique<AsyncRemoteSink>(
+        mgr_.get(), c, options_.flush_buffer_size,
+        options_.flush_buffers_per_thread);
+    *sink = options_.extra_io_copy
+                ? std::make_unique<CopySink>(std::move(base))
+                : std::move(base);
+    return Status::OK();
+  };
+
+  return MergeAndBuild(env_, merged, icmp_, bloom_, OldestSnapshot(),
+                       pick.bottommost, options_.sstable_size,
+                       options_.table_format, options_.block_size, new_output,
+                       outputs);
+}
+
+// ---------------------------------------------------------------------------
+// Files & GC (Sec. V-B)
+// ---------------------------------------------------------------------------
+
+FileRef DLsmDB::InstallOutput(const CompactionOutput& out,
+                              uint64_t l0_order) {
+  auto file = std::make_shared<FileMetaData>();
+  file->number = versions_->NewFileNumber();
+  file->l0_order = l0_order;
+  file->chunk = out.chunk;
+  file->data_len = out.data_len;
+  file->num_entries = out.num_entries;
+  file->smallest = out.smallest;
+  file->largest = out.largest;
+  file->index = TableIndex::Parse(out.index_blob);
+  DLSM_CHECK_MSG(file->index != nullptr, "unparseable table index");
+  file->gc = [this](const remote::RemoteChunk& chunk) { FileGone(chunk); };
+  return file;
+}
+
+void DLsmDB::FileGone(const remote::RemoteChunk& chunk) {
+  // Never blocks: may run while arbitrary locks are held by the releaser.
+  if (chunk.owner_node == deps_.compute->id()) {
+    // Compute-allocated (flush / compute-side compaction): recycle in the
+    // local allocator that controls the flush region.
+    flush_alloc_->Free(chunk);
+  } else {
+    // Memory-node-allocated (near-data compaction): batch for a remote
+    // free RPC (paper: "grouped locally first and sent in batch").
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_batch_.push_back(chunk.addr);
+  }
+}
+
+void DLsmDB::DrainGc() {
+  std::vector<uint64_t> batch;
+  {
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    if (gc_batch_.size() < kGcBatchSize && !closed_) return;
+    batch.swap(gc_batch_);
+  }
+  if (batch.empty()) return;
+  std::string args, reply;
+  PutVarint32(&args, static_cast<uint32_t>(batch.size()));
+  for (uint64_t addr : batch) PutFixed64(&args, addr);
+  Status s = rpc_->Call(remote::RpcType::kFreeBatch, args, &reply);
+  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance operations
+// ---------------------------------------------------------------------------
+
+Status DLsmDB::Flush() {
+  {
+    MutexLock l(&mem_mu_);
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    if (cur->num_entries() > 0) {
+      if (options_.switch_policy == MemTableSwitchPolicy::kSeqRange) {
+        // Burn the rest of the table's sequence range so the "immutable
+        // tables never receive new sequences" invariant holds.
+        uint64_t target = cur->seq_limit() - 1;
+        uint64_t v = sequence_.load(std::memory_order_acquire);
+        while (v < target && !sequence_.compare_exchange_weak(v, target)) {
+        }
+      }
+      SwitchMemTableLocked();
+    }
+    while (pending_flushes_ > 0 || !imms_.empty()) {
+      backpressure_cv_.Wait();
+    }
+  }
+  return Status::OK();
+}
+
+Status DLsmDB::WaitForBackgroundIdle() {
+  for (;;) {
+    {
+      MutexLock l(&mem_mu_);
+      while (pending_flushes_ > 0 || !imms_.empty()) {
+        backpressure_cv_.Wait();
+      }
+    }
+    {
+      MutexLock l(&comp_mu_);
+      while (running_compactions_ > 0) {
+        comp_cv_.Wait();
+      }
+    }
+    bool flush_idle;
+    {
+      MutexLock l(&mem_mu_);
+      flush_idle = pending_flushes_ == 0 && imms_.empty();
+    }
+    if (flush_idle && !versions_->NeedsCompaction()) {
+      bool comp_idle;
+      {
+        MutexLock l(&comp_mu_);
+        comp_idle = running_compactions_ == 0;
+      }
+      if (comp_idle) return Status::OK();
+    }
+    env_->SleepNanos(2'000'000);
+  }
+}
+
+DbStats DLsmDB::GetStats() {
+  DbStats s;
+  s.writes = stat_writes_.load();
+  s.reads = stat_reads_.load();
+  s.flushes = stat_flushes_.load();
+  s.compactions = stat_compactions_.load();
+  s.compaction_input_bytes = stat_comp_in_.load();
+  s.compaction_output_bytes = stat_comp_out_.load();
+  s.stall_ns = stat_stall_ns_.load();
+  s.bloom_useful = stat_bloom_useful_.load();
+  return s;
+}
+
+int DLsmDB::NumFilesAtLevel(int level) {
+  VersionRef v = versions_->current();
+  if (level < 0 || level >= v->num_levels()) return 0;
+  return v->NumFiles(level);
+}
+
+Status DLsmDB::Close() {
+  if (closed_) return Status::OK();
+
+  // Stop coordinators first: no new compactions.
+  shutdown_.store(true, std::memory_order_release);
+  {
+    MutexLock l(&comp_mu_);
+    comp_cv_.SignalAll();
+  }
+  {
+    MutexLock l(&mem_mu_);
+    backpressure_cv_.SignalAll();
+  }
+  for (ThreadHandle h : coordinators_) env_->Join(h);
+  coordinators_.clear();
+
+  // Drain flushes.
+  {
+    MutexLock l(&mem_mu_);
+    while (pending_flushes_ > 0) {
+      backpressure_cv_.Wait();
+    }
+  }
+  owned_flush_pool_.reset();
+  flush_pool_ = nullptr;
+
+  closed_ = true;
+
+  // Release in-memory state; dropping the VersionSet releases every file,
+  // which enqueues their chunks for GC.
+  {
+    MutexLock l(&mem_mu_);
+    MemTable* cur = mem_.load();
+    if (cur != nullptr) cur->Unref();
+    mem_.store(nullptr);
+    for (MemTable* m : imms_) m->Unref();
+    imms_.clear();
+  }
+  versions_.reset();
+  DrainGc();
+  flush_alloc_.reset();
+  owned_rpc_.reset();
+  rpc_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace dlsm

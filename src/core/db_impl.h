@@ -1,0 +1,163 @@
+// DLsmDB: the compute-node engine (paper Secs. III–VII).
+
+#ifndef DLSM_CORE_DB_IMPL_H_
+#define DLSM_CORE_DB_IMPL_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/core/compaction.h"
+#include "src/core/db.h"
+#include "src/core/dbformat.h"
+#include "src/core/memory_node_service.h"
+#include "src/core/memtable.h"
+#include "src/core/table_reader.h"
+#include "src/core/version.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/remote/remote_alloc.h"
+#include "src/remote/rpc.h"
+#include "src/sim/thread_pool.h"
+
+namespace dlsm {
+
+/// Wiring: which machines this DB runs across and what it may share with
+/// sibling shards.
+struct DbDeps {
+  rdma::Fabric* fabric = nullptr;
+  rdma::Node* compute = nullptr;
+  MemoryNodeService* memory = nullptr;
+  /// Optional shared flush pool (sharded deployments); DB creates its own
+  /// when null.
+  ThreadPool* shared_flush_pool = nullptr;
+  /// Optional shared RPC client to the memory node; DB creates its own
+  /// when null.
+  remote::RpcClient* shared_rpc = nullptr;
+};
+
+class DLsmDB : public DB {
+ public:
+  /// Opens a dLSM instance; on success *dbptr owns the database.
+  static Status Open(const Options& options, const DbDeps& deps, DB** dbptr);
+
+  ~DLsmDB() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status Flush() override;
+  Status WaitForBackgroundIdle() override;
+  DbStats GetStats() override;
+  int NumFilesAtLevel(int level) override;
+  Status Close() override;
+
+  /// Smallest key-range boundary helpers used by the sharded wrapper.
+  rdma::RdmaManager* rdma_manager() { return mgr_.get(); }
+
+ private:
+  DLsmDB(const Options& options, const DbDeps& deps);
+
+  Status Init();
+
+  // -- Write path (Sec. IV) --------------------------------------------------
+  Status WriteInternal(WriteBatch* batch);
+  /// RocksDB-style writer queue (baseline write path): writers serialize
+  /// through a mutex; the queue head commits a group at a time.
+  Status WriteQueued(WriteBatch* batch);
+  /// Installs MemTables until seq routes into the current one. Also the
+  /// stall point (L0 stop trigger / immutable backlog).
+  Status HandleSwitch(SequenceNumber seq);
+  void SwitchMemTableLocked();  // Requires mem_mu_.
+
+  // -- Flush (Sec. X-C) --------------------------------------------------------
+  void ScheduleFlushLocked(MemTable* mem);
+  void FlushJob(MemTable* mem, uint64_t l0_order);
+
+  // -- Compaction (Sec. V) -----------------------------------------------------
+  void CompactionCoordinatorLoop();
+  Status RunCompaction(const CompactionPick& pick);
+  Status RunNearDataCompaction(const CompactionPick& pick,
+                               std::vector<CompactionOutput>* outputs);
+  Status RunComputeSideCompaction(const CompactionPick& pick,
+                                  std::vector<CompactionOutput>* outputs);
+  Status IssueCompactionRpc(const CompactionTask& task,
+                            CompactionResult* result);
+  CompactionInput MakeInput(const FileRef& f, const Slice* lo,
+                            const Slice* hi) const;
+
+  // -- Files & GC (Sec. V-B) ---------------------------------------------------
+  FileRef InstallOutput(const CompactionOutput& out, uint64_t l0_order);
+  void FileGone(const remote::RemoteChunk& chunk);  // gc enqueue; non-blocking
+  void DrainGc();  // Issues batched remote frees; blocking-safe points only.
+
+  SequenceNumber OldestSnapshot();
+  uint64_t SeqRange() const;
+
+  // Immutable after Init().
+  Options options_;
+  DbDeps deps_;
+  Env* env_;
+  InternalKeyComparator icmp_;
+  BloomFilterPolicy bloom_;
+  std::unique_ptr<rdma::RdmaManager> mgr_;
+  std::unique_ptr<remote::RpcClient> owned_rpc_;
+  remote::RpcClient* rpc_ = nullptr;
+  std::unique_ptr<remote::SlabAllocator> flush_alloc_;
+  RemoteReadPath read_path_;
+  std::unique_ptr<ThreadPool> owned_flush_pool_;
+  ThreadPool* flush_pool_ = nullptr;
+  std::unique_ptr<VersionSet> versions_;
+
+  // Write state.
+  std::atomic<uint64_t> sequence_{0};  // Last allocated sequence number.
+  std::atomic<MemTable*> mem_{nullptr};
+  Mutex mem_mu_;             // Guards the switch & immutable queue.
+  CondVar backpressure_cv_;  // Signalled when flush/compaction frees room.
+  std::deque<MemTable*> imms_;  // Oldest first; referenced.
+  int pending_flushes_ = 0;     // Guarded by mem_mu_.
+
+  // Compaction coordination.
+  std::vector<ThreadHandle> coordinators_;
+  Mutex comp_mu_;
+  CondVar comp_cv_;
+  int running_compactions_ = 0;  // Guarded by comp_mu_.
+  std::atomic<bool> shutdown_{false};
+
+  // Writer queue (WritePath::kWriterQueue only).
+  struct QueuedWriter;
+  std::unique_ptr<Mutex> write_mu_;
+  std::deque<QueuedWriter*> write_queue_;  // Guarded by write_mu_.
+
+  // Snapshots.
+  Mutex snap_mu_;
+  std::multiset<uint64_t> snapshots_;  // Guarded by snap_mu_.
+
+  // GC batching (remote-origin chunks).
+  std::mutex gc_mu_;
+  std::vector<uint64_t> gc_batch_;
+
+  // Stats.
+  std::atomic<uint64_t> stat_writes_{0};
+  std::atomic<uint64_t> stat_reads_{0};
+  std::atomic<uint64_t> stat_flushes_{0};
+  std::atomic<uint64_t> stat_compactions_{0};
+  std::atomic<uint64_t> stat_comp_in_{0};
+  std::atomic<uint64_t> stat_comp_out_{0};
+  std::atomic<uint64_t> stat_stall_ns_{0};
+  std::atomic<uint64_t> stat_bloom_useful_{0};
+
+  bool closed_ = false;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_DB_IMPL_H_

@@ -1,0 +1,49 @@
+// SSTable metadata kept on the compute node (paper Sec. V-A: "dLSM
+// maintains the LSM-tree metadata in the compute node").
+//
+// A FileMetaData pins its remote chunk: versions hold shared_ptrs to files,
+// snapshots hold shared_ptrs to versions, so when the last reference to a
+// file drops, its garbage-collection callback fires and the chunk is
+// recycled — by the compute-side allocator if the compute node allocated
+// it (flush), or batched into a remote-free RPC if the memory node did
+// (near-data compaction). This is exactly the pin/unpin scheme of Sec. V-B.
+
+#ifndef DLSM_CORE_FILE_META_H_
+#define DLSM_CORE_FILE_META_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/core/dbformat.h"
+#include "src/core/table_index.h"
+#include "src/remote/remote_alloc.h"
+
+namespace dlsm {
+
+/// Per-SSTable metadata; see file header for the pinning discipline.
+struct FileMetaData {
+  uint64_t number = 0;           ///< Unique file id.
+  /// Age rank for L0 ordering: flushes may complete out of order, so L0 is
+  /// sorted by the source MemTable's sequence base, not by file number.
+  uint64_t l0_order = 0;
+  remote::RemoteChunk chunk;     ///< Where the data region lives.
+  uint64_t data_len = 0;         ///< Bytes of key-value records.
+  uint64_t num_entries = 0;
+  InternalKey smallest;          ///< Smallest internal key.
+  InternalKey largest;           ///< Largest internal key.
+  std::shared_ptr<TableIndex> index;  ///< Cached locally (index + bloom).
+
+  /// Invoked once when the last reference drops; recycles chunk.
+  std::function<void(const remote::RemoteChunk&)> gc;
+
+  ~FileMetaData() {
+    if (gc) gc(chunk);
+  }
+};
+
+using FileRef = std::shared_ptr<FileMetaData>;
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_FILE_META_H_

@@ -1,0 +1,40 @@
+#include "src/core/iterator.h"
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Seek(const Slice&) override {}
+  void Next() override { DLSM_CHECK(false); }
+  void Prev() override { DLSM_CHECK(false); }
+  Slice key() const override {
+    DLSM_CHECK(false);
+    return Slice();
+  }
+  Slice value() const override {
+    DLSM_CHECK(false);
+    return Slice();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+}  // namespace dlsm

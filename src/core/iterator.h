@@ -1,0 +1,42 @@
+// Iterator interface over sorted key/value sequences, as in LevelDB.
+
+#ifndef DLSM_CORE_ITERATOR_H_
+#define DLSM_CORE_ITERATOR_H_
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+
+/// Iterates a sorted sequence of (internal key, value) pairs.
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  /// Requires Valid().
+  virtual Slice key() const = 0;
+  /// Requires Valid().
+  virtual Slice value() const = 0;
+  virtual Status status() const = 0;
+};
+
+/// Returns an iterator over an empty sequence.
+Iterator* NewEmptyIterator();
+
+/// Returns an empty iterator carrying the given error status.
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_ITERATOR_H_

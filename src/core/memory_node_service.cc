@@ -1,0 +1,167 @@
+#include "src/core/memory_node_service.h"
+
+#include "src/core/compaction.h"
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+constexpr size_t kChunksPerRegion = 64;
+}  // namespace
+
+MemoryNodeService::MemoryNodeService(rdma::Fabric* fabric, rdma::Node* node,
+                                     int compaction_workers)
+    : fabric_(fabric),
+      node_(node),
+      workers_(compaction_workers),
+      icmp_(BytewiseComparator()) {
+  server_ = std::make_unique<remote::RpcServer>(fabric_, node_, workers_);
+  server_->set_handler(
+      [this](uint8_t type, const Slice& args, std::string* reply) {
+        Handle(type, args, reply);
+      });
+}
+
+MemoryNodeService::~MemoryNodeService() { Stop(); }
+
+void MemoryNodeService::Start() { server_->Start(); }
+
+void MemoryNodeService::Stop() { server_->Stop(); }
+
+remote::SlabAllocator* MemoryNodeService::compaction_allocator(
+    size_t chunk_size) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  auto& list = compaction_allocs_[chunk_size];
+  for (auto& a : list) {
+    if (a->allocated_chunks() < a->capacity_chunks()) return a.get();
+  }
+  // Grow: carve a fresh region out of this node's DRAM and register it so
+  // compute nodes can read the tables it will hold.
+  size_t region = chunk_size * kChunksPerRegion;
+  char* base = node_->AllocDram(region);
+  DLSM_CHECK_MSG(base != nullptr, "memory node DRAM exhausted");
+  rdma::MemoryRegion mr = fabric_->RegisterMemory(node_, base, region);
+  list.push_back(
+      std::make_unique<remote::SlabAllocator>(mr, chunk_size, node_->id()));
+  return list.back().get();
+}
+
+void MemoryNodeService::Handle(uint8_t type, const Slice& args,
+                               std::string* reply) {
+  switch (type) {
+    case remote::RpcType::kAllocFlushRegion:
+      HandleAllocFlushRegion(args, reply);
+      break;
+    case remote::RpcType::kFreeBatch:
+      HandleFreeBatch(args, reply);
+      break;
+    case remote::RpcType::kCompaction:
+      HandleCompaction(args, reply);
+      break;
+    case remote::RpcType::kStats:
+      HandleStats(reply);
+      break;
+    case remote::RpcType::kReadBlock:
+      HandleReadBlock(args, reply);
+      break;
+    default:
+      DLSM_CHECK_MSG(false, "unknown RPC type at memory node");
+  }
+}
+
+void MemoryNodeService::HandleAllocFlushRegion(const Slice& args,
+                                               std::string* reply) {
+  // args: fixed64 region_size. Hands the compute node a registered region
+  // it will manage itself (paper Sec. V-A: "one region is controlled ...
+  // by the compute node for regular MemTable flushing").
+  DLSM_CHECK(args.size() >= 8);
+  uint64_t size = DecodeFixed64(args.data());
+  char* base = node_->AllocDram(size);
+  if (base == nullptr) {
+    PutFixed64(reply, 0);  // Out of memory signalled by addr == 0.
+    PutFixed32(reply, 0);
+    return;
+  }
+  rdma::MemoryRegion mr = fabric_->RegisterMemory(node_, base, size);
+  PutFixed64(reply, mr.addr);
+  PutFixed32(reply, mr.rkey);
+}
+
+void MemoryNodeService::HandleFreeBatch(const Slice& args,
+                                        std::string* reply) {
+  // args: varint32 count, then count fixed64 addresses.
+  Slice input = args;
+  uint32_t count;
+  DLSM_CHECK(GetVarint32(&input, &count));
+  uint32_t freed = 0;
+  for (uint32_t i = 0; i < count; i++) {
+    DLSM_CHECK(input.size() >= 8);
+    uint64_t addr = DecodeFixed64(input.data());
+    input.remove_prefix(8);
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (auto& [chunk_size, list] : compaction_allocs_) {
+      bool done = false;
+      for (auto& a : list) {
+        if (a->FreeByAddr(addr).ok()) {
+          freed++;
+          done = true;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+  PutFixed32(reply, freed);
+}
+
+void MemoryNodeService::HandleCompaction(const Slice& args,
+                                         std::string* reply) {
+  CompactionTask task;
+  if (!CompactionTask::Deserialize(args, &task)) {
+    DLSM_CHECK_MSG(false, "malformed compaction task");
+  }
+  DLSM_CHECK(task.output_chunk_size >= task.target_file_size);
+
+  auto alloc_chunk = [this, &task]() {
+    return compaction_allocator(task.output_chunk_size)->Allocate();
+  };
+  auto free_chunk = [this, &task](const remote::RemoteChunk& c) {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (auto& a : compaction_allocs_[task.output_chunk_size]) {
+      if (a->FreeByAddr(c.addr).ok()) return;
+    }
+  };
+
+  CompactionResult result;
+  Status s = ExecuteCompactionTask(fabric_->env(), task, icmp_, alloc_chunk,
+                                   free_chunk, node_->id(), &result);
+  // Reply: u8 ok | payload (result or error text).
+  if (s.ok()) {
+    reply->push_back(1);
+    reply->append(result.Serialize());
+  } else {
+    reply->push_back(0);
+    reply->append(s.ToString());
+  }
+}
+
+void MemoryNodeService::HandleReadBlock(const Slice& args,
+                                        std::string* reply) {
+  // args: fixed64 addr | fixed64 len. The server-side copy out of "tmpfs"
+  // is the real cost Nova-LSM-style reads pay on the weak memory node.
+  DLSM_CHECK(args.size() >= 16);
+  uint64_t addr = DecodeFixed64(args.data());
+  uint64_t len = DecodeFixed64(args.data() + 8);
+  auto base = reinterpret_cast<uint64_t>(node_->dram_base());
+  DLSM_CHECK_MSG(addr >= base && addr + len <= base + node_->dram_size(),
+                 "read-block outside node DRAM");
+  reply->assign(reinterpret_cast<const char*>(addr), len);
+}
+
+void MemoryNodeService::HandleStats(std::string* reply) {
+  PutFixed64(reply, server_->worker_busy_ns());
+  PutFixed32(reply, static_cast<uint32_t>(workers_));
+}
+
+}  // namespace dlsm

@@ -1,0 +1,110 @@
+// MemTable: the in-memory write buffer — a lock-free skiplist of internal
+// keys (paper Secs. III, IV).
+//
+// dLSM novelty (Sec. IV): each MemTable owns a *predefined sequence-number
+// range* [seq_base, seq_limit). A writer routes its entry by sequence
+// number, so the newest version of a key can never land in an older table
+// than an older version, and the switch lock is only ever touched by the
+// writers that cross a range boundary.
+
+#ifndef DLSM_CORE_MEMTABLE_H_
+#define DLSM_CORE_MEMTABLE_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/core/dbformat.h"
+#include "src/core/iterator.h"
+#include "src/core/skiplist.h"
+#include "src/util/arena.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+
+/// Reference-counted in-memory table. Insert-only; deletions are
+/// tombstones. Add() may run concurrently from many writers.
+class MemTable {
+ public:
+  /// A table accepting sequences in [seq_base, seq_limit).
+  MemTable(const InternalKeyComparator& comparator, SequenceNumber seq_base,
+           SequenceNumber seq_limit);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+
+  SequenceNumber seq_base() const { return seq_base_; }
+  SequenceNumber seq_limit() const { return seq_limit_; }
+
+  /// True if seq routes to this table under the seq-range policy.
+  bool AcceptsSequence(SequenceNumber seq) const {
+    return seq >= seq_base_ && seq < seq_limit_;
+  }
+
+  /// Approximate memory consumed.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  /// Number of entries added.
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Adds an entry. Thread-safe (lock-free skiplist + arena).
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  /// If the table contains a visible version of key, sets *value (or
+  /// returns NotFound for a tombstone) and returns true; false if the key
+  /// is absent from this table.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+  /// Writer presence tracking: a flush must not serialize the table while
+  /// in-range writers are still inserting (stragglers with smaller
+  /// sequence numbers are legal after a switch).
+  void BeginWrite() { active_writers_.fetch_add(1, std::memory_order_acquire); }
+  void EndWrite() { active_writers_.fetch_sub(1, std::memory_order_release); }
+  int active_writers() const {
+    return active_writers_.load(std::memory_order_acquire);
+  }
+
+  /// Marks the table immutable (a newer table has been installed).
+  void MarkImmutable() { immutable_.store(true, std::memory_order_release); }
+  bool immutable() const { return immutable_.load(std::memory_order_acquire); }
+
+  /// Returns an iterator over the table's entries (internal keys).
+  /// The caller must keep a reference to the MemTable alive.
+  Iterator* NewIterator();
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable() = default;  // Private: use Unref().
+
+  KeyComparator comparator_;
+  SequenceNumber seq_base_;
+  SequenceNumber seq_limit_;
+  std::atomic<int> refs_{0};
+  std::atomic<uint64_t> num_entries_{0};
+  std::atomic<int> active_writers_{0};
+  std::atomic<bool> immutable_{false};
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_MEMTABLE_H_

@@ -1,0 +1,156 @@
+#include "src/core/merger.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+
+/// N-way merge by linear scan over children. For the child counts an LSM
+/// read path produces (one per level plus MemTables), linear beats a heap.
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const InternalKeyComparator* comparator,
+                  Iterator** children, int n)
+      : comparator_(comparator), current_(nullptr),
+        direction_(kForward) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      children_.emplace_back(children[i]);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    DLSM_CHECK(Valid());
+    if (direction_ != kForward) {
+      // All non-current children must be repositioned after key().
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    DLSM_CHECK(Valid());
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            child->Prev();
+          } else {
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    DLSM_CHECK(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    DLSM_CHECK(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare(child->key(), largest->key()) > 0) {
+          largest = child.get();
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  enum Direction { kForward, kReverse };
+
+  const InternalKeyComparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             Iterator** children, int n) {
+  DLSM_CHECK(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  } else if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace dlsm

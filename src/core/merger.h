@@ -1,0 +1,20 @@
+// Merging iterator over N sorted children, as used by range scans (the
+// paper's outer iterator over per-level sub-iterators, Sec. VI) and by
+// compaction merges.
+
+#ifndef DLSM_CORE_MERGER_H_
+#define DLSM_CORE_MERGER_H_
+
+#include "src/core/dbformat.h"
+#include "src/core/iterator.h"
+
+namespace dlsm {
+
+/// Returns an iterator yielding the union of children[0..n) in comparator
+/// order. Takes ownership of the children.
+Iterator* NewMergingIterator(const InternalKeyComparator* comparator,
+                             Iterator** children, int n);
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_MERGER_H_

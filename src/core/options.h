@@ -1,0 +1,176 @@
+// Configuration for dLSM databases. Defaults follow the paper's setup
+// (Sec. XI-B) scaled by the bench harness where noted.
+
+#ifndef DLSM_CORE_OPTIONS_H_
+#define DLSM_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/comparator.h"
+#include "src/sim/env.h"
+
+namespace dlsm {
+
+/// SSTable layout (paper Sec. VI / Fig. 13 ablation).
+enum class TableFormat {
+  /// Byte-addressable: contiguous sorted kv records + kv-granular index;
+  /// point reads fetch exactly one record.
+  kByteAddressable,
+  /// Block-based (RocksDB-style): reads fetch whole blocks.
+  kBlock,
+};
+
+/// Where compaction executes (paper Sec. V / Fig. 12 ablation).
+enum class CompactionPlacement {
+  /// Offloaded to the memory node via the customized RPC (near-data).
+  kNearData,
+  /// On the compute node: inputs pulled and outputs pushed over the wire.
+  kComputeSide,
+};
+
+/// How writes reach the MemTable.
+enum class WritePath {
+  /// dLSM: lock-free — atomic sequence allocation + lock-free skiplist.
+  kLockFree,
+  /// RocksDB-style: writers queue on a mutex and a leader commits a group
+  /// at a time (the software overhead of the ported baselines).
+  kWriterQueue,
+};
+
+/// How a full MemTable is made immutable (paper Sec. IV ablation).
+enum class MemTableSwitchPolicy {
+  /// dLSM: each MemTable owns a predefined sequence-number range; the
+  /// switch lock is touched once per range.
+  kSeqRange,
+  /// Naive double-checked locking on the size limit (the paper explains
+  /// why this mis-orders racing writers; kept for the ablation bench).
+  kDoubleCheckedSize,
+};
+
+struct Options {
+  Options() {}
+
+  /// Execution environment (never null when a DB is opened).
+  Env* env = nullptr;
+
+  const Comparator* comparator = BytewiseComparator();
+
+  // -- Write path -----------------------------------------------------------
+
+  /// MemTable byte budget. Paper default 64 MB; benches scale to 4 MB.
+  size_t memtable_size = 4 << 20;
+
+  /// Sequence numbers per MemTable under kSeqRange. 0 derives it from
+  /// memtable_size / estimated_entry_size.
+  uint64_t memtable_seq_range = 0;
+
+  /// Rough per-entry footprint used to derive the sequence range.
+  size_t estimated_entry_size = 448;
+
+  MemTableSwitchPolicy switch_policy = MemTableSwitchPolicy::kSeqRange;
+
+  WritePath write_path = WritePath::kLockFree;
+
+  /// Maximum immutable MemTables awaiting flush (paper: 16).
+  int max_immutables = 16;
+
+  /// Background flush threads on the compute node (paper: 4).
+  int flush_threads = 4;
+
+  // -- SSTables --------------------------------------------------------------
+
+  /// Target SSTable data size. Paper default 64 MB; benches scale to 4 MB.
+  size_t sstable_size = 4 << 20;
+
+  /// Remote slab chunk size; 0 derives sstable_size plus headroom for the
+  /// serialized index and bloom filter.
+  size_t sstable_slab_size = 0;
+
+  int bloom_bits_per_key = 10;
+
+  TableFormat table_format = TableFormat::kByteAddressable;
+
+  /// Block size when table_format == kBlock (8 KB RocksDB default).
+  size_t block_size = 8192;
+
+  // -- Compaction ------------------------------------------------------------
+
+  CompactionPlacement compaction_placement = CompactionPlacement::kNearData;
+
+  /// L0 file count that triggers compaction (RocksDB default 4).
+  int l0_compaction_trigger = 4;
+
+  /// L0 file count at which writers stall (paper normal mode: 36;
+  /// bulkload mode: effectively infinity).
+  int l0_stop_writes_trigger = 36;
+
+  /// Compute-side compaction coordinator threads; each drives one
+  /// (sub-)compaction RPC at a time.
+  int compaction_scheduler_threads = 4;
+
+  /// Maximum parallel sub-compactions an L0 compaction splits into
+  /// (paper: 12 subcompaction workers).
+  int max_subcompactions = 12;
+
+  /// Bytes allowed at L1 before compaction pressure; deeper levels grow by
+  /// level_size_multiplier. 0 derives 4 * sstable_size.
+  uint64_t max_bytes_for_level_base = 0;
+  double level_size_multiplier = 10.0;
+
+  int num_levels = 7;
+
+  // -- Remote memory ----------------------------------------------------------
+
+  /// Compute-controlled region for flushed SSTables.
+  size_t flush_region_size = 1ull << 31;
+
+  /// Memory-node-controlled region for near-data compaction outputs.
+  size_t compaction_region_size = 1ull << 31;
+
+  /// Registered flush staging buffer size (Sec. X-C pipeline).
+  size_t flush_buffer_size = 256 << 10;
+
+  /// Buffers per flush pipeline before the writer must recycle.
+  int flush_buffers_per_thread = 4;
+
+  /// Sequential-read prefetch granularity for scans (Sec. VI: "prefetches
+  /// large chunks of key-value pairs by sequential I/O").
+  size_t scan_prefetch_size = 2 << 20;
+
+  // -- Baseline modeling ------------------------------------------------------
+
+  /// Adds one staging-buffer copy on every remote table read and write,
+  /// modeling the file-system layer the ported baselines go through
+  /// (RDMA-FS for RocksDB-RDMA, tmpfs for Nova-LSM).
+  bool extra_io_copy = false;
+
+  /// Routes point reads through a two-sided RPC served by the memory node
+  /// (Nova-LSM's longer read path) instead of a one-sided READ.
+  bool reads_via_rpc = false;
+
+  /// When false, every table probe first fetches the table's index block
+  /// from remote memory (RocksDB-RDMA without compute-side index caching;
+  /// the paper caches indexes only for Memory-RocksDB-RDMA and dLSM).
+  bool cache_index_blocks = true;
+
+  // -- Sharding (Sec. VII) ----------------------------------------------------
+
+  /// Number of range shards (lambda); each shard is an independent LSM.
+  int shards = 1;
+};
+
+struct ReadOptions {
+  ReadOptions() {}
+  /// Read at this snapshot sequence; kMaxSequenceNumber-like default means
+  /// "latest". Filled by DB::GetSnapshot users.
+  uint64_t snapshot_sequence = ~0ull;
+};
+
+struct WriteOptions {
+  WriteOptions() {}
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_OPTIONS_H_

@@ -1,0 +1,65 @@
+// Range sharding (paper Sec. VII): the key space is divided into lambda
+// shards, each an independent LSM-tree with its own MemTables and L0, so
+// L0 compactions parallelize and readers traverse fewer overlapping
+// SSTables. Shards share the flush pool and the RPC client.
+
+#ifndef DLSM_CORE_SHARD_H_
+#define DLSM_CORE_SHARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/db.h"
+#include "src/core/db_impl.h"
+
+namespace dlsm {
+
+/// A DB facade over lambda range shards on one compute node.
+class ShardedDB : public DB {
+ public:
+  /// boundaries must be sorted and have size options.shards - 1; shard i
+  /// covers [boundaries[i-1], boundaries[i]).
+  static Status Open(const Options& options, const DbDeps& deps,
+                     std::vector<std::string> boundaries, DB** dbptr);
+
+  /// Evenly spaced boundaries for zero-padded decimal keys of the given
+  /// width (the bench harness key format).
+  static std::vector<std::string> UniformDecimalBoundaries(int shards,
+                                                           int key_width);
+
+  ~ShardedDB() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* batch) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  Status Flush() override;
+  Status WaitForBackgroundIdle() override;
+  DbStats GetStats() override;
+  int NumFilesAtLevel(int level) override;
+  Status Close() override;
+
+  int ShardForKey(const Slice& key) const;
+  DB* shard(int i) { return shards_[i].get(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  ShardedDB(const Options& options, std::vector<std::string> boundaries);
+
+  Options options_;
+  std::vector<std::string> boundaries_;
+  std::unique_ptr<ThreadPool> flush_pool_;
+  std::unique_ptr<remote::RpcClient> rpc_;
+  std::vector<std::unique_ptr<DB>> shards_;
+  bool closed_ = false;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_SHARD_H_

@@ -1,0 +1,56 @@
+// SSTable builders for the two on-remote-memory layouts (paper Sec. VI).
+//
+// Byte-addressable (dLSM): key-value records are serialized back to back —
+// no blocks, no wrapping copy — with a per-record index. Building is a pure
+// streaming serialization into the sink ("the key-value pairs are directly
+// serialized to the target buffer without waiting to form a block").
+//
+// Block (RocksDB-style, used by dLSM-Block and the ported baselines):
+// records are packed into prefix-compressed blocks with restart points; a
+// per-block index maps each block's last key to its extent.
+
+#ifndef DLSM_CORE_TABLE_BUILDER_H_
+#define DLSM_CORE_TABLE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/bloom.h"
+#include "src/core/dbformat.h"
+#include "src/core/table_index.h"
+#include "src/core/table_sink.h"
+
+namespace dlsm {
+
+/// Output of a finished table build; becomes FileMetaData fields.
+struct TableBuildResult {
+  uint64_t num_entries = 0;
+  uint64_t data_len = 0;
+  InternalKey smallest;
+  InternalKey largest;
+  std::string index_blob;  ///< Serialized TableIndex (index + bloom).
+};
+
+/// Streaming SSTable builder. Add() keys must arrive in increasing
+/// internal-key order.
+class TableBuilder {
+ public:
+  virtual ~TableBuilder() = default;
+  virtual Status Add(const Slice& internal_key, const Slice& value) = 0;
+  virtual Status Finish(TableBuildResult* result) = 0;
+  /// Data-region bytes emitted so far (for file-size cutting).
+  virtual uint64_t EstimatedSize() const = 0;
+  virtual uint64_t NumEntries() const = 0;
+};
+
+/// Byte-addressable builder.
+std::unique_ptr<TableBuilder> NewByteTableBuilder(
+    const BloomFilterPolicy* bloom, TableSink* sink);
+
+/// Block-format builder with the given block size.
+std::unique_ptr<TableBuilder> NewBlockTableBuilder(
+    const BloomFilterPolicy* bloom, TableSink* sink, size_t block_size);
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_TABLE_BUILDER_H_

@@ -1,0 +1,103 @@
+#include "src/core/table_index.h"
+
+#include "src/util/coding.h"
+
+namespace dlsm {
+
+// Serialized layout:
+//   u8 kind
+//   varint32 count
+//   count * [ varint32 key_len | key | varint64 offset | varint32 length ]
+//   varint32 filter_len | filter bytes
+
+void TableIndex::Builder::Add(const Slice& key, uint64_t offset,
+                              uint32_t length) {
+  PutVarint32(&entries_, static_cast<uint32_t>(key.size()));
+  entries_.append(key.data(), key.size());
+  PutVarint64(&entries_, offset);
+  PutVarint32(&entries_, length);
+  count_++;
+}
+
+std::string TableIndex::Builder::Finish() {
+  std::string blob;
+  blob.push_back(static_cast<char>(kind_));
+  PutVarint32(&blob, count_);
+  blob.append(entries_);
+  PutVarint32(&blob, static_cast<uint32_t>(filter_.size()));
+  blob.append(filter_);
+  return blob;
+}
+
+std::shared_ptr<TableIndex> TableIndex::Parse(std::string blob) {
+  auto index = std::shared_ptr<TableIndex>(new TableIndex());
+  index->blob_ = std::move(blob);
+  const std::string& b = index->blob_;
+  Slice input(b);
+  if (input.size() < 2) return nullptr;
+  uint8_t kind = static_cast<uint8_t>(input[0]);
+  if (kind != kPerRecord && kind != kPerBlock) return nullptr;
+  index->kind_ = static_cast<Kind>(kind);
+  input.remove_prefix(1);
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) return nullptr;
+  index->starts_.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    index->starts_.push_back(
+        static_cast<uint32_t>(input.data() - b.data()));
+    uint32_t key_len;
+    if (!GetVarint32(&input, &key_len) || input.size() < key_len) {
+      return nullptr;
+    }
+    input.remove_prefix(key_len);
+    uint64_t offset;
+    uint32_t length;
+    if (!GetVarint64(&input, &offset) || !GetVarint32(&input, &length)) {
+      return nullptr;
+    }
+  }
+  uint32_t filter_len;
+  if (!GetVarint32(&input, &filter_len) || input.size() < filter_len) {
+    return nullptr;
+  }
+  index->filter_ = Slice(input.data(), filter_len);
+  return index;
+}
+
+TableIndex::Entry TableIndex::entry(size_t i) const {
+  Entry e;
+  const char* p = blob_.data() + starts_[i];
+  const char* limit = blob_.data() + blob_.size();
+  uint32_t key_len;
+  p = GetVarint32Ptr(p, limit, &key_len);
+  e.key = Slice(p, key_len);
+  p += key_len;
+  p = GetVarint64Ptr(p, limit, &e.offset);
+  GetVarint32Ptr(p, limit, &e.length);
+  return e;
+}
+
+size_t TableIndex::Find(const InternalKeyComparator& cmp,
+                        const Slice& target) const {
+  // Binary search for the first entry with key >= target. For per-block
+  // indexes the entry key is the block's *last* key, so this lands on the
+  // first block that could contain the target — the same invariant.
+  size_t lo = 0, hi = starts_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (cmp.Compare(entry(mid).key, target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool TableIndex::KeyMayMatch(const BloomFilterPolicy& policy,
+                             const Slice& user_key) const {
+  if (filter_.empty()) return true;
+  return policy.KeyMayMatch(user_key, filter_);
+}
+
+}  // namespace dlsm

@@ -1,0 +1,79 @@
+// SSTable readers (paper Sec. VI).
+//
+// Point lookups consult the locally cached bloom filter and index; on a
+// may-match, the byte-addressable layout issues one RDMA READ of exactly
+// the record, while the block layout fetches the whole enclosing block and
+// unwraps it locally (the read-amplification dLSM eliminates).
+//
+// Range scans prefetch large contiguous chunks of the data region with
+// sequential RDMA READs ("the sub-iterators prefetch the data chunks").
+//
+// Local iterators walk a table resident in the caller's own DRAM and are
+// what near-data compaction uses on the memory node — no wire traffic.
+
+#ifndef DLSM_CORE_TABLE_READER_H_
+#define DLSM_CORE_TABLE_READER_H_
+
+#include <memory>
+
+#include "src/core/bloom.h"
+#include "src/core/dbformat.h"
+#include "src/core/file_meta.h"
+#include "src/core/iterator.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/remote/rpc.h"
+
+namespace dlsm {
+
+/// How remote table bytes reach the compute node. dLSM uses one-sided
+/// READs; the baseline models add a file-system staging copy (RDMA-FS /
+/// tmpfs ports) and, for Nova-LSM, a server-mediated two-sided read path.
+struct RemoteReadPath {
+  rdma::RdmaManager* mgr = nullptr;
+  /// When set, point-sized reads (<= rpc_limit) go through the memory
+  /// node's kReadBlock RPC: dispatcher + server memcpy + one-sided reply.
+  remote::RpcClient* rpc = nullptr;
+  size_t rpc_limit = 64 << 10;
+  /// Adds one staging-buffer copy per read (the FS layer of the ports).
+  bool extra_copy = false;
+  /// When set, table probes pay an extra remote fetch of the table's
+  /// index block before touching data (no compute-side index cache).
+  bool uncached_index = false;
+
+  /// Reads [addr, addr+len) of the remote table into dst.
+  Status Read(void* dst, uint64_t addr, uint32_t rkey, size_t len) const;
+};
+
+/// Outcome of a single-table point lookup.
+enum class TableLookupResult {
+  kNotPresent,  ///< The table holds no visible version of the key.
+  kFound,       ///< *value holds the newest visible value.
+  kDeleted,     ///< The newest visible version is a tombstone.
+};
+
+/// Point lookup in one SSTable at the snapshot encoded in lkey.
+Status TableGet(const RemoteReadPath& read_path,
+                const InternalKeyComparator& icmp,
+                const BloomFilterPolicy& bloom, const FileMetaData& file,
+                const LookupKey& lkey, TableLookupResult* result,
+                std::string* value, bool* skipped_by_bloom = nullptr);
+
+/// Remote iterator over one SSTable; file is pinned for the iterator's
+/// lifetime. prefetch_bytes governs sequential chunk fetches.
+Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
+                                 const InternalKeyComparator& icmp,
+                                 FileRef file, size_t prefetch_bytes);
+
+/// Iterator over a byte-addressable data region in local memory
+/// (self-delimiting records; no index required).
+Iterator* NewLocalByteTableIterator(const char* data, uint64_t data_len);
+
+/// Iterator over a block-format data region in local memory; needs the
+/// table's index to find block extents.
+Iterator* NewLocalBlockTableIterator(const char* data, uint64_t data_len,
+                                     std::shared_ptr<TableIndex> index,
+                                     const InternalKeyComparator& icmp);
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_TABLE_READER_H_

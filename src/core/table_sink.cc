@@ -1,0 +1,185 @@
+#include "src/core/table_sink.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+// ---------------------------------------------------------------------------
+// LocalMemorySink
+// ---------------------------------------------------------------------------
+
+LocalMemorySink::LocalMemorySink(char* dst, size_t capacity)
+    : dst_(dst), capacity_(capacity) {}
+
+Status LocalMemorySink::Append(const char* data, size_t n) {
+  if (written_ + n > capacity_) {
+    return Status::OutOfMemory("table exceeds output chunk");
+  }
+  memcpy(dst_ + written_, data, n);
+  written_ += n;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AsyncRemoteSink
+// ---------------------------------------------------------------------------
+
+AsyncRemoteSink::AsyncRemoteSink(rdma::RdmaManager* mgr,
+                                 const remote::RemoteChunk& chunk,
+                                 size_t buffer_size, int buffer_count)
+    : mgr_(mgr),
+      chunk_(chunk),
+      buffer_size_(buffer_size),
+      max_buffers_(buffer_count) {
+  qp_ = mgr_->CreateExclusiveQp();
+  // First buffer up front; the rest are allocated on demand, and reused
+  // once their transfers complete (Fig. 6 step 4).
+  auto b = std::make_unique<Buffer>();
+  b->data = mgr_->local()->AllocDram(buffer_size_);
+  DLSM_CHECK_MSG(b->data != nullptr, "compute DRAM exhausted (flush buffer)");
+  current_ = b.get();
+  all_buffers_.push_back(std::move(b));
+}
+
+AsyncRemoteSink::~AsyncRemoteSink() {
+  // Buffers are DRAM-arena allocations; nothing to unmap. Any in-flight
+  // I/O must have been finished by Finish().
+  DLSM_CHECK_MSG(in_flight_.empty(),
+                 "AsyncRemoteSink destroyed with writes in flight");
+}
+
+Status AsyncRemoteSink::ReapCompletions(bool block_for_one) {
+  rdma::QueuePair* qp = qp_;
+  rdma::Completion c;
+  if (block_for_one && !in_flight_.empty()) {
+    c = qp->WaitCompletion();
+    Buffer* head = in_flight_.front();
+    DLSM_CHECK_MSG(c.wr_id == head->wr_id,
+                   "flush completions out of FIFO order");
+    if (!c.status.ok()) status_ = c.status;
+    in_flight_.pop_front();
+    head->wr_id = 0;
+    head->fill = 0;
+    free_buffers_.push_back(head);
+  }
+  // Opportunistically reap whatever is already ready (Fig. 6: "the writer
+  // thread checks for work request completions every time it submits").
+  while (!in_flight_.empty() && qp->PollCq(&c, 1) == 1) {
+    Buffer* head = in_flight_.front();
+    DLSM_CHECK_MSG(c.wr_id == head->wr_id,
+                   "flush completions out of FIFO order");
+    if (!c.status.ok()) status_ = c.status;
+    in_flight_.pop_front();
+    head->wr_id = 0;
+    head->fill = 0;
+    free_buffers_.push_back(head);
+  }
+  return status_;
+}
+
+Status AsyncRemoteSink::FlushCurrent() {
+  if (current_->fill == 0) return status_;
+  uint64_t remote_off = written_ - current_->fill;
+  rdma::QueuePair* qp = qp_;
+  uint64_t wr = qp->PostWrite(current_->data, chunk_.addr + remote_off,
+                              chunk_.rkey, current_->fill);
+  current_->wr_id = wr;
+  in_flight_.push_back(current_);
+  current_ = nullptr;
+
+  DLSM_RETURN_NOT_OK(ReapCompletions(false));
+  if (!free_buffers_.empty()) {
+    current_ = free_buffers_.back();
+    free_buffers_.pop_back();
+    recycled_++;
+  } else if (static_cast<int>(all_buffers_.size()) < max_buffers_) {
+    auto b = std::make_unique<Buffer>();
+    b->data = mgr_->local()->AllocDram(buffer_size_);
+    DLSM_CHECK_MSG(b->data != nullptr,
+                   "compute DRAM exhausted (flush buffer)");
+    current_ = b.get();
+    all_buffers_.push_back(std::move(b));
+  } else {
+    // All buffers in flight: wait for the queue head (backpressure).
+    DLSM_RETURN_NOT_OK(ReapCompletions(true));
+    DLSM_CHECK(!free_buffers_.empty());
+    current_ = free_buffers_.back();
+    free_buffers_.pop_back();
+    recycled_++;
+  }
+  return status_;
+}
+
+Status AsyncRemoteSink::Append(const char* data, size_t n) {
+  if (written_ + n > chunk_.size) {
+    return Status::OutOfMemory("table exceeds remote chunk");
+  }
+  while (n > 0) {
+    size_t space = buffer_size_ - current_->fill;
+    size_t take = n < space ? n : space;
+    // Serialization writes directly into the registered staging buffer —
+    // no intermediate copy (Fig. 6 step 1).
+    memcpy(current_->data + current_->fill, data, take);
+    current_->fill += take;
+    written_ += take;
+    data += take;
+    n -= take;
+    if (current_->fill == buffer_size_) {
+      DLSM_RETURN_NOT_OK(FlushCurrent());
+    }
+  }
+  return status_;
+}
+
+Status AsyncRemoteSink::Finish() {
+  DLSM_RETURN_NOT_OK(FlushCurrent());
+  while (!in_flight_.empty()) {
+    DLSM_RETURN_NOT_OK(ReapCompletions(true));
+  }
+  return status_;
+}
+
+// ---------------------------------------------------------------------------
+// SyncRemoteSink
+// ---------------------------------------------------------------------------
+
+SyncRemoteSink::SyncRemoteSink(rdma::RdmaManager* mgr,
+                               const remote::RemoteChunk& chunk,
+                               size_t buffer_size)
+    : mgr_(mgr), chunk_(chunk), buffer_size_(buffer_size) {
+  buffer_.resize(buffer_size);
+}
+
+Status SyncRemoteSink::FlushCurrent() {
+  if (fill_ == 0) return Status::OK();
+  uint64_t remote_off = written_ - fill_;
+  Status s = mgr_->Write(buffer_.data(), chunk_.addr + remote_off,
+                         chunk_.rkey, fill_);
+  fill_ = 0;
+  return s;
+}
+
+Status SyncRemoteSink::Append(const char* data, size_t n) {
+  if (written_ + n > chunk_.size) {
+    return Status::OutOfMemory("table exceeds remote chunk");
+  }
+  while (n > 0) {
+    size_t space = buffer_size_ - fill_;
+    size_t take = n < space ? n : space;
+    memcpy(buffer_.data() + fill_, data, take);
+    fill_ += take;
+    written_ += take;
+    data += take;
+    n -= take;
+    if (fill_ == buffer_size_) {
+      DLSM_RETURN_NOT_OK(FlushCurrent());
+    }
+  }
+  return Status::OK();
+}
+
+Status SyncRemoteSink::Finish() { return FlushCurrent(); }
+
+}  // namespace dlsm

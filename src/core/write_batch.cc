@@ -1,0 +1,109 @@
+#include "src/core/write_batch.h"
+
+#include "src/core/memtable.h"
+#include "src/util/coding.h"
+
+namespace dlsm {
+
+namespace {
+// rep_ layout:
+//   fixed32 count
+//   records: kTypeValue varstring varstring | kTypeDeletion varstring
+constexpr size_t kHeader = 4;
+}  // namespace
+
+void WriteBatch::Clear() {
+  rep_.clear();
+  rep_.resize(kHeader, 0);
+}
+
+uint32_t WriteBatch::Count() const { return DecodeFixed32(rep_.data()); }
+
+namespace {
+void SetCount(std::string* rep, uint32_t n) { EncodeFixed32(rep->data(), n); }
+}  // namespace
+
+void WriteBatch::Put(const Slice& key, const Slice& value) {
+  SetCount(&rep_, Count() + 1);
+  rep_.push_back(static_cast<char>(kTypeValue));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, value);
+}
+
+void WriteBatch::Delete(const Slice& key) {
+  SetCount(&rep_, Count() + 1);
+  rep_.push_back(static_cast<char>(kTypeDeletion));
+  PutLengthPrefixedSlice(&rep_, key);
+}
+
+Status WriteBatch::Iterate(Handler* handler) const {
+  Slice input(rep_);
+  if (input.size() < kHeader) {
+    return Status::Corruption("malformed WriteBatch (too small)");
+  }
+  input.remove_prefix(kHeader);
+  Slice key, value;
+  uint32_t found = 0;
+  while (!input.empty()) {
+    found++;
+    char tag = input[0];
+    input.remove_prefix(1);
+    switch (static_cast<ValueType>(tag)) {
+      case kTypeValue:
+        if (GetLengthPrefixedSlice(&input, &key) &&
+            GetLengthPrefixedSlice(&input, &value)) {
+          handler->Put(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch Put");
+        }
+        break;
+      case kTypeDeletion:
+        if (GetLengthPrefixedSlice(&input, &key)) {
+          handler->Delete(key);
+        } else {
+          return Status::Corruption("bad WriteBatch Delete");
+        }
+        break;
+      default:
+        return Status::Corruption("unknown WriteBatch tag");
+    }
+  }
+  if (found != Count()) {
+    return Status::Corruption("WriteBatch has wrong count");
+  }
+  return Status::OK();
+}
+
+uint32_t WriteBatchInternal::Count(const WriteBatch* batch) {
+  return batch->Count();
+}
+
+namespace {
+
+class MemTableInserter : public WriteBatch::Handler {
+ public:
+  SequenceNumber sequence;
+  MemTable* mem;
+
+  void Put(const Slice& key, const Slice& value) override {
+    mem->Add(sequence, kTypeValue, key, value);
+    sequence++;
+  }
+  void Delete(const Slice& key) override {
+    mem->Add(sequence, kTypeDeletion, key, Slice());
+    sequence++;
+  }
+};
+
+}  // namespace
+
+Status WriteBatchInternal::InsertInto(const WriteBatch* batch,
+                                      SequenceNumber base_seq,
+                                      MemTable* mem) {
+  MemTableInserter inserter;
+  inserter.sequence = base_seq;
+  inserter.mem = mem;
+  return batch->Iterate(&inserter);
+}
+
+}  // namespace dlsm

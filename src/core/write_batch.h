@@ -1,0 +1,60 @@
+// WriteBatch: a group of updates committed atomically with consecutive
+// sequence numbers (paper Sec. II-C: "entries are first written into a
+// write batch that are committed all at once").
+
+#ifndef DLSM_CORE_WRITE_BATCH_H_
+#define DLSM_CORE_WRITE_BATCH_H_
+
+#include <string>
+
+#include "src/core/dbformat.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+
+class MemTable;
+
+/// An ordered collection of Put/Delete operations.
+class WriteBatch {
+ public:
+  WriteBatch() { Clear(); }
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  /// Number of operations in the batch.
+  uint32_t Count() const;
+
+  /// Approximate serialized size.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  /// Visitor interface for replaying a batch.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+  std::string rep_;  // [count fixed32][records...]
+};
+
+/// Internal helpers used by the DB write path.
+class WriteBatchInternal {
+ public:
+  static uint32_t Count(const WriteBatch* batch);
+
+  /// Inserts the batch into mem with sequences starting at base_seq; entry
+  /// i gets sequence base_seq + i.
+  static Status InsertInto(const WriteBatch* batch, SequenceNumber base_seq,
+                           MemTable* mem);
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_WRITE_BATCH_H_

@@ -1,0 +1,468 @@
+#include "src/rdma/fabric.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace rdma {
+
+
+namespace {
+
+/// RAII guard excluding a payload copy from virtual CPU accounting: the
+/// RNIC moves these bytes by DMA, so the posting thread must not pay for
+/// the host memcpy that physically implements the transfer.
+class DmaScope {
+ public:
+  explicit DmaScope(Env* env) : env_(env), token_(env->UncountedBegin()) {}
+  ~DmaScope() { env_->UncountedEnd(token_); }
+
+ private:
+  Env* env_;
+  uint64_t token_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+Node::Node(Fabric* fabric, Env* env, std::string name, uint32_t id,
+           int env_node, size_t dram_bytes)
+    : fabric_(fabric),
+      env_(env),
+      name_(std::move(name)),
+      id_(id),
+      env_node_(env_node),
+      dram_size_(dram_bytes),
+      dram_used_(0) {
+  // MAP_NORESERVE: physical pages materialize on first touch, so large
+  // "memory node" arenas cost only what the workload actually writes.
+  void* p = mmap(nullptr, dram_bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  DLSM_CHECK_MSG(p != MAP_FAILED, "node DRAM reservation failed");
+  dram_ = static_cast<char*>(p);
+}
+
+Node::~Node() { munmap(dram_, dram_size_); }
+
+char* Node::AllocDram(size_t n) {
+  // 64-byte aligned bump allocation.
+  size_t aligned = (n + 63) & ~static_cast<size_t>(63);
+  size_t offset = dram_used_.fetch_add(aligned, std::memory_order_relaxed);
+  if (offset + aligned > dram_size_) {
+    dram_used_.fetch_sub(aligned, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return dram_ + offset;
+}
+
+// ---------------------------------------------------------------------------
+// QueuePair
+// ---------------------------------------------------------------------------
+
+Node* QueuePair::peer_node() const { return peer_->local_; }
+
+void QueuePair::PushSendCompletion(const Completion& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_cq_.push_back(c);
+}
+
+void QueuePair::DeliverToPeer(Opcode op, const void* payload, size_t len,
+                              uint32_t imm, bool has_imm,
+                              uint64_t completion_ns) {
+  QueuePair* peer = peer_;
+  std::lock_guard<std::mutex> lock(peer->mu_);
+  Completion c;
+  c.opcode = Opcode::kRecv;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.imm = imm;
+  c.has_imm = has_imm;
+  c.completion_ns = completion_ns;
+  if (op == Opcode::kSend) {
+    // Consume the next posted receive; copy the payload into it.
+    if (peer->recv_queue_.empty()) {
+      // Receiver-not-ready. Real RC QPs would retry then error; we model an
+      // infinite SRQ by buffering into an anonymous completion with no
+      // buffer, which the RPC layer never triggers (it pre-posts receives).
+      c.status = Status::IOError("RNR: no posted receive");
+      peer->recv_cq_.push_back(c);
+      return;
+    }
+    PendingRecv r = peer->recv_queue_.front();
+    peer->recv_queue_.pop_front();
+    if (len > r.len) {
+      c.status = Status::IOError("recv buffer too small");
+    } else if (payload != nullptr) {
+      DmaScope dma(peer->local_->env());
+      memcpy(r.buf, payload, len);
+    }
+    c.wr_id = r.wr_id;
+  } else {
+    // WRITE_WITH_IMM: consumes a receive for the notification only.
+    if (!peer->recv_queue_.empty()) {
+      c.wr_id = peer->recv_queue_.front().wr_id;
+      peer->recv_queue_.pop_front();
+    }
+  }
+  peer->recv_cq_.push_back(c);
+}
+
+uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
+                             size_t len, uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kRead;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
+  uint64_t done = f->ReserveLink(peer_node(), local_, len,
+                                 f->params().read_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok()) {
+    DmaScope dma(f->env());
+    memcpy(dst, reinterpret_cast<const void*>(raddr), len);
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
+                              size_t len, uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kWrite;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
+  uint64_t done =
+      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok()) {
+    DmaScope dma(f->env());
+    memcpy(reinterpret_cast<void*>(raddr), src, len);
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
+                                     uint32_t rkey, size_t len, uint32_t imm,
+                                     uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kWriteWithImm;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status = len == 0 ? Status::OK()
+                      : f->CheckRemoteAccess(rkey, raddr, len,
+                                             peer_node()->id());
+  uint64_t done =
+      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok() && len > 0) {
+    DmaScope dma(f->env());
+    memcpy(reinterpret_cast<void*>(raddr), src, len);
+  }
+  if (c.status.ok()) {
+    DeliverToPeer(Opcode::kWriteWithImm, nullptr, len, imm, true, done);
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
+                                     uint32_t rkey, size_t len,
+                                     uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kWrite;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status =
+      f->CheckRemoteAccess(rkey, raddr, len + sizeof(uint64_t),
+                           peer_node()->id());
+  uint64_t done = f->ReserveLink(local_, peer_node(), len + sizeof(uint64_t),
+                                 f->params().write_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok()) {
+    DmaScope dma(f->env());
+    if (len > 0) {
+      memcpy(reinterpret_cast<void*>(raddr), src, len);
+    }
+    // The stamp is released last, as the RNIC writes bytes in order.
+    uint64_t stamp = done == 0 ? 1 : done;
+    __atomic_store(reinterpret_cast<uint64_t*>(raddr + len), &stamp,
+                   __ATOMIC_RELEASE);
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+uint64_t QueuePair::PostSend(const void* src, size_t len, uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kSend;
+  c.byte_len = static_cast<uint32_t>(len);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t done =
+      f->ReserveLink(local_, peer_node(), len, f->params().send_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  DeliverToPeer(Opcode::kSend, src, len, 0, false, done);
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+void QueuePair::PostRecv(void* buf, size_t len, uint64_t wr_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_queue_.push_back(PendingRecv{buf, len, wr_id});
+}
+
+uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                                 uint64_t* result, uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kFetchAdd;
+  c.byte_len = sizeof(uint64_t);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status = f->CheckRemoteAccess(rkey, raddr, sizeof(uint64_t),
+                                  peer_node()->id());
+  if (c.status.ok() && (raddr & 7) != 0) {
+    c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
+  }
+  uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
+                                 f->params().atomic_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok()) {
+    auto* target = reinterpret_cast<std::atomic<uint64_t>*>(raddr);
+    *result = target->fetch_add(add, std::memory_order_acq_rel);
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
+                                uint64_t expected, uint64_t desired,
+                                uint64_t* result, uint64_t wr_id) {
+  Fabric* f = fabric_;
+  Completion c;
+  c.opcode = Opcode::kCmpSwap;
+  c.byte_len = sizeof(uint64_t);
+  c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  c.status = f->CheckRemoteAccess(rkey, raddr, sizeof(uint64_t),
+                                  peer_node()->id());
+  if (c.status.ok() && (raddr & 7) != 0) {
+    c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
+  }
+  uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
+                                 f->params().atomic_latency_ns);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = std::max(done, last_completion_ns_);
+    last_completion_ns_ = done;
+  }
+  c.completion_ns = done;
+  if (c.status.ok()) {
+    auto* target = reinterpret_cast<std::atomic<uint64_t>*>(raddr);
+    uint64_t exp = expected;
+    target->compare_exchange_strong(exp, desired, std::memory_order_acq_rel);
+    *result = exp;  // Previous value, as ibverbs returns.
+  }
+  PushSendCompletion(c);
+  return c.wr_id;
+}
+
+int QueuePair::PollCq(Completion* out, int max_entries) {
+  uint64_t now = local_->env()->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  while (n < max_entries && !send_cq_.empty() &&
+         send_cq_.front().completion_ns <= now) {
+    out[n++] = send_cq_.front();
+    send_cq_.pop_front();
+  }
+  return n;
+}
+
+Completion QueuePair::WaitCompletion() {
+  Env* env = local_->env();
+  for (;;) {
+    uint64_t next_ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!send_cq_.empty()) {
+        next_ready = send_cq_.front().completion_ns;
+        if (next_ready <= env->NowNanos()) {
+          Completion c = send_cq_.front();
+          send_cq_.pop_front();
+          return c;
+        }
+      } else {
+        next_ready = 0;
+      }
+    }
+    if (next_ready > 0) {
+      env->AdvanceTo(next_ready);
+    } else {
+      // Nothing posted yet (or a racing poster); let others run.
+      env->YieldToOthers();
+    }
+  }
+}
+
+int QueuePair::PollRecvCq(Completion* out, int max_entries) {
+  uint64_t now = local_->env()->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  while (n < max_entries && !recv_cq_.empty() &&
+         recv_cq_.front().completion_ns <= now) {
+    out[n++] = recv_cq_.front();
+    recv_cq_.pop_front();
+  }
+  return n;
+}
+
+Completion QueuePair::WaitRecvCompletion() {
+  Env* env = local_->env();
+  for (;;) {
+    uint64_t next_ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!recv_cq_.empty()) {
+        next_ready = recv_cq_.front().completion_ns;
+        if (next_ready <= env->NowNanos()) {
+          Completion c = recv_cq_.front();
+          recv_cq_.pop_front();
+          return c;
+        }
+      } else {
+        next_ready = 0;
+      }
+    }
+    if (next_ready > 0) {
+      env->AdvanceTo(next_ready);
+    } else {
+      env->YieldToOthers();
+    }
+  }
+}
+
+bool QueuePair::HasPendingSends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !send_cq_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(Env* env, LinkParams params) : env_(env), params_(params) {}
+
+Fabric::~Fabric() = default;
+
+Node* Fabric::AddNode(const std::string& name, int cores, size_t dram_bytes) {
+  int env_node = env_->RegisterNode(name, cores);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back(
+      new Node(this, env_, name, id, env_node, dram_bytes));
+  return nodes_.back().get();
+}
+
+MemoryRegion Fabric::RegisterMemory(Node* node, void* addr, size_t len) {
+  auto a = reinterpret_cast<uint64_t>(addr);
+  auto base = reinterpret_cast<uint64_t>(node->dram_base());
+  DLSM_CHECK_MSG(a >= base && a + len <= base + node->dram_size(),
+                 "registration outside node DRAM");
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoryRegion mr;
+  mr.addr = a;
+  mr.length = len;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mr.node_id = node->id();
+  registrations_[mr.rkey] = Registration{a, len, node->id()};
+  return mr;
+}
+
+std::pair<QueuePair*, QueuePair*> Fabric::CreateQpPair(Node* a, Node* b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  qps_.emplace_back(new QueuePair(this, a));
+  QueuePair* qa = qps_.back().get();
+  qps_.emplace_back(new QueuePair(this, b));
+  QueuePair* qb = qps_.back().get();
+  qa->peer_ = qb;
+  qb->peer_ = qa;
+  return {qa, qb};
+}
+
+Status Fabric::CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,
+                                 uint32_t target_node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registrations_.find(rkey);
+  if (it == registrations_.end()) {
+    return Status::InvalidArgument("unknown rkey");
+  }
+  const Registration& r = it->second;
+  if (r.node_id != target_node) {
+    return Status::InvalidArgument("rkey belongs to a different node");
+  }
+  if (addr < r.addr || addr + len > r.addr + r.length) {
+    return Status::InvalidArgument("remote access out of registered range");
+  }
+  return Status::OK();
+}
+
+uint64_t Fabric::ReserveLink(Node* src, Node* dst, size_t len,
+                             uint64_t latency_ns) {
+  uint64_t now = env_->NowNanos();
+  uint64_t occupancy =
+      params_.per_op_overhead_ns +
+      static_cast<uint64_t>(static_cast<double>(len) / params_.BytesPerNano());
+  wire_bytes_.fetch_add(len, std::memory_order_relaxed);
+  wire_ops_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start = std::max({now, src->tx_free_, dst->rx_free_});
+  uint64_t wire_done = start + occupancy;
+  src->tx_free_ = wire_done;
+  dst->rx_free_ = wire_done;
+  return wire_done + latency_ns;
+}
+
+}  // namespace rdma
+}  // namespace dlsm

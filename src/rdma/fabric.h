@@ -1,0 +1,310 @@
+// A software RDMA fabric.
+//
+// This is the stand-in for the ibverbs stack + Mellanox EDR ConnectX-4 NIC
+// used by the paper (100 Gb/s InfiniBand, ~1.6 us one-sided latency). It
+// implements the verbs surface dLSM's RDMA manager needs:
+//
+//  * Memory registration with rkeys; remote access is validated against the
+//    registered regions (an invalid rkey/range completes with an error, as
+//    a real RNIC would).
+//  * Queue pairs with FIFO send queues and completion queues. Completions
+//    become visible when the polling thread's (virtual) clock passes the
+//    modeled completion time.
+//  * One-sided READ / WRITE / WRITE_WITH_IMM, two-sided SEND / RECV, and
+//    ATOMIC FETCH_ADD / CMP_SWAP.
+//  * A link model: each node's NIC has a transmit and a receive channel;
+//    a transfer of n payload bytes from A to B occupies both channels for
+//    n/bandwidth and completes base_latency later:
+//        start      = max(now, A.tx_free, B.rx_free)
+//        completion = start + n/bandwidth + latency(op)
+//        tx_free = rx_free = start + n/bandwidth
+//    Small transfers are therefore latency-bound and large transfers
+//    bandwidth-bound, reproducing the ~100x 64 B-vs-1 MB throughput gap the
+//    paper cites for the RDMA perf-test suite.
+//
+// Payload bytes are physically copied between the nodes' DRAM arenas at
+// post time; the RDMA contract (do not touch buffers until completion; do
+// not read remote data before being told it is there) makes this
+// indistinguishable from delayed delivery, and completion timestamps gate
+// all signalling paths.
+
+#ifndef DLSM_RDMA_FABRIC_H_
+#define DLSM_RDMA_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/env.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+namespace rdma {
+
+class Fabric;
+class QueuePair;
+
+/// Link timing parameters, defaults calibrated to the paper's EDR setup.
+struct LinkParams {
+  /// Payload bandwidth in gigabits per second.
+  double bandwidth_gbps = 100.0;
+  /// Per-verb NIC processing occupancy (caps small-message rate at
+  /// ~1/overhead ops/s even with deep pipelines, as real RNICs do).
+  uint64_t per_op_overhead_ns = 60;
+  /// Base latency per verb, nanoseconds.
+  uint64_t read_latency_ns = 1600;
+  uint64_t write_latency_ns = 1000;
+  uint64_t send_latency_ns = 2200;
+  uint64_t atomic_latency_ns = 1800;
+
+  double BytesPerNano() const { return bandwidth_gbps / 8.0; }
+};
+
+/// A machine in the cluster: a CPU core budget (enforced by SimEnv
+/// processor sharing) plus a DRAM arena that memory regions are carved
+/// from. The arena is reserved lazily (MAP_NORESERVE) so a "384 GB memory
+/// node" does not need physical RAM up front.
+class Node {
+ public:
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
+  /// The SimEnv node id; threads of this machine are started on it.
+  int env_node() const { return env_node_; }
+  Env* env() const { return env_; }
+  Fabric* fabric() const { return fabric_; }
+
+  /// Bump-allocates n bytes (64-byte aligned) of this node's DRAM.
+  /// Returns nullptr when the arena is exhausted.
+  char* AllocDram(size_t n);
+
+  char* dram_base() const { return dram_; }
+  size_t dram_size() const { return dram_size_; }
+  size_t dram_used() const { return dram_used_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Fabric;
+  Node(Fabric* fabric, Env* env, std::string name, uint32_t id, int env_node,
+       size_t dram_bytes);
+
+  Fabric* fabric_;
+  Env* env_;
+  std::string name_;
+  uint32_t id_;
+  int env_node_;
+  char* dram_;
+  size_t dram_size_;
+  std::atomic<size_t> dram_used_;
+
+  // NIC channel occupancy frontiers (virtual ns), guarded by Fabric::mu_.
+  uint64_t tx_free_ = 0;
+  uint64_t rx_free_ = 0;
+};
+
+/// A registered memory region. Remote access requires the matching rkey
+/// and must fall inside [addr, addr+length).
+struct MemoryRegion {
+  uint64_t addr = 0;
+  size_t length = 0;
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+  uint32_t node_id = 0;
+};
+
+/// Verb opcodes.
+enum class Opcode : uint8_t {
+  kRead,
+  kWrite,
+  kWriteWithImm,
+  kSend,
+  kRecv,
+  kFetchAdd,
+  kCmpSwap,
+};
+
+/// A completion queue entry.
+struct Completion {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kRead;
+  Status status;
+  uint32_t byte_len = 0;
+  uint32_t imm = 0;
+  bool has_imm = false;
+  /// Virtual time at which the operation completed on the wire.
+  uint64_t completion_ns = 0;
+};
+
+/// One endpoint of a connected queue pair. Post* calls are safe from the
+/// owning thread; the peer endpoint delivers receive-side completions
+/// through an internal lock. By convention (paper Sec. X-B) each thread
+/// owns its own QueuePair so completion polling never mixes threads.
+class QueuePair {
+ public:
+  Node* local() const { return local_; }
+  Node* peer_node() const;
+
+  /// One-sided read: remote [raddr, raddr+len) -> local dst.
+  uint64_t PostRead(void* dst, uint64_t raddr, uint32_t rkey, size_t len,
+                    uint64_t wr_id = 0);
+
+  /// One-sided write: local src -> remote [raddr, raddr+len).
+  uint64_t PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
+                     size_t len, uint64_t wr_id = 0);
+
+  /// One-sided write that also delivers a 4-byte immediate to the peer's
+  /// receive completion queue (consuming a posted receive).
+  uint64_t PostWriteWithImm(const void* src, uint64_t raddr, uint32_t rkey,
+                            size_t len, uint32_t imm, uint64_t wr_id = 0);
+
+  /// One-sided write whose last 8 bytes, at remote raddr+len, are a
+  /// nonzero "ready stamp" holding the completion time. Pollers use
+  /// ReadReadyStamp() to both detect delivery and preserve virtual-time
+  /// causality; this models the RNIC's last-byte-written-last guarantee
+  /// that one-sided polling protocols rely on.
+  uint64_t PostWriteStamped(const void* src, uint64_t raddr, uint32_t rkey,
+                            size_t len, uint64_t wr_id = 0);
+
+  /// Two-sided send to the peer's next posted receive buffer.
+  uint64_t PostSend(const void* src, size_t len, uint64_t wr_id = 0);
+
+  /// Posts a receive buffer for incoming SEND (or WRITE_WITH_IMM
+  /// notifications, which consume a receive but carry no payload here).
+  void PostRecv(void* buf, size_t len, uint64_t wr_id = 0);
+
+  /// 64-bit remote fetch-and-add; the previous value lands in *result.
+  uint64_t PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                        uint64_t* result, uint64_t wr_id = 0);
+
+  /// 64-bit remote compare-and-swap; the previous value lands in *result.
+  uint64_t PostCmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
+                       uint64_t desired, uint64_t* result, uint64_t wr_id = 0);
+
+  /// Nonblocking poll of the send/read/write/atomic completion queue.
+  /// Returns the number of completions whose time has been reached.
+  int PollCq(Completion* out, int max_entries);
+
+  /// Blocking poll: parks the thread (advancing virtual time) until at
+  /// least one completion is ready, then returns it.
+  Completion WaitCompletion();
+
+  /// Nonblocking poll of the receive completion queue (SEND arrivals and
+  /// WRITE_WITH_IMM notifications).
+  int PollRecvCq(Completion* out, int max_entries);
+
+  /// Blocking receive-side poll.
+  Completion WaitRecvCompletion();
+
+  /// True if any send-side completion is pending (ready or not).
+  bool HasPendingSends() const;
+
+  /// Reads a ready stamp written by PostWriteStamped: 0 means not yet
+  /// delivered, otherwise the completion time to AdvanceTo().
+  static uint64_t ReadReadyStamp(const void* stamp_addr) {
+    uint64_t v;
+    __atomic_load(reinterpret_cast<const uint64_t*>(stamp_addr), &v,
+                  __ATOMIC_ACQUIRE);
+    return v;
+  }
+
+ private:
+  friend class Fabric;
+  QueuePair(Fabric* fabric, Node* local) : fabric_(fabric), local_(local) {}
+
+  struct PendingRecv {
+    void* buf;
+    size_t len;
+    uint64_t wr_id;
+  };
+
+  void PushSendCompletion(const Completion& c);
+  void DeliverToPeer(Opcode op, const void* payload, size_t len, uint32_t imm,
+                     bool has_imm, uint64_t completion_ns);
+
+  Fabric* fabric_;
+  Node* local_;
+  QueuePair* peer_ = nullptr;
+
+  mutable std::mutex mu_;  // Guards the queues; never held across Env calls.
+  std::deque<Completion> send_cq_;
+  std::deque<Completion> recv_cq_;
+  std::deque<PendingRecv> recv_queue_;
+  uint64_t last_completion_ns_ = 0;  // Enforces per-QP FIFO completion order.
+  uint64_t auto_wr_id_ = 1;
+};
+
+/// The fabric: owns nodes, registrations, link timing and QP wiring.
+class Fabric {
+ public:
+  explicit Fabric(Env* env, LinkParams params = LinkParams());
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Env* env() const { return env_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Adds a machine with the given core budget and DRAM arena size.
+  Node* AddNode(const std::string& name, int cores, size_t dram_bytes);
+
+  Node* node(uint32_t id) const { return nodes_[id].get(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Registers [addr, addr+len) of node's DRAM for remote access,
+  /// modeling ibv_reg_mr. The region must lie inside the node's arena.
+  MemoryRegion RegisterMemory(Node* node, void* addr, size_t len);
+
+  /// Creates a connected queue pair between two nodes; returns the two
+  /// endpoints. Endpoints are owned by the fabric.
+  std::pair<QueuePair*, QueuePair*> CreateQpPair(Node* a, Node* b);
+
+  /// Validates a remote access against the registration table.
+  Status CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,
+                           uint32_t target_node) const;
+
+  /// Total bytes moved over the wire so far (for data-movement reports).
+  uint64_t wire_bytes() const {
+    return wire_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Total verbs executed so far.
+  uint64_t wire_ops() const {
+    return wire_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class QueuePair;
+
+  struct Registration {
+    uint64_t addr;
+    size_t length;
+    uint32_t node_id;
+  };
+
+  /// Reserves the link for a transfer of len bytes from src to dst at
+  /// (virtual) time now; returns the wire completion time.
+  uint64_t ReserveLink(Node* src, Node* dst, size_t len, uint64_t latency_ns);
+
+  Env* env_;
+  LinkParams params_;
+  mutable std::mutex mu_;  // Guards nodes' link state and registrations.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::unordered_map<uint32_t, Registration> registrations_;
+  uint32_t next_key_ = 0x1000;
+  std::atomic<uint64_t> wire_bytes_{0};
+  std::atomic<uint64_t> wire_ops_{0};
+};
+
+}  // namespace rdma
+}  // namespace dlsm
+
+#endif  // DLSM_RDMA_FABRIC_H_

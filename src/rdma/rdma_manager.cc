@@ -1,0 +1,89 @@
+#include "src/rdma/rdma_manager.h"
+
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace rdma {
+
+namespace {
+// Thread-local QP cache keyed by manager instance id (not pointer, to be
+// safe against allocator address reuse across manager lifetimes).
+thread_local std::unordered_map<uint64_t, QueuePair*> tls_qps;
+}  // namespace
+
+std::atomic<uint64_t> RdmaManager::next_instance_id_{1};
+
+RdmaManager::RdmaManager(Fabric* fabric, Node* local, Node* remote)
+    : fabric_(fabric),
+      local_(local),
+      remote_(remote),
+      instance_id_(next_instance_id_.fetch_add(1)) {}
+
+RdmaManager::~RdmaManager() = default;
+
+QueuePair* RdmaManager::ThreadQp() {
+  auto it = tls_qps.find(instance_id_);
+  if (it != tls_qps.end()) {
+    return it->second;
+  }
+  auto [local_qp, remote_qp] = fabric_->CreateQpPair(local_, remote_);
+  (void)remote_qp;  // The passive side; one-sided verbs need no peer logic.
+  tls_qps[instance_id_] = local_qp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned_qps_.push_back(local_qp);
+  }
+  return local_qp;
+}
+
+QueuePair* RdmaManager::CreateExclusiveQp() {
+  auto [local_qp, remote_qp] = fabric_->CreateQpPair(local_, remote_);
+  (void)remote_qp;
+  return local_qp;
+}
+
+Status RdmaManager::WaitForWr(QueuePair* qp, uint64_t wr_id) {
+  for (;;) {
+    Completion c = qp->WaitCompletion();
+    if (c.wr_id == wr_id) {
+      return c.status;
+    }
+    // A completion for an earlier async post on this thread's QP; the
+    // synchronous wrappers are only used on QPs without outstanding async
+    // work, so this indicates a protocol bug.
+    DLSM_CHECK_MSG(false, "unexpected completion while waiting synchronously");
+  }
+}
+
+Status RdmaManager::Read(void* dst, uint64_t raddr, uint32_t rkey,
+                         size_t len) {
+  QueuePair* qp = ThreadQp();
+  uint64_t wr = qp->PostRead(dst, raddr, rkey, len);
+  return WaitForWr(qp, wr);
+}
+
+Status RdmaManager::Write(const void* src, uint64_t raddr, uint32_t rkey,
+                          size_t len) {
+  QueuePair* qp = ThreadQp();
+  uint64_t wr = qp->PostWrite(src, raddr, rkey, len);
+  return WaitForWr(qp, wr);
+}
+
+Status RdmaManager::FetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                             uint64_t* prev) {
+  QueuePair* qp = ThreadQp();
+  uint64_t wr = qp->PostFetchAdd(raddr, rkey, add, prev);
+  return WaitForWr(qp, wr);
+}
+
+Status RdmaManager::CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
+                            uint64_t desired, uint64_t* prev) {
+  QueuePair* qp = ThreadQp();
+  uint64_t wr = qp->PostCmpSwap(raddr, rkey, expected, desired, prev);
+  return WaitForWr(qp, wr);
+}
+
+}  // namespace rdma
+}  // namespace dlsm

@@ -1,0 +1,76 @@
+// RdmaManager: the intermediate layer between engine code and the verbs
+// fabric (paper Sec. X-B). It owns the connection between one local node
+// and one remote node, hands out thread-local queue pairs (so completion
+// polling never mixes threads), and provides synchronous one-sided
+// wrappers that block in virtual time until the wire completion.
+
+#ifndef DLSM_RDMA_RDMA_MANAGER_H_
+#define DLSM_RDMA_RDMA_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+namespace rdma {
+
+/// Per-(local node, remote node) RDMA connection manager. Thread-safe;
+/// each calling thread transparently gets its own queue pair.
+class RdmaManager {
+ public:
+  RdmaManager(Fabric* fabric, Node* local, Node* remote);
+  ~RdmaManager();
+
+  RdmaManager(const RdmaManager&) = delete;
+  RdmaManager& operator=(const RdmaManager&) = delete;
+
+  Fabric* fabric() const { return fabric_; }
+  Node* local() const { return local_; }
+  Node* remote() const { return remote_; }
+  Env* env() const { return fabric_->env(); }
+
+  /// Returns the calling thread's queue pair to the remote node, creating
+  /// it on first use (paper: "every thread creates a thread-local queue
+  /// pair ... so threads do not collide when polling completions").
+  QueuePair* ThreadQp();
+
+  /// Creates a queue pair for a single owner with outstanding asynchronous
+  /// work (e.g. the flush pipeline), so its completions never interleave
+  /// with the thread's synchronous verbs on ThreadQp().
+  QueuePair* CreateExclusiveQp();
+
+  /// Synchronous one-sided read; blocks until the wire completion.
+  Status Read(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
+
+  /// Synchronous one-sided write; blocks until the wire completion.
+  Status Write(const void* src, uint64_t raddr, uint32_t rkey, size_t len);
+
+  /// Synchronous remote fetch-and-add of an 8-byte counter.
+  Status FetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                  uint64_t* prev);
+
+  /// Synchronous remote compare-and-swap; *prev receives the old value.
+  Status CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
+                 uint64_t desired, uint64_t* prev);
+
+ private:
+  Status WaitForWr(QueuePair* qp, uint64_t wr_id);
+
+  Fabric* fabric_;
+  Node* local_;
+  Node* remote_;
+  uint64_t instance_id_;
+  std::mutex mu_;
+  std::vector<QueuePair*> owned_qps_;  // For diagnostics only; fabric owns.
+
+  static std::atomic<uint64_t> next_instance_id_;
+};
+
+}  // namespace rdma
+}  // namespace dlsm
+
+#endif  // DLSM_RDMA_RDMA_MANAGER_H_

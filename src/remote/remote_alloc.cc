@@ -1,0 +1,58 @@
+#include "src/remote/remote_alloc.h"
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace remote {
+
+SlabAllocator::SlabAllocator(const rdma::MemoryRegion& region,
+                             size_t chunk_size, uint32_t owner_node)
+    : region_(region), chunk_size_(chunk_size), owner_node_(owner_node) {
+  DLSM_CHECK(chunk_size > 0);
+  capacity_chunks_ = region.length / chunk_size;
+}
+
+RemoteChunk SlabAllocator::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t addr = 0;
+  if (!free_list_.empty()) {
+    addr = free_list_.back();
+    free_list_.pop_back();
+  } else if (bump_next_ < capacity_chunks_) {
+    addr = region_.addr + bump_next_ * chunk_size_;
+    bump_next_++;
+  } else {
+    return RemoteChunk{};
+  }
+  allocated_++;
+  RemoteChunk chunk;
+  chunk.addr = addr;
+  chunk.size = chunk_size_;
+  chunk.rkey = region_.rkey;
+  chunk.owner_node = owner_node_;
+  return chunk;
+}
+
+void SlabAllocator::Free(const RemoteChunk& chunk) {
+  Status s = FreeByAddr(chunk.addr);
+  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+Status SlabAllocator::FreeByAddr(uint64_t addr) {
+  if (addr < region_.addr || addr >= region_.addr + region_.length ||
+      (addr - region_.addr) % chunk_size_ != 0) {
+    return Status::InvalidArgument("free of address not from this slab");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  allocated_--;
+  free_list_.push_back(addr);
+  return Status::OK();
+}
+
+size_t SlabAllocator::allocated_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_;
+}
+
+}  // namespace remote
+}  // namespace dlsm

@@ -1,0 +1,83 @@
+// Remote memory management (paper Sec. V-A/V-B).
+//
+// The memory node's DRAM is split into two disjoint regions:
+//   * the *flush region*, controlled (allocated/freed) by the compute node
+//     so MemTable flushes need no allocation round trips, and
+//   * the *compaction region*, controlled by the memory node itself so
+//     near-data compaction can allocate output tables locally.
+//
+// Both sides use the same slab allocator over their region. Allocations
+// are tagged with the allocating node's id; the garbage collector frees
+// local-origin chunks directly and batches remote-origin chunks into a
+// free-batch RPC (see rpc.h).
+
+#ifndef DLSM_REMOTE_REMOTE_ALLOC_H_
+#define DLSM_REMOTE_REMOTE_ALLOC_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+namespace remote {
+
+/// A chunk of remote memory handed out by a SlabAllocator.
+struct RemoteChunk {
+  uint64_t addr = 0;   ///< Address in the owning node's DRAM.
+  size_t size = 0;     ///< Usable bytes.
+  uint32_t rkey = 0;   ///< Remote key of the enclosing region.
+  uint32_t owner_node = 0;  ///< Node id that performed the allocation.
+
+  bool valid() const { return addr != 0; }
+};
+
+/// Fixed-size slab allocator over one registered memory region.
+///
+/// Thread-safe. The region is divided into size-class slabs; Allocate
+/// rounds the request up to the nearest class. Fixed classes keep
+/// fragmentation bounded and make free-batching trivial, which matches the
+/// fixed SSTable file sizes of the LSM design.
+class SlabAllocator {
+ public:
+  /// Manages [region.addr, region.addr+region.length) of the region's
+  /// node. chunk_size is the single size class served.
+  SlabAllocator(const rdma::MemoryRegion& region, size_t chunk_size,
+                uint32_t owner_node);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  /// Allocates one chunk; returns an invalid chunk when exhausted.
+  RemoteChunk Allocate();
+
+  /// Returns a chunk to the free list. The chunk must originate here.
+  void Free(const RemoteChunk& chunk);
+
+  /// Frees by address (used by the free-batch RPC handler).
+  Status FreeByAddr(uint64_t addr);
+
+  size_t chunk_size() const { return chunk_size_; }
+  size_t capacity_chunks() const { return capacity_chunks_; }
+  size_t allocated_chunks() const;
+  uint32_t rkey() const { return region_.rkey; }
+  uint64_t base() const { return region_.addr; }
+  size_t region_size() const { return region_.length; }
+
+ private:
+  rdma::MemoryRegion region_;
+  size_t chunk_size_;
+  uint32_t owner_node_;
+  size_t capacity_chunks_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> free_list_;
+  size_t bump_next_ = 0;  // Next never-allocated chunk index.
+  size_t allocated_ = 0;
+};
+
+}  // namespace remote
+}  // namespace dlsm
+
+#endif  // DLSM_REMOTE_REMOTE_ALLOC_H_

@@ -1,0 +1,460 @@
+#include "src/remote/rpc.h"
+
+#include <cstring>
+
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace remote {
+
+namespace {
+
+// Request wire format (fits the 256-byte channel receive buffers):
+//   u8  type
+//   u8  wake
+//   u32 id
+//   u64 reply_addr
+//   u32 reply_rkey
+//   u32 reply_cap
+//   u64 args_addr   (0 => args are inline)
+//   u32 args_rkey
+//   u32 args_len
+//   u32 inline_len
+//   [inline bytes]
+constexpr size_t kRequestBufSize = 256;
+constexpr size_t kRequestHeader = 1 + 1 + 4 + 8 + 4 + 4 + 8 + 4 + 4 + 4;
+constexpr size_t kMaxInlineArgs = kRequestBufSize - kRequestHeader;
+// Generous receive depth: many shards share one channel, and the
+// dispatcher may be in its idle backoff when a burst of requests lands.
+constexpr int kRecvSlots = 4096;
+// Reply buffers hold near-data compaction results (per-output index +
+// bloom blobs), which can run to megabytes for wide L0 merges. The pages
+// are MAP_NORESERVE-backed, so unused capacity costs nothing.
+constexpr size_t kReplyBufSize = 8 * 1024 * 1024;
+constexpr size_t kArgsBufSize = 1024 * 1024;
+
+struct Request {
+  uint8_t type = 0;
+  bool wake = false;
+  uint32_t id = 0;
+  uint64_t reply_addr = 0;
+  uint32_t reply_rkey = 0;
+  uint32_t reply_cap = 0;
+  uint64_t args_addr = 0;
+  uint32_t args_rkey = 0;
+  uint32_t args_len = 0;
+  std::string inline_args;
+};
+
+size_t EncodeRequest(const Request& r, char* dst) {
+  char* p = dst;
+  *p++ = static_cast<char>(r.type);
+  *p++ = r.wake ? 1 : 0;
+  EncodeFixed32(p, r.id);
+  p += 4;
+  EncodeFixed64(p, r.reply_addr);
+  p += 8;
+  EncodeFixed32(p, r.reply_rkey);
+  p += 4;
+  EncodeFixed32(p, r.reply_cap);
+  p += 4;
+  EncodeFixed64(p, r.args_addr);
+  p += 8;
+  EncodeFixed32(p, r.args_rkey);
+  p += 4;
+  EncodeFixed32(p, r.args_len);
+  p += 4;
+  EncodeFixed32(p, static_cast<uint32_t>(r.inline_args.size()));
+  p += 4;
+  memcpy(p, r.inline_args.data(), r.inline_args.size());
+  p += r.inline_args.size();
+  return p - dst;
+}
+
+bool DecodeRequest(const char* src, size_t len, Request* r) {
+  if (len < kRequestHeader) return false;
+  const char* p = src;
+  r->type = static_cast<uint8_t>(*p++);
+  r->wake = (*p++ != 0);
+  r->id = DecodeFixed32(p);
+  p += 4;
+  r->reply_addr = DecodeFixed64(p);
+  p += 8;
+  r->reply_rkey = DecodeFixed32(p);
+  p += 4;
+  r->reply_cap = DecodeFixed32(p);
+  p += 4;
+  r->args_addr = DecodeFixed64(p);
+  p += 8;
+  r->args_rkey = DecodeFixed32(p);
+  p += 4;
+  r->args_len = DecodeFixed32(p);
+  p += 4;
+  uint32_t inline_len = DecodeFixed32(p);
+  p += 4;
+  if (kRequestHeader + inline_len > len) return false;
+  r->inline_args.assign(p, inline_len);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+std::atomic<uint64_t> RpcClient::next_instance_id_{1};
+
+/// Per-thread registered reply and argument staging buffers.
+struct RpcClient::ThreadBuffers {
+  char* reply = nullptr;
+  rdma::MemoryRegion reply_mr;
+  char* args = nullptr;
+  rdma::MemoryRegion args_mr;
+
+  uint64_t stamp_addr() const {
+    return reply_mr.addr + kReplyBufSize - sizeof(uint64_t);
+  }
+};
+
+namespace {
+thread_local std::unordered_map<uint64_t, RpcClient::ThreadBuffers*>
+    tls_client_bufs;
+}  // namespace
+
+RpcClient::RpcClient(rdma::Fabric* fabric, rdma::Node* client_node,
+                     RpcServer* server)
+    : fabric_(fabric),
+      client_node_(client_node),
+      server_(server),
+      instance_id_(next_instance_id_.fetch_add(1)),
+      wait_mu_(fabric->env()) {
+  RpcServer::Channel* ch = server_->RegisterClient(client_node_);
+  channel_ep_ = ch->client_ep;
+  // Pre-post receive slots for WRITE_WITH_IMM wakeups (notification only,
+  // no payload, but each consumes a posted receive).
+  for (int i = 0; i < kRecvSlots; i++) {
+    notify_bufs_.emplace_back(new char[8]);
+    channel_ep_->PostRecv(notify_bufs_.back().get(), 8, i + 1);
+  }
+  notifier_ = fabric_->env()->StartThread(
+      client_node_->env_node(), "rpc-notifier", [this] { NotifierLoop(); });
+}
+
+RpcClient::~RpcClient() {
+  stop_.store(true);
+  fabric_->env()->Join(notifier_);
+}
+
+RpcClient::ThreadBuffers* RpcClient::GetThreadBuffers() {
+  auto it = tls_client_bufs.find(instance_id_);
+  if (it != tls_client_bufs.end()) return it->second;
+  auto bufs = std::make_unique<ThreadBuffers>();
+  bufs->reply = client_node_->AllocDram(kReplyBufSize);
+  DLSM_CHECK_MSG(bufs->reply != nullptr, "client DRAM exhausted");
+  bufs->reply_mr =
+      fabric_->RegisterMemory(client_node_, bufs->reply, kReplyBufSize);
+  bufs->args = client_node_->AllocDram(kArgsBufSize);
+  DLSM_CHECK_MSG(bufs->args != nullptr, "client DRAM exhausted");
+  bufs->args_mr =
+      fabric_->RegisterMemory(client_node_, bufs->args, kArgsBufSize);
+  ThreadBuffers* raw = bufs.get();
+  tls_client_bufs[instance_id_] = raw;
+  std::lock_guard<std::mutex> lock(bufs_mu_);
+  all_bufs_.push_back(std::move(bufs));
+  return raw;
+}
+
+Status RpcClient::SendRequest(uint8_t type, const Slice& args, bool wake,
+                              uint32_t id, ThreadBuffers* bufs) {
+  Request r;
+  r.type = type;
+  r.wake = wake;
+  r.id = id;
+  r.reply_addr = bufs->reply_mr.addr;
+  r.reply_rkey = bufs->reply_mr.rkey;
+  r.reply_cap = kReplyBufSize;
+  if (args.size() <= kMaxInlineArgs && !wake) {
+    r.inline_args = args.ToString();
+  } else {
+    if (args.size() > kArgsBufSize) {
+      return Status::InvalidArgument("RPC args exceed staging buffer");
+    }
+    memcpy(bufs->args, args.data(), args.size());
+    r.args_addr = bufs->args_mr.addr;
+    r.args_rkey = bufs->args_mr.rkey;
+    r.args_len = static_cast<uint32_t>(args.size());
+  }
+
+  // Zero the ready stamp before the responder can write it.
+  uint64_t zero = 0;
+  __atomic_store(reinterpret_cast<uint64_t*>(bufs->stamp_addr()), &zero,
+                 __ATOMIC_RELEASE);
+
+  char req[kRequestBufSize];
+  size_t n = EncodeRequest(r, req);
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    channel_ep_->PostSend(req, n);
+    // Drain ready send completions so the CQ does not grow unboundedly.
+    rdma::Completion scratch[8];
+    channel_ep_->PollCq(scratch, 8);
+  }
+  return Status::OK();
+}
+
+Status RpcClient::ParseReply(ThreadBuffers* bufs, std::string* reply) {
+  uint32_t len = DecodeFixed32(bufs->reply);
+  if (len + 4 > kReplyBufSize - sizeof(uint64_t)) {
+    return Status::Corruption("oversized RPC reply");
+  }
+  reply->assign(bufs->reply + 4, len);
+  return Status::OK();
+}
+
+Status RpcClient::Call(uint8_t type, const Slice& args, std::string* reply) {
+  Env* env = fabric_->env();
+  ThreadBuffers* bufs = GetThreadBuffers();
+  DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/false, 0, bufs));
+  // Poll the ready stamp; the stamp value is the delivery time, which we
+  // adopt to preserve virtual-time causality.
+  const void* stamp = reinterpret_cast<const void*>(bufs->stamp_addr());
+  uint64_t t;
+  while ((t = rdma::QueuePair::ReadReadyStamp(stamp)) == 0) {
+    env->YieldToOthers();
+  }
+  env->AdvanceTo(t);
+  return ParseReply(bufs, reply);
+}
+
+Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
+                                 std::string* reply) {
+  Env* env = fabric_->env();
+  ThreadBuffers* bufs = GetThreadBuffers();
+  uint32_t id = next_id_.fetch_add(1);
+
+  CondVar cv(env, &wait_mu_);
+  Waiter waiter;
+  waiter.cv = &cv;
+  {
+    MutexLock l(&wait_mu_);
+    waiters_[id] = &waiter;
+  }
+  DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/true, id, bufs));
+  {
+    // Sleep until the notifier sees our WRITE_WITH_IMM (paper: "attaches a
+    // 4-byte number as the unique ID ... and goes to sleep").
+    MutexLock l(&wait_mu_);
+    while (!waiter.fired) {
+      cv.Wait();
+    }
+    waiters_.erase(id);
+  }
+  // The payload write carries the ready stamp; adopt its delivery time.
+  const void* stamp = reinterpret_cast<const void*>(bufs->stamp_addr());
+  uint64_t t = rdma::QueuePair::ReadReadyStamp(stamp);
+  if (t == 0) {
+    return Status::Corruption("wakeup before reply payload");
+  }
+  env->AdvanceTo(t);
+  return ParseReply(bufs, reply);
+}
+
+void RpcClient::NotifierLoop() {
+  Env* env = fabric_->env();
+  rdma::Completion c;
+  uint64_t idle_backoff_ns = 1000;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    while (channel_ep_->PollRecvCq(&c, 1) == 1) {
+      any = true;
+      // Re-post the consumed receive slot.
+      if (c.wr_id >= 1 && c.wr_id <= notify_bufs_.size()) {
+        channel_ep_->PostRecv(notify_bufs_[c.wr_id - 1].get(), 8, c.wr_id);
+      }
+      if (!c.has_imm) continue;
+      MutexLock l(&wait_mu_);
+      auto it = waiters_.find(c.imm);
+      if (it != waiters_.end()) {
+        it->second->fired = true;
+        it->second->cv->Signal();
+      }
+    }
+    if (!any) {
+      // Adaptive poll backoff: stays hot under load, cheap when idle.
+      env->SleepNanos(idle_backoff_ns);
+      if (idle_backoff_ns < 100000) idle_backoff_ns *= 2;
+    } else {
+      idle_backoff_ns = 1000;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+// ---------------------------------------------------------------------------
+
+RpcServer::RpcServer(rdma::Fabric* fabric, rdma::Node* server_node,
+                     int worker_threads)
+    : fabric_(fabric),
+      server_node_(server_node),
+      worker_threads_(worker_threads) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Start() {
+  DLSM_CHECK(!started_);
+  started_ = true;
+  pool_ = std::make_unique<ThreadPool>(fabric_->env(),
+                                       server_node_->env_node(),
+                                       worker_threads_, "compaction-worker");
+  dispatcher_ = fabric_->env()->StartThread(
+      server_node_->env_node(), "rpc-dispatcher", [this] { DispatcherLoop(); });
+}
+
+void RpcServer::Stop() {
+  if (!started_ || stop_.load()) return;
+  stop_.store(true);
+  fabric_->env()->Join(dispatcher_);
+  pool_.reset();  // Drains and joins workers.
+}
+
+RpcServer::Channel* RpcServer::RegisterClient(rdma::Node* client_node) {
+  auto ch = std::make_unique<Channel>();
+  ch->client_node = client_node;
+  auto [client_ep, server_ep] = fabric_->CreateQpPair(client_node,
+                                                      server_node_);
+  ch->client_ep = client_ep;
+  ch->server_ep = server_ep;
+  ch->to_client = std::make_unique<rdma::RdmaManager>(fabric_, server_node_,
+                                                      client_node);
+  for (int i = 0; i < kRecvSlots; i++) {
+    ch->recv_bufs.emplace_back(new char[kRequestBufSize]);
+    ch->server_ep->PostRecv(ch->recv_bufs.back().get(), kRequestBufSize,
+                            i + 1);
+  }
+  Channel* raw = ch.get();
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  channels_.push_back(std::move(ch));
+  return raw;
+}
+
+void RpcServer::DispatcherLoop() {
+  Env* env = fabric_->env();
+  rdma::Completion c;
+  uint64_t idle_backoff_ns = 500;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    size_t nchannels;
+    {
+      std::lock_guard<std::mutex> lock(channels_mu_);
+      nchannels = channels_.size();
+    }
+    for (size_t i = 0; i < nchannels; i++) {
+      Channel* ch;
+      {
+        std::lock_guard<std::mutex> lock(channels_mu_);
+        ch = channels_[i].get();
+      }
+      while (ch->server_ep->PollRecvCq(&c, 1) == 1) {
+        any = true;
+        if (!c.status.ok()) {
+          DLSM_CHECK_MSG(false, c.status.ToString().c_str());
+        }
+        size_t slot = c.wr_id;
+        ProcessRequest(ch, ch->recv_bufs[slot - 1].get(), c.byte_len);
+        ch->server_ep->PostRecv(ch->recv_bufs[slot - 1].get(),
+                                kRequestBufSize, slot);
+      }
+    }
+    if (!any) {
+      env->SleepNanos(idle_backoff_ns);
+      if (idle_backoff_ns < 20000) idle_backoff_ns *= 2;
+    } else {
+      idle_backoff_ns = 500;
+    }
+  }
+}
+
+void RpcServer::ProcessRequest(Channel* ch, const char* req, size_t len) {
+  Request r;
+  if (!DecodeRequest(req, len, &r)) {
+    DLSM_CHECK_MSG(false, "malformed RPC request");
+  }
+
+  // Fetch the arguments: inline, or pulled from the requester's registered
+  // buffer with an RDMA READ (paper: "the remote memory node gets the
+  // required compaction metadata from the compute node via an RDMA read").
+  std::string args;
+  if (r.args_addr != 0) {
+    args.resize(r.args_len);
+    Status s = ch->to_client->Read(args.data(), r.args_addr, r.args_rkey,
+                                   r.args_len);
+    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+  } else {
+    args = std::move(r.inline_args);
+  }
+
+  if (r.wake) {
+    // Long-running request: hand off to the worker pool.
+    pool_->Submit([this, ch, type = r.type, args = std::move(args),
+                   reply_addr = r.reply_addr, reply_rkey = r.reply_rkey,
+                   reply_cap = r.reply_cap, id = r.id]() mutable {
+      ExecuteAndReply(ch, type, std::move(args), reply_addr, reply_rkey,
+                      reply_cap, /*wake=*/true, id);
+    });
+  } else {
+    ExecuteAndReply(ch, r.type, std::move(args), r.reply_addr, r.reply_rkey,
+                    r.reply_cap, /*wake=*/false, r.id);
+  }
+}
+
+void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
+                                uint64_t reply_addr, uint32_t reply_rkey,
+                                uint32_t reply_cap, bool wake, uint32_t id) {
+  Env* env = fabric_->env();
+  uint64_t start = env->NowNanos();
+  std::string reply;
+  if (type == RpcType::kPing) {
+    reply = args;  // Echo.
+  } else {
+    DLSM_CHECK_MSG(handler_ != nullptr, "no RPC handler installed");
+    handler_(type, Slice(args), &reply);
+  }
+  worker_busy_ns_.fetch_add(env->NowNanos() - start,
+                            std::memory_order_relaxed);
+
+  // Reply: [u32 len][payload], then the ready stamp at reply_cap-8, all via
+  // one-sided writes on this thread's own QP (bypassing dispatchers).
+  DLSM_CHECK_MSG(reply.size() + 4 + sizeof(uint64_t) <= reply_cap,
+                 "RPC reply exceeds requester buffer");
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(reply.size()));
+  framed.append(reply);
+  rdma::QueuePair* qp = ch->to_client->ThreadQp();
+  uint64_t wr1 = qp->PostWrite(framed.data(), reply_addr, reply_rkey,
+                               framed.size());
+  // Zero-length stamped write: releases only the 8-byte ready stamp.
+  uint64_t wr2 = qp->PostWriteStamped(
+      nullptr, reply_addr + reply_cap - sizeof(uint64_t), reply_rkey, 0);
+  (void)wr1;
+  // Consume both completions (this thread's QP; ordering is FIFO).
+  rdma::Completion c = qp->WaitCompletion();
+  DLSM_CHECK_MSG(c.status.ok(), c.status.ToString().c_str());
+  c = qp->WaitCompletion();
+  DLSM_CHECK_MSG(c.status.ok(), c.status.ToString().c_str());
+  DLSM_CHECK(c.wr_id == wr2);
+
+  if (wake) {
+    // Wake the sleeping requester through the channel QP so the client's
+    // notifier sees the immediate.
+    std::lock_guard<std::mutex> lock(ch->wake_mu_);
+    ch->server_ep->PostWriteWithImm(nullptr, 0, 0, 0, id);
+    rdma::Completion scratch[8];
+    ch->server_ep->PollCq(scratch, 8);
+  }
+}
+
+}  // namespace remote
+}  // namespace dlsm

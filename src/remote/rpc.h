@@ -1,0 +1,187 @@
+// RPC over the RDMA fabric (paper Sec. X-D).
+//
+// Two flavours, as in the paper:
+//
+//  * General-purpose RPC: the requester attaches the address/rkey of a
+//    registered reply buffer to a small SEND; the responder executes the
+//    handler and returns the result with a one-sided WRITE, bypassing any
+//    dispatcher on the requester side. The requester polls a ready flag at
+//    the end of the reply buffer.
+//
+//  * Customized near-data-compaction RPC: compaction runs long and carries
+//    large arguments, so (a) the requester sleeps on a condition variable
+//    and is woken by a WRITE_WITH_IMM carrying its request id (a thread
+//    notifier polls the channel and wakes the right thread), and (b) the
+//    argument blob is not inlined: the responder pulls it from the
+//    requester's registered argument buffer with an RDMA READ.
+//
+// Requests travel over a per-client-node channel queue pair; replies,
+// argument reads and wakeups use the worker threads' own thread-local
+// queue pairs so the dispatcher never becomes a reply bottleneck.
+
+#ifndef DLSM_REMOTE_RPC_H_
+#define DLSM_REMOTE_RPC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/sim/env.h"
+#include "src/sim/thread_pool.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace dlsm {
+namespace remote {
+
+/// Well-known RPC types. The server routes kPing internally; all other
+/// types go to the installed handler (the dLSM memory-node logic).
+struct RpcType {
+  static constexpr uint8_t kPing = 1;
+  static constexpr uint8_t kAllocFlushRegion = 2;
+  static constexpr uint8_t kFreeBatch = 3;
+  static constexpr uint8_t kCompaction = 4;
+  static constexpr uint8_t kStats = 5;
+  /// Server-mediated block read (Nova-LSM-style read path).
+  static constexpr uint8_t kReadBlock = 6;
+};
+
+class RpcServer;
+
+/// Client side of the RPC layer; one per (compute node, server) pair.
+/// Thread-safe: every calling thread gets its own registered reply and
+/// argument buffers.
+class RpcClient {
+ public:
+  /// Connects client_node to the server, starting the wakeup notifier
+  /// thread on the client node.
+  RpcClient(rdma::Fabric* fabric, rdma::Node* client_node, RpcServer* server);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// General-purpose RPC: inline args, poll-based completion.
+  Status Call(uint8_t type, const Slice& args, std::string* reply);
+
+  /// Compaction-style RPC: args staged in a registered buffer the server
+  /// pulls with RDMA READ; the caller sleeps until the WRITE_WITH_IMM
+  /// wakeup arrives.
+  Status CallWithWakeup(uint8_t type, const Slice& args, std::string* reply);
+
+  rdma::Node* client_node() const { return client_node_; }
+
+  struct ThreadBuffers;  // Internal; public only for thread-local storage.
+
+ private:
+  ThreadBuffers* GetThreadBuffers();
+  Status SendRequest(uint8_t type, const Slice& args, bool wake, uint32_t id,
+                     ThreadBuffers* bufs);
+  Status ParseReply(ThreadBuffers* bufs, std::string* reply);
+  void NotifierLoop();
+
+  rdma::Fabric* fabric_;
+  rdma::Node* client_node_;
+  RpcServer* server_;
+  uint64_t instance_id_;
+  rdma::QueuePair* channel_ep_ = nullptr;  // Client end of the channel.
+
+  std::mutex send_mu_;  // Guards PostSend on the channel (quick, non-blocking).
+
+  // Wakeup registry: request id -> waiter.
+  struct Waiter {
+    CondVar* cv;
+    bool fired = false;
+  };
+  Mutex wait_mu_;
+  std::unordered_map<uint32_t, Waiter*> waiters_;
+  std::atomic<uint32_t> next_id_{1};
+
+  std::atomic<bool> stop_{false};
+  ThreadHandle notifier_;
+  std::vector<std::unique_ptr<char[]>> notify_bufs_;
+
+  std::mutex bufs_mu_;
+  std::vector<std::unique_ptr<ThreadBuffers>> all_bufs_;
+
+  static std::atomic<uint64_t> next_instance_id_;
+};
+
+/// Server side: a dispatcher thread polls the per-client channels; short
+/// requests are handled inline, wake-style requests are dispatched to the
+/// worker pool (the memory node's weak CPU budget).
+class RpcServer {
+ public:
+  /// The handler implements all non-kPing request types. It runs on the
+  /// server node's threads and may take arbitrarily long (compaction).
+  using Handler =
+      std::function<void(uint8_t type, const Slice& args, std::string* reply)>;
+
+  RpcServer(rdma::Fabric* fabric, rdma::Node* server_node, int worker_threads);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Starts the dispatcher and the worker pool.
+  void Start();
+
+  /// Stops and joins all server threads. Idempotent.
+  void Stop();
+
+  rdma::Node* node() const { return server_node_; }
+
+  /// Virtual nanoseconds of handler execution on the worker pool,
+  /// for the paper's Fig. 12 CPU-utilization annotations.
+  uint64_t worker_busy_ns() const {
+    return worker_busy_ns_.load(std::memory_order_relaxed);
+  }
+  int worker_threads() const { return worker_threads_; }
+
+ private:
+  friend class RpcClient;
+
+  struct Channel {
+    rdma::Node* client_node = nullptr;
+    rdma::QueuePair* server_ep = nullptr;
+    rdma::QueuePair* client_ep = nullptr;
+    std::unique_ptr<rdma::RdmaManager> to_client;  // Server -> client verbs.
+    std::mutex wake_mu_;  // Guards WRITE_WITH_IMM posts on server_ep.
+    std::vector<std::unique_ptr<char[]>> recv_bufs;
+  };
+
+  /// Called by RpcClient's constructor; wires up a channel and returns it.
+  Channel* RegisterClient(rdma::Node* client_node);
+
+  void DispatcherLoop();
+  void ProcessRequest(Channel* ch, const char* req, size_t len);
+  void ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
+                       uint64_t reply_addr, uint32_t reply_rkey,
+                       uint32_t reply_cap, bool wake, uint32_t id);
+
+  rdma::Fabric* fabric_;
+  rdma::Node* server_node_;
+  int worker_threads_;
+  Handler handler_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  ThreadHandle dispatcher_;
+  std::mutex channels_mu_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<uint64_t> worker_busy_ns_{0};
+};
+
+}  // namespace remote
+}  // namespace dlsm
+
+#endif  // DLSM_REMOTE_RPC_H_

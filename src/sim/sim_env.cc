@@ -1,0 +1,542 @@
+#include "src/sim/sim_env.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+thread_local SimEnv::SimThread* tls_current = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sim synchronization primitives
+// ---------------------------------------------------------------------------
+
+/// Virtual-time mutex with FIFO handoff: the releaser passes ownership
+/// directly to the head waiter, whose LVT is advanced to the releaser's, so
+/// contention queues in virtual time.
+class SimMutexImpl : public MutexImpl {
+ public:
+  explicit SimMutexImpl(SimEnv* env) : env_(env) {}
+
+  void Lock() override {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    LockHeld(self, lk);
+  }
+
+  void Unlock() override {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    UnlockHeld(self);
+  }
+
+ private:
+  friend class SimCondVarImpl;
+
+  // Requires env_->gm_. May park the caller until ownership is handed off.
+  void LockHeld(SimEnv::SimThread* self, std::unique_lock<std::mutex>& lk) {
+    if (holder_ == nullptr) {
+      holder_ = self;
+      self->lvt = std::max(self->lvt, release_lvt_);
+      return;
+    }
+    waiters_.push_back(self);
+    env_->SetStateLocked(self, SimEnv::State::kBlocked);
+    env_->SwitchOutLocked(self, lk);
+    DLSM_CHECK(holder_ == self);  // FIFO handoff.
+  }
+
+  // Requires env_->gm_.
+  void UnlockHeld(SimEnv::SimThread* self) {
+    DLSM_CHECK_MSG(holder_ == self, "unlock by non-holder");
+    release_lvt_ = std::max(release_lvt_, self->lvt);
+    if (waiters_.empty()) {
+      holder_ = nullptr;
+    } else {
+      SimEnv::SimThread* next = waiters_.front();
+      waiters_.pop_front();
+      holder_ = next;
+      env_->MakeReadyLocked(next, self->lvt);
+    }
+  }
+
+  SimEnv* env_;
+  SimEnv::SimThread* holder_ = nullptr;
+  uint64_t release_lvt_ = 0;
+  std::deque<SimEnv::SimThread*> waiters_;
+};
+
+/// Virtual-time condition variable. Signal() transfers causality: the woken
+/// waiter's LVT becomes at least the signaler's.
+class SimCondVarImpl : public CondVarImpl {
+ public:
+  SimCondVarImpl(SimEnv* env, SimMutexImpl* mu) : env_(env), mu_(mu) {}
+
+  void Wait() override { WaitInternal(UINT64_MAX); }
+
+  bool TimedWait(uint64_t timeout_ns) override {
+    return WaitInternal(timeout_ns);
+  }
+
+  void Signal() override {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    if (!waiters_.empty()) {
+      WakeOneLocked(self->lvt);
+    }
+  }
+
+  void SignalAll() override {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    while (!waiters_.empty()) {
+      WakeOneLocked(self->lvt);
+    }
+  }
+
+ private:
+  // Requires env_->gm_ and non-empty waiters_.
+  void WakeOneLocked(uint64_t from_lvt) {
+    SimEnv::SimThread* w = waiters_.front();
+    waiters_.pop_front();
+    w->timed_out = false;
+    env_->MakeReadyLocked(w, from_lvt);
+  }
+
+  bool WaitInternal(uint64_t timeout_ns) {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    mu_->UnlockHeld(self);
+    waiters_.push_back(self);
+    if (timeout_ns == UINT64_MAX) {
+      env_->SetStateLocked(self, SimEnv::State::kBlocked);
+    } else {
+      self->wake_time = self->lvt + timeout_ns;
+      env_->SetStateLocked(self, SimEnv::State::kTimed);
+    }
+    self->timed_out = false;
+    env_->SwitchOutLocked(self, lk);
+    bool timed_out = self->timed_out;
+    if (timed_out) {
+      // Deadline expiry: remove ourselves from the wait list.
+      auto it = std::find(waiters_.begin(), waiters_.end(), self);
+      if (it != waiters_.end()) waiters_.erase(it);
+    }
+    mu_->LockHeld(self, lk);
+    return timed_out;
+  }
+
+  SimEnv* env_;
+  SimMutexImpl* mu_;
+  std::deque<SimEnv::SimThread*> waiters_;
+};
+
+/// Virtual-time barrier: all parties leave with LVT equal to the maximum
+/// LVT among arrivers, making before/after timing reads well-defined.
+class SimBarrierImpl : public BarrierImpl {
+ public:
+  SimBarrierImpl(SimEnv* env, int parties) : env_(env), parties_(parties) {}
+
+  void Arrive() override {
+    SimEnv::SimThread* self = env_->Current();
+    std::unique_lock<std::mutex> lk(env_->gm_);
+    env_->ChargeCpuLocked(self);
+    max_lvt_ = std::max(max_lvt_, self->lvt);
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      uint64_t m = max_lvt_;
+      max_lvt_ = 0;
+      self->lvt = m;
+      for (SimEnv::SimThread* w : waiters_) {
+        env_->MakeReadyLocked(w, m);
+      }
+      waiters_.clear();
+    } else {
+      waiters_.push_back(self);
+      env_->SetStateLocked(self, SimEnv::State::kBlocked);
+      env_->SwitchOutLocked(self, lk);
+    }
+  }
+
+ private:
+  SimEnv* env_;
+  int parties_;
+  int arrived_ = 0;
+  uint64_t max_lvt_ = 0;
+  std::vector<SimEnv::SimThread*> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// SimEnv
+// ---------------------------------------------------------------------------
+
+SimEnv::SimEnv(Options options) : options_(options) {
+  auto node0 = std::make_unique<SimNode>();
+  node0->name = "default";
+  node0->cores = 0;  // Unlimited.
+  nodes_.push_back(std::move(node0));
+}
+
+SimEnv::~SimEnv() {
+  for (auto& t : threads_) {
+    if (t->os_thread.joinable()) t->os_thread.join();
+  }
+}
+
+uint64_t SimEnv::ThreadCpuNanos() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+SimEnv::SimThread* SimEnv::Current() {
+  DLSM_CHECK_MSG(tls_current != nullptr,
+                 "Env call from a thread not managed by SimEnv");
+  return tls_current;
+}
+
+double SimEnv::FactorLocked(int node) const {
+  const SimNode& n = *nodes_[node];
+  if (n.cores <= 0 || n.active <= n.cores) return 1.0;
+  return static_cast<double>(n.active) / static_cast<double>(n.cores);
+}
+
+void SimEnv::SetStateLocked(SimThread* t, State s) {
+  auto counts = [](State st) {
+    return st == State::kReady || st == State::kRunning;
+  };
+  bool was = counts(t->state);
+  bool now = counts(s);
+  if (was && !now) nodes_[t->node]->active--;
+  if (!was && now) nodes_[t->node]->active++;
+  t->state = s;
+}
+
+void SimEnv::ChargeCpuLocked(SimThread* self) {
+  uint64_t now = ThreadCpuNanos();
+  uint64_t delta = now > self->cpu_start ? now - self->cpu_start : 0;
+  self->cpu_start = now;
+  double factor = FactorLocked(self->node);
+  self->lvt += static_cast<uint64_t>(static_cast<double>(delta) * factor *
+                                     options_.cpu_scale);
+  max_lvt_seen_ = std::max(max_lvt_seen_, self->lvt);
+}
+
+void SimEnv::StartSliceLocked(SimThread* t) {
+  t->cpu_start = ThreadCpuNanos();
+  t->factor_cache = FactorLocked(t->node);
+}
+
+SimEnv::SimThread* SimEnv::PickNextLocked() {
+  SimThread* best = nullptr;
+  uint64_t best_key = UINT64_MAX;
+  for (auto& tp : threads_) {
+    SimThread* t = tp.get();
+    uint64_t key;
+    if (t->state == State::kReady) {
+      key = t->lvt;
+    } else if (t->state == State::kTimed) {
+      key = t->wake_time;
+    } else {
+      continue;
+    }
+    if (key < best_key || (key == best_key && best != nullptr &&
+                           t->id < best->id)) {
+      best_key = key;
+      best = t;
+    }
+  }
+  return best;
+}
+
+void SimEnv::MakeReadyLocked(SimThread* t, uint64_t from_lvt) {
+  t->lvt = std::max(t->lvt, from_lvt);
+  t->wake_time = UINT64_MAX;
+  SetStateLocked(t, State::kReady);
+}
+
+void SimEnv::ResumeLocked(SimThread* t) {
+  if (t->state == State::kTimed) {
+    // Deadline expiry path.
+    t->lvt = std::max(t->lvt, t->wake_time);
+    t->wake_time = UINT64_MAX;
+    t->timed_out = true;
+    SetStateLocked(t, State::kReady);
+  }
+  DLSM_CHECK(t->state == State::kReady);
+  SetStateLocked(t, State::kRunning);
+  max_lvt_seen_ = std::max(max_lvt_seen_, t->lvt);
+}
+
+void SimEnv::SwitchOutLocked(SimThread* self,
+                             std::unique_lock<std::mutex>& lk) {
+  SimThread* next = PickNextLocked();
+  if (next == self) {
+    ResumeLocked(self);
+    StartSliceLocked(self);
+    return;
+  }
+  if (next == nullptr) {
+    DeadlockAbortLocked();
+  }
+  ResumeLocked(next);
+  // next calls StartSliceLocked itself on wake; the CPU clock is per-thread.
+  next->go = true;
+  next->cv.notify_one();
+  self->cv.wait(lk, [self] { return self->go; });
+  self->go = false;
+  // Scheduled again; our state was set to kRunning by the waker.
+  StartSliceLocked(self);
+}
+
+void SimEnv::PassBatonLocked(SimThread* self) {
+  (void)self;
+  SimThread* next = PickNextLocked();
+  if (next == nullptr) {
+    if (live_threads_ > 0) {
+      DeadlockAbortLocked();
+    }
+    all_done_cv_.notify_all();
+    return;
+  }
+  ResumeLocked(next);
+  next->go = true;
+  next->cv.notify_one();
+}
+
+void SimEnv::FinishThreadLocked(SimThread* self,
+                                std::unique_lock<std::mutex>& lk) {
+  (void)lk;
+  ChargeCpuLocked(self);
+  for (SimThread* j : self->joiners) {
+    MakeReadyLocked(j, self->lvt);
+  }
+  self->joiners.clear();
+  SetStateLocked(self, State::kFinished);
+  live_threads_--;
+  PassBatonLocked(self);
+}
+
+void SimEnv::DeadlockAbortLocked() {
+  std::fprintf(stderr,
+               "SimEnv: DEADLOCK — no runnable or timed thread remains.\n");
+  for (auto& t : threads_) {
+    const char* s = "?";
+    switch (t->state) {
+      case State::kReady:
+        s = "ready";
+        break;
+      case State::kRunning:
+        s = "running";
+        break;
+      case State::kTimed:
+        s = "timed";
+        break;
+      case State::kBlocked:
+        s = "blocked";
+        break;
+      case State::kFinished:
+        s = "finished";
+        break;
+    }
+    std::fprintf(stderr, "  thread %" PRIu64 " [%s] node=%d state=%s lvt=%" PRIu64
+                         " wake=%" PRIu64 "\n",
+                 t->id, t->name.c_str(), t->node, s, t->lvt, t->wake_time);
+  }
+  std::abort();
+}
+
+void SimEnv::ThreadBody(SimThread* t) {
+  tls_current = t;
+  {
+    std::unique_lock<std::mutex> lk(gm_);
+    t->cv.wait(lk, [t] { return t->go; });
+    t->go = false;
+    StartSliceLocked(t);
+  }
+  t->fn();
+  {
+    std::unique_lock<std::mutex> lk(gm_);
+    FinishThreadLocked(t, lk);
+  }
+  tls_current = nullptr;
+}
+
+void SimEnv::Run(int node_id, std::function<void()> root) {
+  DLSM_CHECK_MSG(!ran_, "SimEnv::Run may only be called once");
+  ran_ = true;
+
+  auto rt = std::make_unique<SimThread>();
+  SimThread* t = rt.get();
+  t->id = next_thread_id_++;
+  t->name = "root";
+  t->node = node_id;
+  t->state = State::kBlocked;  // So the kRunning transition counts it active.
+  {
+    std::unique_lock<std::mutex> lk(gm_);
+    threads_.push_back(std::move(rt));
+    live_threads_++;
+    SetStateLocked(t, State::kRunning);
+    StartSliceLocked(t);
+  }
+  tls_current = t;
+  root();
+  {
+    std::unique_lock<std::mutex> lk(gm_);
+    FinishThreadLocked(t, lk);
+    // The baton (if any) has been passed; wait for the rest of the world.
+    all_done_cv_.wait(lk, [this] { return live_threads_ == 0; });
+  }
+  tls_current = nullptr;
+}
+
+uint64_t SimEnv::NowNanos() {
+  SimThread* self = tls_current;
+  if (self == nullptr) return 0;
+  uint64_t now = ThreadCpuNanos();
+  uint64_t delta = now > self->cpu_start ? now - self->cpu_start : 0;
+  return self->lvt +
+         static_cast<uint64_t>(static_cast<double>(delta) *
+                               self->factor_cache * options_.cpu_scale);
+}
+
+void SimEnv::SleepNanos(uint64_t ns) {
+  SimThread* self = Current();
+  std::unique_lock<std::mutex> lk(gm_);
+  ChargeCpuLocked(self);
+  self->wake_time = self->lvt + ns;
+  SetStateLocked(self, State::kTimed);
+  SwitchOutLocked(self, lk);
+}
+
+void SimEnv::AdvanceTo(uint64_t t_ns) {
+  SimThread* self = Current();
+  std::unique_lock<std::mutex> lk(gm_);
+  ChargeCpuLocked(self);
+  if (t_ns <= self->lvt) return;
+  self->wake_time = t_ns;
+  SetStateLocked(self, State::kTimed);
+  SwitchOutLocked(self, lk);
+}
+
+void SimEnv::MaybeYield() {
+  SimThread* self = Current();
+  std::unique_lock<std::mutex> lk(gm_);
+  ChargeCpuLocked(self);
+  SetStateLocked(self, State::kReady);
+  SwitchOutLocked(self, lk);
+}
+
+uint64_t SimEnv::UncountedBegin() { return ThreadCpuNanos(); }
+
+void SimEnv::UncountedEnd(uint64_t token) {
+  SimThread* self = tls_current;
+  if (self == nullptr) return;
+  // Push the slice start forward so the bracketed CPU time is never
+  // charged. cpu_start <= token <= now, so this cannot exceed "now".
+  self->cpu_start += ThreadCpuNanos() - token;
+}
+
+void SimEnv::YieldToOthers() {
+  SimThread* self = Current();
+  std::unique_lock<std::mutex> lk(gm_);
+  ChargeCpuLocked(self);
+  // Jump just past the earliest other thread so it gets to run first.
+  uint64_t m = UINT64_MAX;
+  for (auto& tp : threads_) {
+    SimThread* t = tp.get();
+    if (t == self) continue;
+    if (t->state == State::kReady) m = std::min(m, t->lvt);
+    if (t->state == State::kTimed) m = std::min(m, t->wake_time);
+  }
+  if (m != UINT64_MAX && m >= self->lvt) {
+    self->lvt = m + 1;
+  }
+  SetStateLocked(self, State::kReady);
+  SwitchOutLocked(self, lk);
+}
+
+int SimEnv::RegisterNode(const std::string& name, int cores) {
+  std::unique_lock<std::mutex> lk(gm_);
+  auto node = std::make_unique<SimNode>();
+  node->name = name;
+  node->cores = cores;
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+ThreadHandle SimEnv::StartThread(int node_id, const std::string& name,
+                                 std::function<void()> fn) {
+  auto nt = std::make_unique<SimThread>();
+  SimThread* t = nt.get();
+  t->name = name;
+  t->node = node_id;
+  t->fn = std::move(fn);
+  t->state = State::kBlocked;  // Until the baton first reaches it.
+  uint64_t creator_lvt = 0;
+  if (tls_current != nullptr) creator_lvt = tls_current->lvt;
+  {
+    std::unique_lock<std::mutex> lk(gm_);
+    t->id = next_thread_id_++;
+    DLSM_CHECK_MSG(static_cast<int>(nodes_.size()) > node_id,
+                   "unknown node id");
+    threads_.push_back(std::move(nt));
+    live_threads_++;
+    MakeReadyLocked(t, creator_lvt);
+  }
+  t->os_thread = std::thread([this, t] { ThreadBody(t); });
+  return ThreadHandle{t->id};
+}
+
+void SimEnv::Join(ThreadHandle h) {
+  SimThread* self = Current();
+  std::unique_lock<std::mutex> lk(gm_);
+  ChargeCpuLocked(self);
+  SimThread* target = nullptr;
+  for (auto& t : threads_) {
+    if (t->id == h.id) {
+      target = t.get();
+      break;
+    }
+  }
+  DLSM_CHECK_MSG(target != nullptr, "joining unknown thread");
+  if (target->state == State::kFinished) {
+    self->lvt = std::max(self->lvt, target->lvt);
+    return;
+  }
+  target->joiners.push_back(self);
+  SetStateLocked(self, State::kBlocked);
+  SwitchOutLocked(self, lk);
+}
+
+MutexImpl* SimEnv::NewMutex() { return new SimMutexImpl(this); }
+
+CondVarImpl* SimEnv::NewCondVar(MutexImpl* mu) {
+  return new SimCondVarImpl(this, static_cast<SimMutexImpl*>(mu));
+}
+
+BarrierImpl* SimEnv::NewBarrier(int parties) {
+  return new SimBarrierImpl(this, parties);
+}
+
+uint64_t SimEnv::MaxVirtualNanos() {
+  std::unique_lock<std::mutex> lk(gm_);
+  uint64_t m = max_lvt_seen_;
+  for (auto& t : threads_) m = std::max(m, t->lvt);
+  return m;
+}
+
+}  // namespace dlsm

@@ -1,0 +1,163 @@
+// SimEnv: a virtual-time, discrete-event execution environment.
+//
+// The paper's evaluation ran on a testbed we cannot assume: a 24-core
+// compute server and a large-memory server joined by a 100 Gb/s RDMA NIC,
+// plus 16-node CloudLab clusters. SimEnv reproduces those experiments on a
+// single-core machine by decoupling *simulated* time from wall time:
+//
+//  * Every simulated thread is a real OS thread, but exactly one runs at a
+//    time (baton passing). Each carries a "local virtual time" (LVT).
+//  * CPU cost is *measured*: at every scheduling point the thread's
+//    CLOCK_THREAD_CPUTIME_ID delta is added to its LVT, scaled by the
+//    processor-sharing factor of its node (active_threads / cores when the
+//    node is oversubscribed). Real skiplist inserts, memcmp, memcpy and
+//    bloom probes therefore cost what they really cost.
+//  * Synchronization transfers causality: acquiring a mutex or receiving a
+//    signal advances the receiver's LVT to at least the sender's LVT; the
+//    scheduler always resumes the thread with the smallest LVT, so lock
+//    queueing and producer/consumer waits play out in virtual time.
+//  * Network delays (the RDMA fabric model) are applied with
+//    Env::AdvanceTo(completion_time): the thread is parked, consuming no
+//    simulated CPU, until virtual time reaches the completion timestamp.
+//
+// Throughput numbers are computed from virtual elapsed time across
+// Barrier-synchronized regions, so a 16-thread sweep or a 16-node cluster
+// behaves as it would on the real testbed even though the host serializes
+// all execution.
+//
+// Approximation note: between scheduling points a thread's LVT is stale, so
+// interleavings are accurate only at the granularity of scheduling points
+// (mutex ops, condvar ops, network ops, MaybeYield calls). Hot loops call
+// Env::MaybeYield() every few dozen iterations to bound the skew.
+
+#ifndef DLSM_SIM_SIM_ENV_H_
+#define DLSM_SIM_SIM_ENV_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/env.h"
+
+namespace dlsm {
+
+class SimMutexImpl;
+class SimCondVarImpl;
+class SimBarrierImpl;
+
+/// Discrete-event virtual-time environment. Create one per simulated
+/// experiment, register nodes, then call Run() with the experiment body.
+class SimEnv : public Env {
+ public:
+  struct Options {
+    Options() {}
+    /// Multiplier from measured host CPU nanoseconds to virtual
+    /// nanoseconds, before processor sharing. Calibrates the host core to
+    /// the modeled testbed core.
+    double cpu_scale = 1.0;
+  };
+
+  SimEnv() : SimEnv(Options()) {}
+  explicit SimEnv(Options options);
+  ~SimEnv() override;
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  /// Runs root() as the first simulated thread, attributed to node_id.
+  /// Returns once every simulated thread has finished. May be called once.
+  void Run(int node_id, std::function<void()> root);
+
+  // Env interface -----------------------------------------------------------
+  bool is_simulated() const override { return true; }
+  uint64_t NowNanos() override;
+  void SleepNanos(uint64_t ns) override;
+  void AdvanceTo(uint64_t t_ns) override;
+  void MaybeYield() override;
+  void YieldToOthers() override;
+  uint64_t UncountedBegin() override;
+  void UncountedEnd(uint64_t token) override;
+  int RegisterNode(const std::string& name, int cores) override;
+  ThreadHandle StartThread(int node_id, const std::string& name,
+                           std::function<void()> fn) override;
+  void Join(ThreadHandle h) override;
+  MutexImpl* NewMutex() override;
+  CondVarImpl* NewCondVar(MutexImpl* mu) override;
+  BarrierImpl* NewBarrier(int parties) override;
+
+  /// Largest LVT observed across all threads; the "end time" of a finished
+  /// simulation.
+  uint64_t MaxVirtualNanos();
+
+  // Internal scheduler types, public so the sim synchronization primitives
+  // and the thread-local current-thread pointer can reach them. Not part of
+  // the supported API.
+  enum class State { kReady, kRunning, kTimed, kBlocked, kFinished };
+
+  struct SimThread {
+    uint64_t id = 0;
+    std::string name;
+    int node = 0;
+    State state = State::kReady;
+    uint64_t lvt = 0;
+    uint64_t wake_time = UINT64_MAX;  // Valid when state == kTimed.
+    bool timed_out = false;           // Set when woken by deadline expiry.
+    std::condition_variable cv;
+    bool go = false;
+    uint64_t cpu_start = 0;      // Thread-CPU ns at slice start.
+    double factor_cache = 1.0;   // Processor-sharing factor at slice start.
+    std::function<void()> fn;
+    std::thread os_thread;
+    std::vector<SimThread*> joiners;
+  };
+
+  struct SimNode {
+    std::string name;
+    int cores = 0;   // 0 = unlimited.
+    int active = 0;  // Threads in kReady or kRunning.
+  };
+
+  static uint64_t ThreadCpuNanos();
+  SimThread* Current();
+
+  // All of the below require gm_ to be held.
+  double FactorLocked(int node) const;
+  void SetStateLocked(SimThread* t, State s);
+  void ChargeCpuLocked(SimThread* self);
+  void StartSliceLocked(SimThread* t);
+  SimThread* PickNextLocked();
+  /// Makes t runnable with causality from_lvt; caller sets any
+  /// mutex-handoff state first.
+  void MakeReadyLocked(SimThread* t, uint64_t from_lvt);
+  /// Parks self (already moved to a non-running state) and resumes the best
+  /// next thread. Returns when self is scheduled again.
+  void SwitchOutLocked(SimThread* self, std::unique_lock<std::mutex>& lk);
+  /// Hands the baton to the best next thread without parking self (used
+  /// when self finishes).
+  void PassBatonLocked(SimThread* self);
+  void ResumeLocked(SimThread* t);
+  void FinishThreadLocked(SimThread* self, std::unique_lock<std::mutex>& lk);
+  [[noreturn]] void DeadlockAbortLocked();
+
+  void ThreadBody(SimThread* t);
+
+  Options options_;
+  std::mutex gm_;
+  std::condition_variable all_done_cv_;
+  std::vector<std::unique_ptr<SimNode>> nodes_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  uint64_t next_thread_id_ = 1;
+  int live_threads_ = 0;
+  bool ran_ = false;
+  uint64_t max_lvt_seen_ = 0;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_SIM_SIM_ENV_H_

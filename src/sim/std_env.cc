@@ -1,0 +1,173 @@
+// StdEnv: the real-time environment — std::thread, std::mutex and the
+// monotonic clock. Used for correctness tests that need true concurrency.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/sim/env.h"
+#include "src/util/logging.h"
+
+namespace dlsm {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class StdMutex : public MutexImpl {
+ public:
+  void Lock() override { mu_.lock(); }
+  void Unlock() override { mu_.unlock(); }
+  std::mutex* raw() { return &mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+class StdCondVar : public CondVarImpl {
+ public:
+  explicit StdCondVar(StdMutex* mu) : mu_(mu) {}
+
+  void Wait() override {
+    std::unique_lock<std::mutex> lock(*mu_->raw(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  bool TimedWait(uint64_t timeout_ns) override {
+    std::unique_lock<std::mutex> lock(*mu_->raw(), std::adopt_lock);
+    auto st = cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
+    lock.release();
+    return st == std::cv_status::timeout;
+  }
+
+  void Signal() override { cv_.notify_one(); }
+  void SignalAll() override { cv_.notify_all(); }
+
+ private:
+  StdMutex* mu_;
+  std::condition_variable cv_;
+};
+
+class StdBarrier : public BarrierImpl {
+ public:
+  explicit StdBarrier(int parties) : parties_(parties) {}
+
+  void Arrive() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      generation_++;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+class StdEnv : public Env {
+ public:
+  StdEnv() : origin_(SteadyNowNanos()) {}
+
+  ~StdEnv() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, t] : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  bool is_simulated() const override { return false; }
+
+  uint64_t NowNanos() override { return SteadyNowNanos() - origin_; }
+
+  void SleepNanos(uint64_t ns) override {
+    if (ns < 100000) {
+      // Short waits: spin for accuracy; the OS sleep granularity is coarse.
+      uint64_t deadline = SteadyNowNanos() + ns;
+      while (SteadyNowNanos() < deadline) {
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+  }
+
+  void AdvanceTo(uint64_t t_ns) override {
+    uint64_t now = NowNanos();
+    if (t_ns > now) SleepNanos(t_ns - now);
+  }
+
+  void MaybeYield() override {}
+
+  void YieldToOthers() override { std::this_thread::yield(); }
+
+  int RegisterNode(const std::string& name, int cores) override {
+    (void)name;
+    (void)cores;
+    // Real hardware enforces its own core budget; nodes are bookkeeping only.
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_node_id_++;
+  }
+
+  ThreadHandle StartThread(int node_id, const std::string& name,
+                           std::function<void()> fn) override {
+    (void)node_id;
+    (void)name;
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t id = next_thread_id_++;
+    threads_.emplace(id, std::thread(std::move(fn)));
+    return ThreadHandle{id};
+  }
+
+  void Join(ThreadHandle h) override {
+    std::thread t;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = threads_.find(h.id);
+      DLSM_CHECK_MSG(it != threads_.end(), "joining unknown thread");
+      t = std::move(it->second);
+      threads_.erase(it);
+    }
+    if (t.joinable()) t.join();
+  }
+
+  MutexImpl* NewMutex() override { return new StdMutex(); }
+
+  CondVarImpl* NewCondVar(MutexImpl* mu) override {
+    return new StdCondVar(static_cast<StdMutex*>(mu));
+  }
+
+  BarrierImpl* NewBarrier(int parties) override {
+    return new StdBarrier(parties);
+  }
+
+ private:
+  uint64_t origin_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::thread> threads_;
+  uint64_t next_thread_id_ = 1;
+  int next_node_id_ = 1;
+};
+
+}  // namespace
+
+Env* Env::Std() {
+  static StdEnv* env = new StdEnv();
+  return env;
+}
+
+}  // namespace dlsm

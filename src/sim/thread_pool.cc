@@ -1,0 +1,61 @@
+#include "src/sim/thread_pool.h"
+
+namespace dlsm {
+
+ThreadPool::ThreadPool(Env* env, int node_id, int num_threads,
+                       const std::string& name)
+    : env_(env), mu_(env), work_cv_(env, &mu_), idle_cv_(env, &mu_) {
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    workers_.push_back(env_->StartThread(
+        node_id, name + "-" + std::to_string(i), [this] { WorkerLoop(); }));
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock l(&mu_);
+    shutdown_ = true;
+    work_cv_.SignalAll();
+  }
+  for (ThreadHandle h : workers_) {
+    env_->Join(h);
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MutexLock l(&mu_);
+  queue_.push_back(std::move(task));
+  work_cv_.Signal();
+}
+
+void ThreadPool::WaitIdle() {
+  MutexLock l(&mu_);
+  while (!queue_.empty() || busy_ > 0) {
+    idle_cv_.Wait();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  MutexLock l(&mu_);
+  for (;;) {
+    while (queue_.empty() && !shutdown_) {
+      work_cv_.Wait();
+    }
+    if (queue_.empty() && shutdown_) {
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_++;
+    mu_.Unlock();
+    task();
+    mu_.Lock();
+    busy_--;
+    if (queue_.empty() && busy_ == 0) {
+      idle_cv_.SignalAll();
+    }
+  }
+}
+
+}  // namespace dlsm

@@ -1,0 +1,51 @@
+// Env-aware fixed-size thread pool, used for background flush workers on
+// the compute node and compaction workers on the memory node.
+
+#ifndef DLSM_SIM_THREAD_POOL_H_
+#define DLSM_SIM_THREAD_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/env.h"
+
+namespace dlsm {
+
+/// Fixed-size pool of Env threads consuming a FIFO work queue.
+class ThreadPool {
+ public:
+  /// Starts num_threads workers attributed to node_id.
+  ThreadPool(Env* env, int node_id, int num_threads, const std::string& name);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  Env* env_;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<ThreadHandle> workers_;
+  int busy_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_SIM_THREAD_POOL_H_

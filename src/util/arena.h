@@ -1,0 +1,74 @@
+// Arena: block-based bump allocator used by MemTables. Allocations live
+// until the Arena is destroyed.
+
+#ifndef DLSM_UTIL_ARENA_H_
+#define DLSM_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlsm {
+
+/// A bump allocator whose memory is released all at once on destruction.
+/// Thread-safe: concurrent MemTable writers allocate skiplist nodes from
+/// the same arena, so allocation takes a short spinlock (the critical
+/// section never blocks or yields).
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to a newly allocated memory block of "bytes" bytes.
+  char* Allocate(size_t bytes);
+
+  /// Allocates memory with the normal alignment guarantees of malloc.
+  char* AllocateAligned(size_t bytes);
+
+  /// Returns an estimate of the total memory footprint of the arena.
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateLocked(size_t bytes);
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  void SpinLock() {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void SpinUnlock() { lock_.clear(std::memory_order_release); }
+
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<char*> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::AllocateLocked(size_t bytes) {
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+inline char* Arena::Allocate(size_t bytes) {
+  SpinLock();
+  char* result = AllocateLocked(bytes);
+  SpinUnlock();
+  return result;
+}
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_ARENA_H_

@@ -1,0 +1,73 @@
+// Endian-neutral integer encoding: fixed-width little-endian and
+// varint encodings, plus length-prefixed slices.
+
+#ifndef DLSM_UTIL_CODING_H_
+#define DLSM_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+// -- Fixed-width encoding (little endian) ----------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // Little-endian hosts only.
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// -- Varint encoding --------------------------------------------------------
+
+/// Encodes v as a varint at dst; returns a pointer past the last byte
+/// written. dst must have at least 5 bytes available.
+char* EncodeVarint32(char* dst, uint32_t v);
+
+/// Encodes v as a varint at dst; returns a pointer past the last byte
+/// written. dst must have at least 10 bytes available.
+char* EncodeVarint64(char* dst, uint64_t v);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint32 from [p, limit); returns a pointer past the parsed
+/// bytes and stores the result in *value, or returns nullptr on failure.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Parses a varint from the front of *input, advancing it. Returns false if
+/// the input is malformed or exhausted.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Returns the number of bytes the varint encoding of v occupies.
+int VarintLength(uint64_t v);
+
+// -- Length-prefixed slices --------------------------------------------------
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_CODING_H_

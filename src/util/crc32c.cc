@@ -1,0 +1,44 @@
+#include "src/util/crc32c.h"
+
+#include <array>
+
+namespace dlsm {
+namespace crc32c {
+
+namespace {
+
+// Table-driven CRC32C, slice-by-one. Table generated at startup from the
+// Castagnoli polynomial (reflected form 0x82f63b78).
+struct Table {
+  std::array<uint32_t, 256> entries;
+  Table() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& t = GetTable();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = t.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace dlsm

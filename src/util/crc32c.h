@@ -1,0 +1,37 @@
+// CRC32C (Castagnoli) checksums, used to guard SSTable payloads and RPC
+// messages against corruption in transit.
+
+#ifndef DLSM_UTIL_CRC32C_H_
+#define DLSM_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlsm {
+namespace crc32c {
+
+/// Returns the CRC32C of concat(A, data[0, n-1]) where init_crc is the
+/// CRC32C of some string A.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// Returns the CRC32C of data[0, n-1].
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Returns a masked representation of crc, for storing CRCs of strings that
+/// themselves contain embedded CRCs.
+inline uint32_t Mask(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_CRC32C_H_

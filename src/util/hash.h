@@ -1,0 +1,25 @@
+// Simple non-cryptographic hashing (Murmur-style), used by bloom filters
+// and shard routing.
+
+#ifndef DLSM_UTIL_HASH_H_
+#define DLSM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlsm {
+
+/// Hashes data[0, n-1] with the given seed.
+uint32_t Hash(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit mix hash of an integer (splitmix64 finalizer).
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_HASH_H_

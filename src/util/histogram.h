@@ -1,0 +1,57 @@
+// Histogram: fixed-bucket latency histogram used by the benchmark harness
+// to report percentiles, in the style of LevelDB's db_bench histogram.
+
+#ifndef DLSM_UTIL_HISTOGRAM_H_
+#define DLSM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlsm {
+
+/// Accumulates scalar samples (typically microseconds) into exponentially
+/// sized buckets and reports summary statistics. Not thread-safe; merge
+/// per-thread histograms with Merge().
+class Histogram {
+ public:
+  Histogram() { Clear(); }
+
+  /// Resets all accumulated state.
+  void Clear();
+
+  /// Records one sample.
+  void Add(double value);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  double Median() const { return Percentile(50.0); }
+
+  /// Returns the approximate p-th percentile (p in [0, 100]).
+  double Percentile(double p) const;
+
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return static_cast<uint64_t>(num_); }
+
+  /// Multi-line summary with count/avg/stddev/percentiles.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+  static const double kBucketLimit[kNumBuckets];
+
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+  double buckets_[kNumBuckets];
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_HISTOGRAM_H_

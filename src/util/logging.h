@@ -1,0 +1,52 @@
+// Assertion and logging helpers.
+
+#ifndef DLSM_UTIL_LOGGING_H_
+#define DLSM_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+/// Appends a human-readable printout of num to *str.
+void AppendNumberTo(std::string* str, uint64_t num);
+
+/// Appends an escaped (printable) version of value to *str.
+void AppendEscapedStringTo(std::string* str, const Slice& value);
+
+/// Returns a human-readable printout of num.
+std::string NumberToString(uint64_t num);
+
+/// Returns an escaped (printable) version of value.
+std::string EscapeString(const Slice& value);
+
+/// Parses a decimal number from *in, advancing past consumed characters.
+bool ConsumeDecimalNumber(Slice* in, uint64_t* val);
+
+}  // namespace dlsm
+
+/// Always-on invariant check; aborts with a message on failure. Used for
+/// conditions whose violation indicates a bug rather than a bad input.
+#define DLSM_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DLSM_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define DLSM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DLSM_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // DLSM_UTIL_LOGGING_H_

@@ -1,0 +1,101 @@
+// Pseudo-random generators for tests and benchmarks: a fast xorshift
+// uniform generator and a Zipfian generator for skewed key popularity.
+
+#ifndef DLSM_UTIL_RANDOM_H_
+#define DLSM_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace dlsm {
+
+/// Fast uniform pseudo-random generator (xorshift128+ variant).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = seed * 0x9e3779b97f4a7c15ull + 1;
+    s_[1] = (seed ^ 0xdeadbeefcafebabeull) * 0xbf58476d1ce4e5b9ull + 1;
+    for (int i = 0; i < 8; i++) Next64();
+  }
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t Next64() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Returns the next 32-bit pseudo-random value.
+  uint32_t Next() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  /// Returns a uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next64() % n;
+  }
+
+  /// Returns true with probability 1/n.
+  bool OneIn(uint32_t n) { return Uniform(n) == 0; }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Skewed: picks a value in [0, 2^max_log) with exponentially decreasing
+  /// probability of larger values.
+  uint64_t Skewed(int max_log) { return Uniform(1ull << Uniform(max_log + 1)); }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// Zipfian-distributed generator over [0, n), using the Gray et al.
+/// rejection-free formula as popularized by YCSB.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Returns the next Zipfian-distributed value in [0, n).
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_RANDOM_H_

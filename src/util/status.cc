@@ -1,0 +1,45 @@
+#include "src/util/status.h"
+
+namespace dlsm {
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) : code_(code) {
+  msg_.assign(msg.data(), msg.size());
+  if (!msg2.empty()) {
+    msg_.append(": ");
+    msg_.append(msg2.data(), msg2.size());
+  }
+}
+
+std::string Status::ToString() const {
+  const char* type = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      type = "NotFound: ";
+      break;
+    case Code::kCorruption:
+      type = "Corruption: ";
+      break;
+    case Code::kNotSupported:
+      type = "Not supported: ";
+      break;
+    case Code::kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case Code::kIOError:
+      type = "IO error: ";
+      break;
+    case Code::kBusy:
+      type = "Busy: ";
+      break;
+    case Code::kOutOfMemory:
+      type = "Out of memory: ";
+      break;
+  }
+  std::string result(type);
+  result.append(msg_);
+  return result;
+}
+
+}  // namespace dlsm

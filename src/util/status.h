@@ -1,0 +1,83 @@
+// Status: lightweight success/error result type, following the
+// LevelDB/Arrow convention of returning Status instead of throwing.
+
+#ifndef DLSM_UTIL_STATUS_H_
+#define DLSM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+/// Outcome of an operation: OK or an error code plus message.
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg,
+                                const Slice& msg2 = Slice()) {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kBusy, msg, msg2);
+  }
+  static Status OutOfMemory(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(Code::kOutOfMemory, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+
+  /// Returns a human-readable description of this status.
+  std::string ToString() const;
+
+ private:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kNotSupported,
+    kInvalidArgument,
+    kIOError,
+    kBusy,
+    kOutOfMemory,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define DLSM_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dlsm::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                \
+  } while (false)
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_STATUS_H_

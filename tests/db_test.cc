@@ -1,0 +1,520 @@
+// End-to-end tests of the dLSM engine over the simulated deployment:
+// write/read paths, flush, near-data compaction, snapshots, iterators,
+// stalls, sharding, and the ablation configurations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tests/dlsm_test_util.h"
+
+namespace dlsm {
+namespace {
+
+using test::RunDbTest;
+using test::TestKey;
+using test::TestValue;
+
+TEST(DBTest, PutGetRoundTrip) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "foo", "bar").ok());
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), "foo", &value).ok());
+    EXPECT_EQ("bar", value);
+    EXPECT_TRUE(db->Get(ReadOptions(), "missing", &value).IsNotFound());
+  });
+}
+
+TEST(DBTest, OverwriteReturnsNewest) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v1").ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v2").ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v3").ok());
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+    EXPECT_EQ("v3", value);
+  });
+}
+
+TEST(DBTest, DeleteHidesKey) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v").ok());
+    ASSERT_TRUE(db->Delete(WriteOptions(), "k").ok());
+    std::string value;
+    EXPECT_TRUE(db->Get(ReadOptions(), "k", &value).IsNotFound());
+    // Re-insert after delete.
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "v2").ok());
+    ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+    EXPECT_EQ("v2", value);
+  });
+}
+
+TEST(DBTest, WriteBatchIsAtomicallyVisible) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    WriteBatch batch;
+    batch.Put("a", "1");
+    batch.Put("b", "2");
+    batch.Delete("a");
+    batch.Put("c", "3");
+    ASSERT_TRUE(db->Write(WriteOptions(), &batch).ok());
+    std::string value;
+    EXPECT_TRUE(db->Get(ReadOptions(), "a", &value).IsNotFound());
+    ASSERT_TRUE(db->Get(ReadOptions(), "b", &value).ok());
+    EXPECT_EQ("2", value);
+    ASSERT_TRUE(db->Get(ReadOptions(), "c", &value).ok());
+    EXPECT_EQ("3", value);
+  });
+}
+
+TEST(DBTest, ReadsSpanMemTableFlushAndCompaction) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    // Enough data to force several flushes and at least one compaction.
+    const int kN = 4000;
+    for (int i = 0; i < kN; i++) {
+      ASSERT_TRUE(
+          db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    EXPECT_GT(db->GetStats().flushes, 0u);
+
+    for (int i = 0; i < kN; i += 7) {
+      std::string value;
+      ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok())
+          << "missing key " << i;
+      EXPECT_EQ(TestValue(i), value);
+    }
+  });
+}
+
+TEST(DBTest, OverwritesSurviveCompaction) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    const int kN = 1500;
+    for (int round = 0; round < 3; round++) {
+      for (int i = 0; i < kN; i++) {
+        ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i),
+                            TestValue(i * 10 + round))
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int i = 0; i < kN; i += 11) {
+      std::string value;
+      ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok());
+      EXPECT_EQ(TestValue(i * 10 + 2), value) << "key " << i;
+    }
+  });
+}
+
+TEST(DBTest, DeletesSurviveCompaction) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    const int kN = 2000;
+    for (int i = 0; i < kN; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    for (int i = 0; i < kN; i += 2) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int i = 0; i < kN; i += 97) {
+      std::string value;
+      Status s = db->Get(ReadOptions(), TestKey(i), &value);
+      if (i % 2 == 0) {
+        EXPECT_TRUE(s.IsNotFound()) << "key " << i;
+      } else {
+        ASSERT_TRUE(s.ok()) << "key " << i;
+        EXPECT_EQ(TestValue(i), value);
+      }
+    }
+  });
+}
+
+TEST(DBTest, MatchesReferenceModelUnderRandomWorkload) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    std::map<std::string, std::string> model;
+    Random rnd(301);
+    for (int op = 0; op < 8000; op++) {
+      std::string key = TestKey(rnd.Uniform(500));
+      if (rnd.OneIn(4)) {
+        model.erase(key);
+        ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+      } else {
+        std::string value = TestValue(rnd.Next() % 100000);
+        model[key] = value;
+        ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+      }
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int i = 0; i < 500; i++) {
+      std::string key = TestKey(i);
+      std::string value;
+      Status s = db->Get(ReadOptions(), key, &value);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+        EXPECT_EQ(it->second, value) << key;
+      }
+    }
+  });
+}
+
+TEST(DBTest, IteratorScansInOrder) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    const int kN = 3000;
+    for (int i = kN - 1; i >= 0; i--) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    int count = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      ASSERT_EQ(TestKey(count), it->key().ToString());
+      ASSERT_EQ(TestValue(count), it->value().ToString());
+      count++;
+    }
+    ASSERT_TRUE(it->status().ok()) << it->status().ToString();
+    EXPECT_EQ(kN, count);
+  });
+}
+
+TEST(DBTest, IteratorSeekAndPrev) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    for (int i = 0; i < 1000; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i * 2), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+
+    it->Seek(TestKey(100));  // Exact hit.
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(TestKey(100), it->key().ToString());
+
+    it->Seek(TestKey(101));  // Between keys: lands on 102.
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(TestKey(102), it->key().ToString());
+
+    it->Prev();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(TestKey(100), it->key().ToString());
+
+    it->SeekToLast();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(TestKey(1998), it->key().ToString());
+  });
+}
+
+TEST(DBTest, IteratorHidesDeletions) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    for (int i = 0; i < 100; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    for (int i = 0; i < 100; i += 3) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+    }
+    std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      uint64_t n = std::stoull(it->key().ToString());
+      EXPECT_NE(0u, n % 3) << "deleted key visible: " << n;
+    }
+  });
+}
+
+TEST(DBTest, SnapshotReadsSeeFrozenState) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "old").ok());
+    const Snapshot* snap = db->GetSnapshot();
+    ASSERT_TRUE(db->Put(WriteOptions(), "k", "new").ok());
+    ASSERT_TRUE(db->Put(WriteOptions(), "k2", "only-new").ok());
+
+    ReadOptions at_snap;
+    at_snap.snapshot_sequence = snap->sequence();
+    std::string value;
+    ASSERT_TRUE(db->Get(at_snap, "k", &value).ok());
+    EXPECT_EQ("old", value);
+    EXPECT_TRUE(db->Get(at_snap, "k2", &value).IsNotFound());
+
+    ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+    EXPECT_EQ("new", value);
+    db->ReleaseSnapshot(snap);
+  });
+}
+
+TEST(DBTest, SnapshotSurvivesFlushAndCompaction) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    ASSERT_TRUE(db->Put(WriteOptions(), TestKey(42), "before").ok());
+    const Snapshot* snap = db->GetSnapshot();
+    for (int round = 0; round < 4; round++) {
+      for (int i = 0; i < 1200; i++) {
+        ASSERT_TRUE(
+            db->Put(WriteOptions(), TestKey(i), TestValue(round)).ok());
+      }
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+
+    ReadOptions at_snap;
+    at_snap.snapshot_sequence = snap->sequence();
+    std::string value;
+    ASSERT_TRUE(db->Get(at_snap, TestKey(42), &value).ok());
+    EXPECT_EQ("before", value);
+    db->ReleaseSnapshot(snap);
+  });
+}
+
+TEST(DBTest, ConcurrentWritersAllLand) {
+  RunDbTest(nullptr, [](DB* db, Env* env) {
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 600;
+    std::atomic<int> failures{0};
+    std::vector<ThreadHandle> hs;
+    for (int t = 0; t < kThreads; t++) {
+      hs.push_back(env->StartThread(0, "writer", [&, t] {
+        for (int i = 0; i < kPerThread; i++) {
+          uint64_t k = static_cast<uint64_t>(t) * kPerThread + i;
+          if (!db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok()) {
+            failures++;
+          }
+          if (i % 64 == 0) env->MaybeYield();
+        }
+      }));
+    }
+    for (ThreadHandle h : hs) env->Join(h);
+    ASSERT_EQ(0, failures.load());
+
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int t = 0; t < kThreads; t++) {
+      for (int i = 0; i < kPerThread; i += 13) {
+        uint64_t k = static_cast<uint64_t>(t) * kPerThread + i;
+        std::string value;
+        ASSERT_TRUE(db->Get(ReadOptions(), TestKey(k), &value).ok())
+            << "lost write " << k;
+        EXPECT_EQ(TestValue(k), value);
+      }
+    }
+  });
+}
+
+TEST(DBTest, ConcurrentWritersOnSameKeyKeepNewestVisible) {
+  // The Sec. IV correctness property: with racing writers on one key, a
+  // reader must never see an older version than the newest committed one.
+  RunDbTest(nullptr, [](DB* db, Env* env) {
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 400;
+    std::vector<ThreadHandle> hs;
+    for (int t = 0; t < kThreads; t++) {
+      hs.push_back(env->StartThread(0, "writer", [&, t] {
+        for (int i = 0; i < kRounds; i++) {
+          ASSERT_TRUE(db->Put(WriteOptions(), "hot-key",
+                              TestValue(t * 1000 + i))
+                          .ok());
+          if (i % 32 == 0) env->MaybeYield();
+        }
+      }));
+    }
+    for (ThreadHandle h : hs) env->Join(h);
+    // All writers done: the visible value must be SOME complete write, and
+    // repeated reads must agree (no older-version flicker).
+    std::string v1, v2;
+    ASSERT_TRUE(db->Get(ReadOptions(), "hot-key", &v1).ok());
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    ASSERT_TRUE(db->Get(ReadOptions(), "hot-key", &v2).ok());
+    EXPECT_EQ(v1, v2) << "version went backwards across flush";
+  });
+}
+
+TEST(DBTest, StallEngagesAtL0StopTrigger) {
+  RunDbTest(
+      [](Options* options) {
+        options->l0_compaction_trigger = 2;
+        options->l0_stop_writes_trigger = 4;
+        options->memtable_size = 16 << 10;
+      },
+      [](DB* db, Env*) {
+        for (int i = 0; i < 6000; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        // The trigger must have been respected after quiescing.
+        EXPECT_LT(db->NumFilesAtLevel(0), 5);
+        std::string value;
+        ASSERT_TRUE(db->Get(ReadOptions(), TestKey(5999), &value).ok());
+      });
+}
+
+TEST(DBTest, BloomFiltersSkipRemoteReads) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    // Write only even keys so odd keys are absent but inside every
+    // table's key range (outside-range keys are pruned by the metadata
+    // before the bloom filter is ever consulted).
+    for (int i = 0; i < 3000; i += 2) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    std::string value;
+    for (int i = 1; i < 1000; i += 2) {
+      EXPECT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).IsNotFound());
+    }
+    EXPECT_GT(db->GetStats().bloom_useful, 0u);
+  });
+}
+
+TEST(DBTest, ShardedDbRoutesAndReads) {
+  RunDbTest(
+      [](Options* options) { options->shards = 8; },
+      [](DB* db, Env*) {
+        const int kN = 4000;
+        Random rnd(7);
+        for (int i = 0; i < kN; i++) {
+          uint64_t k = rnd.Next64() % 1000000000000000ull;
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(k), TestValue(k % 1000)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        Random rnd2(7);
+        for (int i = 0; i < kN; i += 17) {
+          // Reproduce the same key stream.
+          uint64_t k = 0;
+          Random r(7);
+          for (int j = 0; j <= i; j++) k = r.Next64() % 1000000000000000ull;
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(k), &value).ok())
+              << "key " << k;
+          EXPECT_EQ(TestValue(k % 1000), value);
+        }
+        (void)rnd2;
+      });
+}
+
+TEST(DBTest, ShardedIteratorSpansShards) {
+  RunDbTest(
+      [](Options* options) { options->shards = 4; },
+      [](DB* db, Env*) {
+        const int kN = 1000;
+        for (int i = 0; i < kN; i++) {
+          // Spread keys over the whole decimal space so shards all get data.
+          uint64_t k = static_cast<uint64_t>(i) * 9000000000000ull;
+          ASSERT_TRUE(db->Put(WriteOptions(), TestKey(k), TestValue(i)).ok());
+        }
+        std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+        int count = 0;
+        std::string prev;
+        for (it->SeekToFirst(); it->Valid(); it->Next()) {
+          std::string k = it->key().ToString();
+          ASSERT_LT(prev, k);
+          prev = k;
+          count++;
+        }
+        EXPECT_EQ(kN, count);
+      });
+}
+
+// --- Ablation configurations ------------------------------------------------
+
+TEST(DBTest, BlockFormatModeIsCorrect) {
+  RunDbTest(
+      [](Options* options) {
+        options->table_format = TableFormat::kBlock;
+        options->block_size = 4096;
+      },
+      [](DB* db, Env*) {
+        const int kN = 3000;
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        for (int i = 0; i < kN; i += 23) {
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok())
+              << "key " << i;
+          EXPECT_EQ(TestValue(i), value);
+        }
+        // Scans unwrap blocks.
+        std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+        int count = 0;
+        for (it->SeekToFirst(); it->Valid(); it->Next()) count++;
+        EXPECT_EQ(kN, count);
+      });
+}
+
+TEST(DBTest, ComputeSideCompactionIsCorrect) {
+  RunDbTest(
+      [](Options* options) {
+        options->compaction_placement = CompactionPlacement::kComputeSide;
+      },
+      [](DB* db, Env*) {
+        const int kN = 3000;
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i + 1)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        EXPECT_GT(db->GetStats().compactions, 0u);
+        for (int i = 0; i < kN; i += 31) {
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok());
+          EXPECT_EQ(TestValue(i + 1), value);
+        }
+      });
+}
+
+TEST(DBTest, DoubleCheckedSwitchPolicyIsFunctional) {
+  RunDbTest(
+      [](Options* options) {
+        options->switch_policy = MemTableSwitchPolicy::kDoubleCheckedSize;
+      },
+      [](DB* db, Env*) {
+        const int kN = 3000;
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        for (int i = 0; i < kN; i += 19) {
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok());
+          EXPECT_EQ(TestValue(i), value);
+        }
+      });
+}
+
+TEST(DBTest, StatsAreAccounted) {
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), TestKey(1), &value).ok());
+    DbStats s = db->GetStats();
+    EXPECT_EQ(3000u, s.writes);
+    EXPECT_GE(s.reads, 1u);
+    EXPECT_GT(s.flushes, 0u);
+    EXPECT_GT(s.compactions, 0u);
+    EXPECT_GT(s.compaction_input_bytes, 0u);
+    EXPECT_GT(s.compaction_output_bytes, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace dlsm

@@ -1,0 +1,400 @@
+// Tests for the software RDMA fabric: registration/rkey validation, verb
+// semantics, link timing (latency- vs bandwidth-bound transfers), FIFO
+// completion ordering, atomics, and the RdmaManager wrappers.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/sim/sim_env.h"
+
+namespace dlsm {
+namespace rdma {
+namespace {
+
+constexpr size_t kMB = 1024 * 1024;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void RunSim(std::function<void(Fabric*, Node*, Node*)> body) {
+    SimEnv env;
+    Fabric fabric(&env);
+    Node* compute = fabric.AddNode("compute", 24, 64 * kMB);
+    Node* memory = fabric.AddNode("memory", 4, 256 * kMB);
+    env.Run(0, [&] { body(&fabric, compute, memory); });
+  }
+};
+
+TEST_F(FabricTest, WriteThenReadRoundTrip) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    RdmaManager mgr(f, compute, memory);
+
+    std::string payload = "the quick brown fox";
+    ASSERT_TRUE(
+        mgr.Write(payload.data(), mr.addr, mr.rkey, payload.size()).ok());
+
+    char back[64] = {0};
+    ASSERT_TRUE(mgr.Read(back, mr.addr, mr.rkey, payload.size()).ok());
+    EXPECT_EQ(payload, std::string(back, payload.size()));
+  });
+}
+
+TEST_F(FabricTest, InvalidRkeyRejected) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    RdmaManager mgr(f, compute, memory);
+
+    char buf[16] = {0};
+    Status s = mgr.Read(buf, mr.addr, mr.rkey + 12345, 16);
+    EXPECT_FALSE(s.ok());
+  });
+}
+
+TEST_F(FabricTest, OutOfRangeAccessRejected) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    RdmaManager mgr(f, compute, memory);
+
+    char buf[16] = {0};
+    // Reading past the registered range must fail.
+    EXPECT_FALSE(mgr.Read(buf, mr.addr + 4090, mr.rkey, 16).ok());
+    // Reading at the very edge succeeds.
+    EXPECT_TRUE(mgr.Read(buf, mr.addr + 4080, mr.rkey, 16).ok());
+  });
+}
+
+TEST_F(FabricTest, SmallTransfersAreLatencyBound) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    Env* env = f->env();
+    char* remote = memory->AllocDram(kMB);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, kMB);
+    RdmaManager mgr(f, compute, memory);
+
+    char buf[64];
+    // Warm up: thread-local QP creation is real CPU and must not count.
+    ASSERT_TRUE(mgr.Read(buf, mr.addr, mr.rkey, 64).ok());
+    uint64_t start = env->NowNanos();
+    ASSERT_TRUE(mgr.Read(buf, mr.addr, mr.rkey, 64).ok());
+    uint64_t small_ns = env->NowNanos() - start;
+    // A 64 B read should cost roughly the base latency (1.6 us).
+    EXPECT_GE(small_ns, f->params().read_latency_ns);
+    EXPECT_LT(small_ns, 3 * f->params().read_latency_ns);
+  });
+}
+
+TEST_F(FabricTest, LargeTransfersAreBandwidthBound) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    Env* env = f->env();
+    char* remote = memory->AllocDram(2 * kMB);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 2 * kMB);
+    RdmaManager mgr(f, compute, memory);
+
+    std::string buf(kMB, 'x');
+    uint64_t start = env->NowNanos();
+    ASSERT_TRUE(mgr.Read(buf.data(), mr.addr, mr.rkey, kMB).ok());
+    uint64_t big_ns = env->NowNanos() - start;
+    // 1 MB at 12.5 GB/s is ~84 us; the base latency is negligible.
+    uint64_t expected =
+        static_cast<uint64_t>(kMB / f->params().BytesPerNano());
+    EXPECT_GE(big_ns, expected);
+    EXPECT_LT(big_ns, expected * 2);
+  });
+}
+
+TEST_F(FabricTest, PerByteThroughputGapMatchesPaperClaim) {
+  // Paper Sec. I: ~100x gap between moving data in 64 B units vs 1 MB units.
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    Env* env = f->env();
+    char* remote = memory->AllocDram(4 * kMB);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4 * kMB);
+    RdmaManager mgr(f, compute, memory);
+    std::string buf(kMB, 'x');
+
+    uint64_t start = env->NowNanos();
+    for (int i = 0; i < 64; i++) {
+      ASSERT_TRUE(mgr.Read(buf.data(), mr.addr, mr.rkey, 64).ok());
+    }
+    double small_bpns = 64.0 * 64 / (env->NowNanos() - start);
+
+    start = env->NowNanos();
+    ASSERT_TRUE(mgr.Read(buf.data(), mr.addr, mr.rkey, kMB).ok());
+    double big_bpns = static_cast<double>(kMB) / (env->NowNanos() - start);
+
+    EXPECT_GT(big_bpns / small_bpns, 50.0);
+  });
+}
+
+TEST_F(FabricTest, AsyncWritesPipelineOnTheLink) {
+  // Posting k writes back-to-back should take ~k*transfer + 1 latency, not
+  // k*(transfer + latency): the NIC overlaps request issue with transfers.
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    Env* env = f->env();
+    constexpr int kWrites = 8;
+    char* remote = memory->AllocDram(kWrites * kMB);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, kWrites * kMB);
+    std::string buf(kMB, 'y');
+
+    auto [qp, peer] = f->CreateQpPair(compute, memory);
+    (void)peer;
+    uint64_t start = env->NowNanos();
+    for (int i = 0; i < kWrites; i++) {
+      qp->PostWrite(buf.data(), mr.addr + i * kMB, mr.rkey, kMB);
+    }
+    for (int i = 0; i < kWrites; i++) {
+      Completion c = qp->WaitCompletion();
+      ASSERT_TRUE(c.status.ok());
+    }
+    uint64_t elapsed = env->NowNanos() - start;
+    uint64_t transfer =
+        static_cast<uint64_t>(kMB / f->params().BytesPerNano());
+    EXPECT_GE(elapsed, kWrites * transfer);
+    EXPECT_LT(elapsed, kWrites * transfer +
+                           4 * f->params().write_latency_ns);
+  });
+}
+
+TEST_F(FabricTest, CompletionsAreFifoPerQp) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(kMB);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, kMB);
+    auto [qp, peer] = f->CreateQpPair(compute, memory);
+    (void)peer;
+    char buf[256];
+    for (int i = 1; i <= 10; i++) {
+      qp->PostWrite(buf, mr.addr, mr.rkey, 256, /*wr_id=*/100 + i);
+    }
+    uint64_t last_time = 0;
+    for (int i = 1; i <= 10; i++) {
+      Completion c = qp->WaitCompletion();
+      EXPECT_EQ(100u + i, c.wr_id);
+      EXPECT_GE(c.completion_ns, last_time);
+      last_time = c.completion_ns;
+    }
+  });
+}
+
+TEST_F(FabricTest, SendRecvDeliversPayload) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    auto [cq, sq] = f->CreateQpPair(compute, memory);
+    char rbuf[128] = {0};
+    sq->PostRecv(rbuf, sizeof(rbuf), 7);
+
+    std::string msg = "hello from compute";
+    cq->PostSend(msg.data(), msg.size());
+
+    Completion rc = sq->WaitRecvCompletion();
+    ASSERT_TRUE(rc.status.ok());
+    EXPECT_EQ(7u, rc.wr_id);
+    EXPECT_EQ(msg.size(), rc.byte_len);
+    EXPECT_EQ(msg, std::string(rbuf, rc.byte_len));
+
+    Completion sc = cq->WaitCompletion();
+    EXPECT_TRUE(sc.status.ok());
+  });
+}
+
+TEST_F(FabricTest, SendWithoutRecvReportsRnr) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    auto [cq, sq] = f->CreateQpPair(compute, memory);
+    (void)sq;
+    std::string msg = "nobody listening";
+    cq->PostSend(msg.data(), msg.size());
+    Completion rc = sq->WaitRecvCompletion();
+    EXPECT_FALSE(rc.status.ok());
+  });
+}
+
+TEST_F(FabricTest, WriteWithImmNotifiesPeer) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    auto [cq, sq] = f->CreateQpPair(compute, memory);
+    char dummy[8];
+    sq->PostRecv(dummy, sizeof(dummy), 9);
+
+    std::string payload = "data";
+    cq->PostWriteWithImm(payload.data(), mr.addr, mr.rkey, payload.size(),
+                         0xfeed);
+
+    Completion rc = sq->WaitRecvCompletion();
+    ASSERT_TRUE(rc.status.ok());
+    EXPECT_TRUE(rc.has_imm);
+    EXPECT_EQ(0xfeedu, rc.imm);
+    EXPECT_EQ(9u, rc.wr_id);
+    EXPECT_EQ(0, memcmp(remote, "data", 4));
+  });
+}
+
+TEST_F(FabricTest, FetchAddIsAtomicAndReturnsPrevious) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(64);
+    memset(remote, 0, 64);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 64);
+    RdmaManager mgr(f, compute, memory);
+
+    uint64_t prev = 99;
+    ASSERT_TRUE(mgr.FetchAdd(mr.addr, mr.rkey, 5, &prev).ok());
+    EXPECT_EQ(0u, prev);
+    ASSERT_TRUE(mgr.FetchAdd(mr.addr, mr.rkey, 3, &prev).ok());
+    EXPECT_EQ(5u, prev);
+    uint64_t value;
+    memcpy(&value, remote, 8);
+    EXPECT_EQ(8u, value);
+  });
+}
+
+TEST_F(FabricTest, CmpSwapSemantics) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(64);
+    uint64_t init = 42;
+    memcpy(remote, &init, 8);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 64);
+    RdmaManager mgr(f, compute, memory);
+
+    uint64_t prev = 0;
+    // Mismatched expectation: value unchanged, previous returned.
+    ASSERT_TRUE(mgr.CmpSwap(mr.addr, mr.rkey, 7, 100, &prev).ok());
+    EXPECT_EQ(42u, prev);
+    uint64_t value;
+    memcpy(&value, remote, 8);
+    EXPECT_EQ(42u, value);
+
+    // Matching expectation: swapped.
+    ASSERT_TRUE(mgr.CmpSwap(mr.addr, mr.rkey, 42, 100, &prev).ok());
+    EXPECT_EQ(42u, prev);
+    memcpy(&value, remote, 8);
+    EXPECT_EQ(100u, value);
+  });
+}
+
+TEST_F(FabricTest, MisalignedAtomicRejected) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(64);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 64);
+    RdmaManager mgr(f, compute, memory);
+    uint64_t prev;
+    EXPECT_FALSE(mgr.FetchAdd(mr.addr + 1, mr.rkey, 1, &prev).ok());
+  });
+}
+
+TEST_F(FabricTest, StampedWriteReleasesStampWithCompletionTime) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    Env* env = f->env();
+    char* remote = memory->AllocDram(4096);
+    memset(remote, 0, 4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    auto [qp, peer] = f->CreateQpPair(compute, memory);
+    (void)peer;
+
+    std::string payload = "stamped payload";
+    qp->PostWriteStamped(payload.data(), mr.addr, mr.rkey, payload.size());
+    uint64_t stamp = QueuePair::ReadReadyStamp(remote + payload.size());
+    ASSERT_NE(0u, stamp);
+    env->AdvanceTo(stamp);
+    EXPECT_GE(env->NowNanos(), stamp);
+    EXPECT_EQ(0, memcmp(remote, payload.data(), payload.size()));
+    Completion c = qp->WaitCompletion();
+    EXPECT_TRUE(c.status.ok());
+    EXPECT_EQ(stamp, c.completion_ns);
+  });
+}
+
+TEST_F(FabricTest, ConcurrentThreadsShareLinkBandwidth) {
+  // Two threads each reading 8 MB over the same link should take ~2x the
+  // virtual time of one thread reading 8 MB: the wire serializes.
+  SimEnv env;
+  Fabric fabric(&env);
+  Node* compute = fabric.AddNode("compute", 24, 64 * kMB);
+  Node* memory = fabric.AddNode("memory", 4, 256 * kMB);
+  uint64_t one = 0, two = 0;
+  env.Run(0, [&] {
+    char* remote = memory->AllocDram(8 * kMB);
+    MemoryRegion mr = fabric.RegisterMemory(memory, remote, 8 * kMB);
+    RdmaManager mgr(&fabric, compute, memory);
+
+    auto read_8mb = [&] {
+      std::string buf(kMB, 0);
+      for (int i = 0; i < 8; i++) {
+        ASSERT_TRUE(mgr.Read(buf.data(), mr.addr, mr.rkey, kMB).ok());
+      }
+    };
+
+    uint64_t start = env.NowNanos();
+    read_8mb();
+    one = env.NowNanos() - start;
+
+    Barrier barrier(&env, 3);
+    auto worker = [&] {
+      barrier.Arrive();
+      read_8mb();
+      barrier.Arrive();
+    };
+    ThreadHandle h1 = env.StartThread(compute->env_node(), "r1", worker);
+    ThreadHandle h2 = env.StartThread(compute->env_node(), "r2", worker);
+    barrier.Arrive();
+    start = env.NowNanos();
+    barrier.Arrive();
+    two = env.NowNanos() - start;
+    env.Join(h1);
+    env.Join(h2);
+  });
+  // Loose bounds: measured-CPU noise moves these a little between runs,
+  // but wire serialization must dominate.
+  EXPECT_GT(two, one * 13 / 10);
+  EXPECT_LT(two, one * 4);
+}
+
+TEST_F(FabricTest, WireAccountingTracksBytes) {
+  RunSim([](Fabric* f, Node* compute, Node* memory) {
+    char* remote = memory->AllocDram(4096);
+    MemoryRegion mr = f->RegisterMemory(memory, remote, 4096);
+    RdmaManager mgr(f, compute, memory);
+    uint64_t bytes0 = f->wire_bytes();
+    char buf[512];
+    ASSERT_TRUE(mgr.Write(buf, mr.addr, mr.rkey, 512).ok());
+    ASSERT_TRUE(mgr.Read(buf, mr.addr, mr.rkey, 512).ok());
+    EXPECT_EQ(bytes0 + 1024, f->wire_bytes());
+  });
+}
+
+TEST(NodeTest, DramAllocationIsBoundedAndAligned) {
+  SimEnv env;
+  Fabric fabric(&env);
+  Node* n = fabric.AddNode("n", 1, 1024 * 1024);
+  char* a = n->AllocDram(100);
+  ASSERT_NE(nullptr, a);
+  EXPECT_EQ(0u, reinterpret_cast<uintptr_t>(a) % 64);
+  char* b = n->AllocDram(100);
+  EXPECT_GE(b - a, 100);
+  EXPECT_EQ(nullptr, n->AllocDram(2 * 1024 * 1024));
+}
+
+TEST(FabricStdEnvTest, WorksInRealTime) {
+  // The fabric must also run under StdEnv (used by engine unit tests).
+  Env* env = Env::Std();
+  LinkParams fast;
+  fast.read_latency_ns = 1000;
+  Fabric fabric(env, fast);
+  Node* compute = fabric.AddNode("compute", 0, 16 * kMB);
+  Node* memory = fabric.AddNode("memory", 0, 16 * kMB);
+  char* remote = memory->AllocDram(4096);
+  MemoryRegion mr = fabric.RegisterMemory(memory, remote, 4096);
+  RdmaManager mgr(&fabric, compute, memory);
+  std::string payload = "real time";
+  ASSERT_TRUE(
+      mgr.Write(payload.data(), mr.addr, mr.rkey, payload.size()).ok());
+  char back[32] = {0};
+  ASSERT_TRUE(mgr.Read(back, mr.addr, mr.rkey, payload.size()).ok());
+  EXPECT_EQ(payload, std::string(back, payload.size()));
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace dlsm

@@ -1,0 +1,234 @@
+// Tests for remote memory management and the RPC layer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/remote/remote_alloc.h"
+#include "src/remote/rpc.h"
+#include "src/sim/sim_env.h"
+
+namespace dlsm {
+namespace remote {
+namespace {
+
+constexpr size_t kMB = 1024 * 1024;
+
+TEST(SlabAllocatorTest, AllocateFreeReuse) {
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 16 * kMB);
+  char* base = memory->AllocDram(8 * kMB);
+  rdma::MemoryRegion mr = fabric.RegisterMemory(memory, base, 8 * kMB);
+  SlabAllocator alloc(mr, kMB, memory->id());
+
+  EXPECT_EQ(8u, alloc.capacity_chunks());
+  std::vector<RemoteChunk> chunks;
+  std::set<uint64_t> addrs;
+  for (int i = 0; i < 8; i++) {
+    RemoteChunk c = alloc.Allocate();
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(kMB, c.size);
+    EXPECT_EQ(memory->id(), c.owner_node);
+    EXPECT_TRUE(addrs.insert(c.addr).second) << "duplicate chunk";
+    chunks.push_back(c);
+  }
+  // Exhausted.
+  EXPECT_FALSE(alloc.Allocate().valid());
+  EXPECT_EQ(8u, alloc.allocated_chunks());
+
+  // Free two, re-allocate two.
+  alloc.Free(chunks[3]);
+  alloc.Free(chunks[5]);
+  EXPECT_EQ(6u, alloc.allocated_chunks());
+  RemoteChunk r1 = alloc.Allocate();
+  RemoteChunk r2 = alloc.Allocate();
+  ASSERT_TRUE(r1.valid());
+  ASSERT_TRUE(r2.valid());
+  std::set<uint64_t> freed = {chunks[3].addr, chunks[5].addr};
+  EXPECT_TRUE(freed.count(r1.addr));
+  EXPECT_TRUE(freed.count(r2.addr));
+}
+
+TEST(SlabAllocatorTest, FreeByAddrValidation) {
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 16 * kMB);
+  char* base = memory->AllocDram(4 * kMB);
+  rdma::MemoryRegion mr = fabric.RegisterMemory(memory, base, 4 * kMB);
+  SlabAllocator alloc(mr, kMB, memory->id());
+
+  RemoteChunk c = alloc.Allocate();
+  EXPECT_FALSE(alloc.FreeByAddr(c.addr + 1).ok());     // Not chunk-aligned.
+  EXPECT_FALSE(alloc.FreeByAddr(mr.addr - kMB).ok());  // Outside region.
+  EXPECT_TRUE(alloc.FreeByAddr(c.addr).ok());
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void RunSim(std::function<void(rdma::Fabric*, rdma::Node*, rdma::Node*)>
+                  body) {
+    SimEnv env;
+    rdma::Fabric fabric(&env);
+    // RPC thread buffers are MAP_NORESERVE-lazy but still need address
+    // space: size the nodes generously.
+    rdma::Node* compute = fabric.AddNode("compute", 24, 1024 * kMB);
+    rdma::Node* memory = fabric.AddNode("memory", 4, 1024 * kMB);
+    env.Run(0, [&] { body(&fabric, compute, memory); });
+  }
+};
+
+TEST_F(RpcTest, PingEchoes) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    std::string reply;
+    Status s = client.Call(RpcType::kPing, "hello", &reply);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ("hello", reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, HandlerReceivesTypeAndArgs) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.set_handler(
+        [](uint8_t type, const Slice& args, std::string* reply) {
+          *reply = std::to_string(type) + ":" + args.ToString();
+        });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    std::string reply;
+    ASSERT_TRUE(client.Call(RpcType::kFreeBatch, "abc", &reply).ok());
+    EXPECT_EQ("3:abc", reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, WakeupPathRoundTrips) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.set_handler(
+        [f](uint8_t type, const Slice& args, std::string* reply) {
+          EXPECT_EQ(RpcType::kCompaction, type);
+          // Simulate a long compaction.
+          f->env()->SleepNanos(5'000'000);
+          *reply = "compacted:" + args.ToString();
+        });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    std::string reply;
+    Status s = client.CallWithWakeup(RpcType::kCompaction, "t1,t2", &reply);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ("compacted:t1,t2", reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, LargeArgumentsTravelViaRdmaRead) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    std::string big(100 * 1024, 'z');  // Exceeds any inline capacity.
+    RpcServer server(f, memory, 2);
+    server.set_handler(
+        [&](uint8_t, const Slice& args, std::string* reply) {
+          EXPECT_EQ(big.size(), args.size());
+          EXPECT_EQ(big, args.ToString());
+          *reply = std::to_string(args.size());
+        });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    std::string reply;
+    ASSERT_TRUE(
+        client.CallWithWakeup(RpcType::kCompaction, big, &reply).ok());
+    EXPECT_EQ(std::to_string(big.size()), reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, ConcurrentCallersGetTheirOwnReplies) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    Env* env = f->env();
+    RpcServer server(f, memory, 4);
+    server.set_handler(
+        [env](uint8_t, const Slice& args, std::string* reply) {
+          env->SleepNanos(1'000'000);
+          *reply = "r:" + args.ToString();
+        });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::vector<ThreadHandle> hs;
+    for (int i = 0; i < kThreads; i++) {
+      hs.push_back(env->StartThread(compute->env_node(), "caller", [&, i] {
+        for (int k = 0; k < 5; k++) {
+          std::string arg = std::to_string(i) + "." + std::to_string(k);
+          std::string reply;
+          Status s = (k % 2 == 0)
+                         ? client.Call(RpcType::kStats, arg, &reply)
+                         : client.CallWithWakeup(RpcType::kCompaction, arg,
+                                                 &reply);
+          if (!s.ok() || reply != "r:" + arg) failures++;
+        }
+      }));
+    }
+    for (ThreadHandle h : hs) env->Join(h);
+    EXPECT_EQ(0, failures.load());
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, MultipleClientNodesOneServer) {
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* c1 = fabric.AddNode("compute1", 8, 1024 * kMB);
+  rdma::Node* c2 = fabric.AddNode("compute2", 8, 1024 * kMB);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 1024 * kMB);
+  env.Run(0, [&] {
+    RpcServer server(&fabric, memory, 2);
+    server.set_handler([](uint8_t, const Slice& args, std::string* reply) {
+      *reply = "ok:" + args.ToString();
+    });
+    server.Start();
+    RpcClient client1(&fabric, c1, &server);
+    RpcClient client2(&fabric, c2, &server);
+
+    std::string reply;
+    ASSERT_TRUE(client1.Call(RpcType::kStats, "one", &reply).ok());
+    EXPECT_EQ("ok:one", reply);
+    ASSERT_TRUE(client2.Call(RpcType::kStats, "two", &reply).ok());
+    EXPECT_EQ("ok:two", reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, WorkerBusyTimeIsTracked) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.set_handler([f](uint8_t, const Slice&, std::string* reply) {
+      f->env()->SleepNanos(10'000'000);  // 10 ms of "work".
+      *reply = "done";
+    });
+    server.Start();
+    RpcClient client(f, compute, &server);
+    std::string reply;
+    ASSERT_TRUE(
+        client.CallWithWakeup(RpcType::kCompaction, "x", &reply).ok());
+    EXPECT_GE(server.worker_busy_ns(), 10'000'000u);
+    server.Stop();
+  });
+}
+
+}  // namespace
+}  // namespace remote
+}  // namespace dlsm

@@ -1,0 +1,318 @@
+// Tests for the execution environments: the real-time StdEnv and the
+// virtual-time SimEnv scheduler that stands in for the paper's testbed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/sim/env.h"
+#include "src/sim/sim_env.h"
+#include "src/sim/thread_pool.h"
+
+namespace dlsm {
+namespace {
+
+TEST(StdEnvTest, TimeAdvances) {
+  Env* env = Env::Std();
+  EXPECT_FALSE(env->is_simulated());
+  uint64_t a = env->NowNanos();
+  env->SleepNanos(1000000);  // 1 ms.
+  uint64_t b = env->NowNanos();
+  EXPECT_GE(b - a, 900000u);
+}
+
+TEST(StdEnvTest, ThreadsAndJoin) {
+  Env* env = Env::Std();
+  std::atomic<int> counter{0};
+  std::vector<ThreadHandle> handles;
+  for (int i = 0; i < 4; i++) {
+    handles.push_back(env->StartThread(0, "worker", [&] { counter++; }));
+  }
+  for (ThreadHandle h : handles) env->Join(h);
+  EXPECT_EQ(4, counter.load());
+}
+
+TEST(StdEnvTest, MutexAndCondVar) {
+  Env* env = Env::Std();
+  Mutex mu(env);
+  CondVar cv(env, &mu);
+  bool flag = false;
+  ThreadHandle h = env->StartThread(0, "setter", [&] {
+    MutexLock l(&mu);
+    flag = true;
+    cv.Signal();
+  });
+  {
+    MutexLock l(&mu);
+    while (!flag) cv.Wait();
+  }
+  env->Join(h);
+  EXPECT_TRUE(flag);
+}
+
+TEST(StdEnvTest, TimedWaitTimesOut) {
+  Env* env = Env::Std();
+  Mutex mu(env);
+  CondVar cv(env, &mu);
+  MutexLock l(&mu);
+  EXPECT_TRUE(cv.TimedWait(1000000));  // 1 ms, nobody signals.
+}
+
+TEST(SimEnvTest, VirtualSleepIsFree) {
+  // Sleeping ten virtual seconds must not take ten real seconds.
+  SimEnv env;
+  uint64_t virtual_elapsed = 0;
+  env.Run(0, [&] {
+    uint64_t start = env.NowNanos();
+    env.SleepNanos(10ull * 1000 * 1000 * 1000);
+    virtual_elapsed = env.NowNanos() - start;
+  });
+  EXPECT_GE(virtual_elapsed, 10ull * 1000 * 1000 * 1000);
+}
+
+TEST(SimEnvTest, AdvanceTo) {
+  SimEnv env;
+  env.Run(0, [&] {
+    env.AdvanceTo(5000000);
+    EXPECT_GE(env.NowNanos(), 5000000u);
+    uint64_t now = env.NowNanos();
+    env.AdvanceTo(100);  // In the past: no-op.
+    EXPECT_GE(env.NowNanos(), now);
+  });
+}
+
+TEST(SimEnvTest, CpuWorkAdvancesVirtualTime) {
+  SimEnv env;
+  uint64_t elapsed = 0;
+  env.Run(0, [&] {
+    uint64_t start = env.NowNanos();
+    // Burn some real CPU.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 2000000; i++) sink += i;
+    env.MaybeYield();
+    elapsed = env.NowNanos() - start;
+  });
+  EXPECT_GT(elapsed, 0u);
+}
+
+TEST(SimEnvTest, ThreadsJoinWithCausality) {
+  SimEnv env;
+  env.Run(0, [&] {
+    ThreadHandle h = env.StartThread(0, "sleeper", [&] {
+      env.SleepNanos(1000000000);  // 1 virtual second.
+    });
+    env.Join(h);
+    // Joiner's clock must have advanced past the sleeper's.
+    EXPECT_GE(env.NowNanos(), 1000000000u);
+  });
+}
+
+TEST(SimEnvTest, MutexHandoffTransfersTime) {
+  SimEnv env;
+  env.Run(0, [&] {
+    Mutex mu(&env);
+    mu.Lock();
+    ThreadHandle h = env.StartThread(0, "waiter", [&] {
+      mu.Lock();
+      // We block until the root releases at t >= 2s; causality requires our
+      // clock to be at least that.
+      EXPECT_GE(env.NowNanos(), 2000000000u);
+      mu.Unlock();
+    });
+    env.SleepNanos(2000000000);
+    mu.Unlock();
+    env.Join(h);
+  });
+}
+
+TEST(SimEnvTest, CondVarSignalWakes) {
+  SimEnv env;
+  env.Run(0, [&] {
+    Mutex mu(&env);
+    CondVar cv(&env, &mu);
+    bool flag = false;
+    ThreadHandle h = env.StartThread(0, "waiter", [&] {
+      MutexLock l(&mu);
+      while (!flag) cv.Wait();
+      EXPECT_GE(env.NowNanos(), 3000000000u);
+    });
+    env.SleepNanos(3000000000);
+    {
+      MutexLock l(&mu);
+      flag = true;
+      cv.Signal();
+    }
+    env.Join(h);
+  });
+}
+
+TEST(SimEnvTest, TimedWaitExpires) {
+  SimEnv env;
+  env.Run(0, [&] {
+    Mutex mu(&env);
+    CondVar cv(&env, &mu);
+    uint64_t start = env.NowNanos();
+    MutexLock l(&mu);
+    bool timed_out = cv.TimedWait(500000000);  // 0.5 virtual seconds.
+    EXPECT_TRUE(timed_out);
+    EXPECT_GE(env.NowNanos() - start, 500000000u);
+  });
+}
+
+TEST(SimEnvTest, TimedWaitSignaledBeforeDeadline) {
+  SimEnv env;
+  env.Run(0, [&] {
+    Mutex mu(&env);
+    CondVar cv(&env, &mu);
+    ThreadHandle h = env.StartThread(0, "signaler", [&] {
+      env.SleepNanos(1000000);  // 1 virtual ms.
+      MutexLock l(&mu);
+      cv.Signal();
+    });
+    {
+      MutexLock l(&mu);
+      bool timed_out = cv.TimedWait(1000000000);  // 1 virtual second.
+      EXPECT_FALSE(timed_out);
+      EXPECT_LT(env.NowNanos(), 900000000u);
+    }
+    env.Join(h);
+  });
+}
+
+TEST(SimEnvTest, BarrierSynchronizesClocks) {
+  SimEnv env;
+  env.Run(0, [&] {
+    Barrier barrier(&env, 3);
+    std::vector<uint64_t> after(3);
+    std::vector<ThreadHandle> hs;
+    for (int i = 0; i < 2; i++) {
+      hs.push_back(env.StartThread(0, "p", [&, i] {
+        env.SleepNanos((i + 1) * 1000000000ull);
+        barrier.Arrive();
+        after[i] = env.NowNanos();
+      }));
+    }
+    barrier.Arrive();
+    after[2] = env.NowNanos();
+    for (ThreadHandle h : hs) env.Join(h);
+    // Everyone leaves at >= the slowest arriver's time (2 virtual seconds).
+    for (uint64_t t : after) EXPECT_GE(t, 2000000000u);
+  });
+}
+
+TEST(SimEnvTest, ProcessorSharingScalesCpuCost) {
+  // Two CPU-bound workloads on a 1-core node should cost roughly twice the
+  // virtual time of the same workloads on a 2-core node.
+  auto run_with_cores = [](int cores) {
+    SimEnv env;
+    uint64_t elapsed = 0;
+    int node = env.RegisterNode("n", cores);
+    env.Run(0, [&] {
+      Barrier barrier(&env, 3);
+      auto work = [&] {
+        barrier.Arrive();
+        volatile uint64_t sink = 0;
+        for (int r = 0; r < 50; r++) {
+          for (int i = 0; i < 100000; i++) sink += i;
+          env.MaybeYield();
+        }
+        barrier.Arrive();
+      };
+      ThreadHandle h1 = env.StartThread(node, "w1", work);
+      ThreadHandle h2 = env.StartThread(node, "w2", work);
+      barrier.Arrive();
+      uint64_t start = env.NowNanos();
+      barrier.Arrive();
+      elapsed = env.NowNanos() - start;
+      env.Join(h1);
+      env.Join(h2);
+    });
+    return elapsed;
+  };
+  uint64_t one_core = run_with_cores(1);
+  uint64_t two_cores = run_with_cores(2);
+  EXPECT_GT(one_core, two_cores * 3 / 2)
+      << "1-core: " << one_core << " 2-core: " << two_cores;
+}
+
+TEST(SimEnvTest, ManyThreadsProgress) {
+  SimEnv env;
+  std::atomic<int> done{0};
+  env.Run(0, [&] {
+    std::vector<ThreadHandle> hs;
+    for (int i = 0; i < 32; i++) {
+      hs.push_back(env.StartThread(0, "t", [&, i] {
+        env.SleepNanos((i % 7 + 1) * 1000000ull);
+        done++;
+      }));
+    }
+    for (ThreadHandle h : hs) env.Join(h);
+  });
+  EXPECT_EQ(32, done.load());
+}
+
+TEST(SimEnvTest, YieldToOthersLetsLaggardsRun) {
+  SimEnv env;
+  env.Run(0, [&] {
+    std::atomic<bool> flag{false};
+    ThreadHandle h = env.StartThread(0, "setter", [&] {
+      env.SleepNanos(1000000);
+      flag = true;
+    });
+    int spins = 0;
+    while (!flag.load()) {
+      env.YieldToOthers();
+      ASSERT_LT(++spins, 1000000);
+    }
+    env.Join(h);
+    EXPECT_TRUE(flag.load());
+  });
+}
+
+TEST(ThreadPoolTest, RunsTasksStdEnv) {
+  Env* env = Env::Std();
+  ThreadPool pool(env, 0, 4, "pool");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; i++) {
+    pool.Submit([&] { count++; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(100, count.load());
+}
+
+TEST(ThreadPoolTest, RunsTasksSimEnv) {
+  SimEnv env;
+  std::atomic<int> count{0};
+  env.Run(0, [&] {
+    ThreadPool pool(&env, 0, 4, "pool");
+    for (int i = 0; i < 100; i++) {
+      pool.Submit([&] {
+        env.SleepNanos(1000);
+        count++;
+      });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(100, count.load());
+  });
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForInFlightTasks) {
+  SimEnv env;
+  env.Run(0, [&] {
+    ThreadPool pool(&env, 0, 2, "pool");
+    std::atomic<int> finished{0};
+    for (int i = 0; i < 8; i++) {
+      pool.Submit([&] {
+        env.SleepNanos(50000000);
+        finished++;
+      });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(8, finished.load());
+  });
+}
+
+}  // namespace
+}  // namespace dlsm

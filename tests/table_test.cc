@@ -1,0 +1,387 @@
+// Tests for SSTable machinery: index serialization, sinks (local, async
+// pipelined, sync), builders and readers in both layouts, point lookups
+// and iterators, local iterators used by near-data compaction.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/file_meta.h"
+#include "src/core/options.h"
+#include "src/core/table_builder.h"
+#include "src/core/table_index.h"
+#include "src/core/table_reader.h"
+#include "src/core/table_sink.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/sim_env.h"
+#include "src/util/random.h"
+
+namespace dlsm {
+namespace {
+
+std::string IKey(const std::string& user_key, SequenceNumber seq,
+                 ValueType t = kTypeValue) {
+  std::string out;
+  AppendInternalKey(&out, ParsedInternalKey(user_key, seq, t));
+  return out;
+}
+
+std::string UKey(uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(n));
+  return std::string(buf);
+}
+
+TEST(TableIndexTest, BuildParseRoundTrip) {
+  TableIndex::Builder builder(TableIndex::kPerRecord);
+  for (int i = 0; i < 100; i++) {
+    builder.Add(IKey(UKey(i), 100 - i), i * 10, 42 + i);
+  }
+  builder.SetFilter("fake-filter-bytes");
+  std::string blob = builder.Finish();
+
+  auto index = TableIndex::Parse(blob);
+  ASSERT_NE(nullptr, index);
+  EXPECT_EQ(TableIndex::kPerRecord, index->kind());
+  ASSERT_EQ(100u, index->num_entries());
+  for (int i = 0; i < 100; i++) {
+    TableIndex::Entry e = index->entry(i);
+    EXPECT_EQ(IKey(UKey(i), 100 - i), e.key.ToString());
+    EXPECT_EQ(static_cast<uint64_t>(i) * 10, e.offset);
+    EXPECT_EQ(42u + i, e.length);
+  }
+}
+
+TEST(TableIndexTest, FindReturnsFirstGreaterOrEqual) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  TableIndex::Builder builder(TableIndex::kPerRecord);
+  for (int i = 0; i < 50; i++) {
+    builder.Add(IKey(UKey(i * 2), 7), i, 1);  // Even keys only.
+  }
+  auto index = TableIndex::Parse(builder.Finish());
+  ASSERT_NE(nullptr, index);
+
+  // Exact hit.
+  EXPECT_EQ(5u, index->Find(icmp, IKey(UKey(10), kMaxSequenceNumber)));
+  // Between keys: first greater.
+  EXPECT_EQ(6u, index->Find(icmp, IKey(UKey(11), kMaxSequenceNumber)));
+  // Before all.
+  EXPECT_EQ(0u, index->Find(icmp, IKey(UKey(0), kMaxSequenceNumber)));
+  // Past the end.
+  EXPECT_EQ(50u, index->Find(icmp, IKey(UKey(1000), kMaxSequenceNumber)));
+}
+
+TEST(TableIndexTest, ParseRejectsGarbage) {
+  EXPECT_EQ(nullptr, TableIndex::Parse(""));
+  EXPECT_EQ(nullptr, TableIndex::Parse("\x07garbage"));
+  std::string truncated;
+  {
+    TableIndex::Builder builder(TableIndex::kPerBlock);
+    builder.Add(IKey(UKey(1), 1), 0, 100);
+    truncated = builder.Finish();
+  }
+  truncated.resize(truncated.size() / 2);
+  EXPECT_EQ(nullptr, TableIndex::Parse(truncated));
+}
+
+TEST(TableSinkTest, LocalMemorySinkBounds) {
+  std::string storage(64, '\0');
+  LocalMemorySink sink(storage.data(), 64);
+  ASSERT_TRUE(sink.Append("0123456789", 10).ok());
+  ASSERT_TRUE(sink.Append("abcdef", 6).ok());
+  EXPECT_EQ(16u, sink.bytes_written());
+  EXPECT_EQ("0123456789abcdef", storage.substr(0, 16));
+  EXPECT_TRUE(sink.Append(std::string(100, 'x').data(), 100)
+                  .IsOutOfMemory());
+}
+
+class TableSimTest : public ::testing::Test {
+ protected:
+  void RunSim(std::function<void(rdma::Fabric*, rdma::Node*, rdma::Node*,
+                                 Env*)> body) {
+    SimEnv env;
+    rdma::Fabric fabric(&env);
+    rdma::Node* compute = fabric.AddNode("compute", 24, 256 << 20);
+    rdma::Node* memory = fabric.AddNode("memory", 4, 1ull << 30);
+    env.Run(0, [&] { body(&fabric, compute, memory, &env); });
+  }
+};
+
+TEST_F(TableSimTest, AsyncSinkStreamsAndRecyclesBuffers) {
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory,
+            Env*) {
+    char* region = memory->AllocDram(8 << 20);
+    rdma::MemoryRegion mr = f->RegisterMemory(memory, region, 8 << 20);
+    rdma::RdmaManager mgr(f, compute, memory);
+    remote::RemoteChunk chunk{mr.addr, 8 << 20, mr.rkey, compute->id()};
+
+    AsyncRemoteSink sink(&mgr, chunk, /*buffer_size=*/64 << 10,
+                         /*buffer_count=*/3);
+    std::string pattern;
+    Random rnd(5);
+    for (int i = 0; i < 4096; i++) {
+      std::string piece(1024, static_cast<char>('a' + rnd.Uniform(26)));
+      pattern += piece;
+      ASSERT_TRUE(sink.Append(piece.data(), piece.size()).ok());
+    }
+    ASSERT_TRUE(sink.Finish().ok());
+    EXPECT_EQ(pattern.size(), sink.bytes_written());
+    // 4 MB through 3 x 64 KB buffers: recycling must have happened.
+    EXPECT_GT(sink.recycled_buffers(), 10u);
+    EXPECT_EQ(0, memcmp(region, pattern.data(), pattern.size()));
+  });
+}
+
+struct LayoutParam {
+  TableFormat format;
+  size_t block_size;
+};
+
+class TableLayoutTest : public TableSimTest,
+                        public ::testing::WithParamInterface<LayoutParam> {};
+
+TEST_P(TableLayoutTest, BuildThenPointLookupEveryKey) {
+  RunSim([&](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory,
+             Env*) {
+    const LayoutParam param = GetParam();
+    InternalKeyComparator icmp(BytewiseComparator());
+    BloomFilterPolicy bloom(10);
+
+    char* region = memory->AllocDram(8 << 20);
+    rdma::MemoryRegion mr = f->RegisterMemory(memory, region, 8 << 20);
+    rdma::RdmaManager mgr(f, compute, memory);
+    remote::RemoteChunk chunk{mr.addr, 8 << 20, mr.rkey, compute->id()};
+
+    AsyncRemoteSink sink(&mgr, chunk, 64 << 10, 3);
+    auto builder =
+        param.format == TableFormat::kByteAddressable
+            ? NewByteTableBuilder(&bloom, &sink)
+            : NewBlockTableBuilder(&bloom, &sink, param.block_size);
+
+    const int kN = 2000;
+    Random rnd(7);
+    std::map<std::string, std::string> expected;
+    for (int i = 0; i < kN; i++) {
+      std::string k = UKey(i * 3);
+      std::string v = "val-" + std::to_string(rnd.Next());
+      expected[k] = v;
+      ASSERT_TRUE(builder->Add(IKey(k, i + 1), v).ok());
+    }
+    TableBuildResult result;
+    ASSERT_TRUE(builder->Finish(&result).ok());
+    EXPECT_EQ(static_cast<uint64_t>(kN), result.num_entries);
+
+    auto file = std::make_shared<FileMetaData>();
+    file->chunk = chunk;
+    file->data_len = result.data_len;
+    file->num_entries = result.num_entries;
+    file->smallest = result.smallest;
+    file->largest = result.largest;
+    file->index = TableIndex::Parse(result.index_blob);
+    ASSERT_NE(nullptr, file->index);
+
+    RemoteReadPath read_path;
+    read_path.mgr = &mgr;
+
+    // Every present key is found with the right value.
+    for (const auto& [k, v] : expected) {
+      LookupKey lkey(k, kMaxSequenceNumber);
+      TableLookupResult lookup;
+      std::string value;
+      ASSERT_TRUE(TableGet(read_path, icmp, bloom, *file, lkey, &lookup,
+                           &value)
+                      .ok());
+      ASSERT_EQ(TableLookupResult::kFound, lookup) << k;
+      EXPECT_EQ(v, value);
+    }
+    // Absent keys (odd multiples) are not present.
+    int absent_found = 0;
+    for (int i = 0; i < 200; i++) {
+      LookupKey lkey(UKey(i * 3 + 1), kMaxSequenceNumber);
+      TableLookupResult lookup;
+      std::string value;
+      ASSERT_TRUE(TableGet(read_path, icmp, bloom, *file, lkey, &lookup,
+                           &value)
+                      .ok());
+      if (lookup != TableLookupResult::kNotPresent) absent_found++;
+    }
+    EXPECT_EQ(0, absent_found);
+  });
+}
+
+TEST_P(TableLayoutTest, RemoteIteratorFullScanAndSeek) {
+  RunSim([&](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory,
+             Env*) {
+    const LayoutParam param = GetParam();
+    InternalKeyComparator icmp(BytewiseComparator());
+    BloomFilterPolicy bloom(10);
+
+    char* region = memory->AllocDram(8 << 20);
+    rdma::MemoryRegion mr = f->RegisterMemory(memory, region, 8 << 20);
+    rdma::RdmaManager mgr(f, compute, memory);
+    remote::RemoteChunk chunk{mr.addr, 8 << 20, mr.rkey, compute->id()};
+
+    AsyncRemoteSink sink(&mgr, chunk, 64 << 10, 3);
+    auto builder =
+        param.format == TableFormat::kByteAddressable
+            ? NewByteTableBuilder(&bloom, &sink)
+            : NewBlockTableBuilder(&bloom, &sink, param.block_size);
+    const int kN = 1500;
+    for (int i = 0; i < kN; i++) {
+      ASSERT_TRUE(
+          builder->Add(IKey(UKey(i), 1), "v" + std::to_string(i)).ok());
+    }
+    TableBuildResult result;
+    ASSERT_TRUE(builder->Finish(&result).ok());
+
+    auto file = std::make_shared<FileMetaData>();
+    file->chunk = chunk;
+    file->data_len = result.data_len;
+    file->num_entries = result.num_entries;
+    file->index = TableIndex::Parse(result.index_blob);
+
+    RemoteReadPath read_path;
+    read_path.mgr = &mgr;
+    std::unique_ptr<Iterator> it(
+        NewRemoteTableIterator(read_path, icmp, file, 256 << 10));
+
+    int count = 0;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      EXPECT_EQ(UKey(count), ExtractUserKey(it->key()).ToString());
+      EXPECT_EQ("v" + std::to_string(count), it->value().ToString());
+      count++;
+    }
+    ASSERT_TRUE(it->status().ok()) << it->status().ToString();
+    EXPECT_EQ(kN, count);
+
+    it->Seek(IKey(UKey(700), kMaxSequenceNumber));
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(UKey(700), ExtractUserKey(it->key()).ToString());
+    it->Prev();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(UKey(699), ExtractUserKey(it->key()).ToString());
+    it->SeekToLast();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(UKey(kN - 1), ExtractUserKey(it->key()).ToString());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, TableLayoutTest,
+    ::testing::Values(LayoutParam{TableFormat::kByteAddressable, 0},
+                      LayoutParam{TableFormat::kBlock, 4096},
+                      LayoutParam{TableFormat::kBlock, 512}),
+    [](const ::testing::TestParamInfo<LayoutParam>& info) {
+      if (info.param.format == TableFormat::kByteAddressable) return std::string("Byte");
+      return "Block" + std::to_string(info.param.block_size);
+    });
+
+TEST(LocalIteratorTest, ByteTableLocalScan) {
+  // Build into plain memory, iterate without an index — the executor path.
+  InternalKeyComparator icmp(BytewiseComparator());
+  BloomFilterPolicy bloom(10);
+  std::string storage(1 << 20, '\0');
+  LocalMemorySink sink(storage.data(), storage.size());
+  auto builder = NewByteTableBuilder(&bloom, &sink);
+  const int kN = 500;
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(builder->Add(IKey(UKey(i), 9), "value").ok());
+  }
+  TableBuildResult result;
+  ASSERT_TRUE(builder->Finish(&result).ok());
+
+  std::unique_ptr<Iterator> it(
+      NewLocalByteTableIterator(storage.data(), result.data_len));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(UKey(count), ExtractUserKey(it->key()).ToString());
+    count++;
+  }
+  EXPECT_EQ(kN, count);
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(LocalIteratorTest, ByteTableSliceScan) {
+  // Sub-compaction slices: iterate a record-aligned [start, end) window.
+  InternalKeyComparator icmp(BytewiseComparator());
+  BloomFilterPolicy bloom(10);
+  std::string storage(1 << 20, '\0');
+  LocalMemorySink sink(storage.data(), storage.size());
+  auto builder = NewByteTableBuilder(&bloom, &sink);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(builder->Add(IKey(UKey(i), 9), "value").ok());
+  }
+  TableBuildResult result;
+  ASSERT_TRUE(builder->Finish(&result).ok());
+  auto index = TableIndex::Parse(result.index_blob);
+
+  // Slice covering keys [30, 60).
+  uint64_t start =
+      index->entry(index->Find(icmp, IKey(UKey(30), kMaxSequenceNumber)))
+          .offset;
+  uint64_t end =
+      index->entry(index->Find(icmp, IKey(UKey(60), kMaxSequenceNumber)))
+          .offset;
+  std::unique_ptr<Iterator> it(
+      NewLocalByteTableIterator(storage.data() + start, end - start));
+  int expected = 30;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(UKey(expected), ExtractUserKey(it->key()).ToString());
+    expected++;
+  }
+  EXPECT_EQ(60, expected);
+}
+
+TEST(LocalIteratorTest, BlockTableLocalScan) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  BloomFilterPolicy bloom(10);
+  std::string storage(1 << 20, '\0');
+  LocalMemorySink sink(storage.data(), storage.size());
+  auto builder = NewBlockTableBuilder(&bloom, &sink, 1024);
+  const int kN = 400;
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(builder->Add(IKey(UKey(i), 9), "block-value").ok());
+  }
+  TableBuildResult result;
+  ASSERT_TRUE(builder->Finish(&result).ok());
+  auto index = TableIndex::Parse(result.index_blob);
+  ASSERT_NE(nullptr, index);
+  EXPECT_EQ(TableIndex::kPerBlock, index->kind());
+  EXPECT_GE(index->num_entries(), 10u);  // Many blocks at 1 KB.
+
+  std::unique_ptr<Iterator> it(NewLocalBlockTableIterator(
+      storage.data(), result.data_len, index, icmp));
+  int count = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_EQ(UKey(count), ExtractUserKey(it->key()).ToString());
+    count++;
+  }
+  EXPECT_EQ(kN, count);
+}
+
+TEST(BloomInTableTest, NoFalseNegativesAndLowFalsePositives) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> keys;
+  std::vector<Slice> slices;
+  for (int i = 0; i < 5000; i++) keys.push_back(UKey(i * 2));
+  for (const auto& k : keys) slices.emplace_back(k);
+  std::string filter;
+  policy.CreateFilter(slices.data(), static_cast<int>(slices.size()),
+                      &filter);
+
+  for (const auto& k : keys) {
+    ASSERT_TRUE(policy.KeyMayMatch(k, filter)) << "false negative: " << k;
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 5000; i++) {
+    if (policy.KeyMayMatch(UKey(i * 2 + 1), filter)) false_positives++;
+  }
+  // 10 bits/key should give ~1% FPR; allow generous slack.
+  EXPECT_LT(false_positives, 250);
+}
+
+}  // namespace
+}  // namespace dlsm
