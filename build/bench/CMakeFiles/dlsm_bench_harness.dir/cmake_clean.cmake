@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dlsm_bench_harness.dir/harness.cc.o.d"
+  "libdlsm_bench_harness.a"
+  "libdlsm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlsm_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mixed.dir/fig10_mixed.cc.o"
+  "CMakeFiles/fig10_mixed.dir/fig10_mixed.cc.o.d"
+  "fig10_mixed"
+  "fig10_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scan.dir/fig11_scan.cc.o"
+  "CMakeFiles/fig11_scan.dir/fig11_scan.cc.o.d"
+  "fig11_scan"
+  "fig11_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

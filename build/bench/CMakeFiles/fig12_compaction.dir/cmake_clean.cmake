@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compaction.dir/fig12_compaction.cc.o"
+  "CMakeFiles/fig12_compaction.dir/fig12_compaction.cc.o.d"
+  "fig12_compaction"
+  "fig12_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_byteaddr.dir/fig13_byteaddr.cc.o"
+  "CMakeFiles/fig13_byteaddr.dir/fig13_byteaddr.cc.o.d"
+  "fig13_byteaddr"
+  "fig13_byteaddr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_byteaddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_write.dir/fig7_write.cc.o"
+  "CMakeFiles/fig7_write.dir/fig7_write.cc.o.d"
+  "fig7_write"
+  "fig7_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

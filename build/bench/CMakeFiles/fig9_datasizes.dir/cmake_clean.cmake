@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_datasizes.dir/fig9_datasizes.cc.o"
+  "CMakeFiles/fig9_datasizes.dir/fig9_datasizes.cc.o.d"
+  "fig9_datasizes"
+  "fig9_datasizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_datasizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_primitives.dir/rdma_primitives.cc.o"
+  "CMakeFiles/rdma_primitives.dir/rdma_primitives.cc.o.d"
+  "rdma_primitives"
+  "rdma_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_node.dir/multi_node.cc.o"
+  "CMakeFiles/multi_node.dir/multi_node.cc.o.d"
+  "multi_node"
+  "multi_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

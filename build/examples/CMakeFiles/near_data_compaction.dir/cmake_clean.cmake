@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_data_compaction.dir/near_data_compaction.cc.o"
+  "CMakeFiles/near_data_compaction.dir/near_data_compaction.cc.o.d"
+  "near_data_compaction"
+  "near_data_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_data_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

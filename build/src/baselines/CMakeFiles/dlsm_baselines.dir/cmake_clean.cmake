@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_baselines.dir/presets.cc.o"
+  "CMakeFiles/dlsm_baselines.dir/presets.cc.o.d"
+  "CMakeFiles/dlsm_baselines.dir/sherman.cc.o"
+  "CMakeFiles/dlsm_baselines.dir/sherman.cc.o.d"
+  "libdlsm_baselines.a"
+  "libdlsm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

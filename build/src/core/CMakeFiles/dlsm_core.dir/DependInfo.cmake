@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bloom.cc" "src/core/CMakeFiles/dlsm_core.dir/bloom.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/bloom.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/dlsm_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/compaction.cc" "src/core/CMakeFiles/dlsm_core.dir/compaction.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/compaction.cc.o.d"
+  "/root/repo/src/core/comparator.cc" "src/core/CMakeFiles/dlsm_core.dir/comparator.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/comparator.cc.o.d"
+  "/root/repo/src/core/db_impl.cc" "src/core/CMakeFiles/dlsm_core.dir/db_impl.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/db_impl.cc.o.d"
+  "/root/repo/src/core/db_iter.cc" "src/core/CMakeFiles/dlsm_core.dir/db_iter.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/db_iter.cc.o.d"
+  "/root/repo/src/core/dbformat.cc" "src/core/CMakeFiles/dlsm_core.dir/dbformat.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/dbformat.cc.o.d"
+  "/root/repo/src/core/iterator.cc" "src/core/CMakeFiles/dlsm_core.dir/iterator.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/iterator.cc.o.d"
+  "/root/repo/src/core/memory_node_service.cc" "src/core/CMakeFiles/dlsm_core.dir/memory_node_service.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/memory_node_service.cc.o.d"
+  "/root/repo/src/core/memtable.cc" "src/core/CMakeFiles/dlsm_core.dir/memtable.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/memtable.cc.o.d"
+  "/root/repo/src/core/merger.cc" "src/core/CMakeFiles/dlsm_core.dir/merger.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/merger.cc.o.d"
+  "/root/repo/src/core/shard.cc" "src/core/CMakeFiles/dlsm_core.dir/shard.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/shard.cc.o.d"
+  "/root/repo/src/core/table_builder.cc" "src/core/CMakeFiles/dlsm_core.dir/table_builder.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/table_builder.cc.o.d"
+  "/root/repo/src/core/table_index.cc" "src/core/CMakeFiles/dlsm_core.dir/table_index.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/table_index.cc.o.d"
+  "/root/repo/src/core/table_reader.cc" "src/core/CMakeFiles/dlsm_core.dir/table_reader.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/table_reader.cc.o.d"
+  "/root/repo/src/core/table_sink.cc" "src/core/CMakeFiles/dlsm_core.dir/table_sink.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/table_sink.cc.o.d"
+  "/root/repo/src/core/version.cc" "src/core/CMakeFiles/dlsm_core.dir/version.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/version.cc.o.d"
+  "/root/repo/src/core/write_batch.cc" "src/core/CMakeFiles/dlsm_core.dir/write_batch.cc.o" "gcc" "src/core/CMakeFiles/dlsm_core.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/remote/CMakeFiles/dlsm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dlsm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_rdma.dir/fabric.cc.o"
+  "CMakeFiles/dlsm_rdma.dir/fabric.cc.o.d"
+  "CMakeFiles/dlsm_rdma.dir/rdma_manager.cc.o"
+  "CMakeFiles/dlsm_rdma.dir/rdma_manager.cc.o.d"
+  "libdlsm_rdma.a"
+  "libdlsm_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

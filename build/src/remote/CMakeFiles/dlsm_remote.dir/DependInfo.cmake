@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/remote_alloc.cc" "src/remote/CMakeFiles/dlsm_remote.dir/remote_alloc.cc.o" "gcc" "src/remote/CMakeFiles/dlsm_remote.dir/remote_alloc.cc.o.d"
+  "/root/repo/src/remote/rpc.cc" "src/remote/CMakeFiles/dlsm_remote.dir/rpc.cc.o" "gcc" "src/remote/CMakeFiles/dlsm_remote.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/dlsm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_remote.dir/remote_alloc.cc.o"
+  "CMakeFiles/dlsm_remote.dir/remote_alloc.cc.o.d"
+  "CMakeFiles/dlsm_remote.dir/rpc.cc.o"
+  "CMakeFiles/dlsm_remote.dir/rpc.cc.o.d"
+  "libdlsm_remote.a"
+  "libdlsm_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sim_env.cc" "src/sim/CMakeFiles/dlsm_sim.dir/sim_env.cc.o" "gcc" "src/sim/CMakeFiles/dlsm_sim.dir/sim_env.cc.o.d"
+  "/root/repo/src/sim/std_env.cc" "src/sim/CMakeFiles/dlsm_sim.dir/std_env.cc.o" "gcc" "src/sim/CMakeFiles/dlsm_sim.dir/std_env.cc.o.d"
+  "/root/repo/src/sim/thread_pool.cc" "src/sim/CMakeFiles/dlsm_sim.dir/thread_pool.cc.o" "gcc" "src/sim/CMakeFiles/dlsm_sim.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dlsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_sim.dir/sim_env.cc.o"
+  "CMakeFiles/dlsm_sim.dir/sim_env.cc.o.d"
+  "CMakeFiles/dlsm_sim.dir/std_env.cc.o"
+  "CMakeFiles/dlsm_sim.dir/std_env.cc.o.d"
+  "CMakeFiles/dlsm_sim.dir/thread_pool.cc.o"
+  "CMakeFiles/dlsm_sim.dir/thread_pool.cc.o.d"
+  "libdlsm_sim.a"
+  "libdlsm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlsm_util.dir/arena.cc.o"
+  "CMakeFiles/dlsm_util.dir/arena.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/coding.cc.o"
+  "CMakeFiles/dlsm_util.dir/coding.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/crc32c.cc.o"
+  "CMakeFiles/dlsm_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/hash.cc.o"
+  "CMakeFiles/dlsm_util.dir/hash.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/histogram.cc.o"
+  "CMakeFiles/dlsm_util.dir/histogram.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/logging.cc.o"
+  "CMakeFiles/dlsm_util.dir/logging.cc.o.d"
+  "CMakeFiles/dlsm_util.dir/status.cc.o"
+  "CMakeFiles/dlsm_util.dir/status.cc.o.d"
+  "libdlsm_util.a"
+  "libdlsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iterator_edge_test.cc" "tests/CMakeFiles/iterator_edge_test.dir/iterator_edge_test.cc.o" "gcc" "tests/CMakeFiles/iterator_edge_test.dir/iterator_edge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/dlsm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/dlsm_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dlsm_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlsm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

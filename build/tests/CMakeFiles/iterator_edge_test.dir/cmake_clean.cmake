@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterator_edge_test.dir/iterator_edge_test.cc.o"
+  "CMakeFiles/iterator_edge_test.dir/iterator_edge_test.cc.o.d"
+  "iterator_edge_test"
+  "iterator_edge_test.pdb"
+  "iterator_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

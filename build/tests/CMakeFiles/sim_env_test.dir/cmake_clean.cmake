@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_env_test.dir/sim_env_test.cc.o"
+  "CMakeFiles/sim_env_test.dir/sim_env_test.cc.o.d"
+  "sim_env_test"
+  "sim_env_test.pdb"
+  "sim_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
