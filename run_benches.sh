@@ -19,6 +19,7 @@ timeout 1200 $B/fig13_byteaddr --keys=80000
 timeout 2400 $B/fig14_scalability --base=20000
 timeout 2400 $B/fig15_multinode --base=20000
 timeout 1200 $B/ablations --keys=60000
+timeout 1200 $B/ablation_readbatch --keys=20000
 echo; echo "=== micro benchmarks (wall clock, google-benchmark) ==="
 timeout 1200 $B/micro_bench 2>&1 | grep -v "^\*\*\*"
 } 2>&1

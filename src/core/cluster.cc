@@ -80,6 +80,31 @@ int Cluster::ShardForKey(const Slice& key) const {
   return static_cast<int>(it - boundaries_.begin());
 }
 
+void Cluster::MultiGet(const ReadOptions& options,
+                       std::span<const Slice> keys,
+                       std::vector<std::string>* values,
+                       std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  std::vector<std::vector<Slice>> shard_keys(shards_.size());
+  std::vector<std::vector<size_t>> shard_idx(shards_.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    int s = ShardForKey(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_idx[s].push_back(i);
+  }
+  std::vector<std::string> vals;
+  std::vector<Status> stats;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    if (shard_keys[s].empty()) continue;
+    shards_[s]->MultiGet(options, shard_keys[s], &vals, &stats);
+    for (size_t j = 0; j < shard_idx[s].size(); j++) {
+      (*values)[shard_idx[s][j]] = std::move(vals[j]);
+      (*statuses)[shard_idx[s][j]] = std::move(stats[j]);
+    }
+  }
+}
+
 Status Cluster::Flush() {
   for (auto& shard : shards_) {
     DLSM_RETURN_NOT_OK(shard->Flush());

@@ -66,6 +66,12 @@ class Cluster {
   Status Get(const Slice& key, std::string* value) {
     return shards_[ShardForKey(key)]->Get(ReadOptions(), key, value);
   }
+  /// Batched point lookup across the whole deployment: keys fan out to
+  /// their owning shards and each shard batches its doorbell waves on its
+  /// own compute-to-memory link.
+  void MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses);
 
   Status Flush();
   Status WaitForBackgroundIdle();

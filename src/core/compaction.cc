@@ -240,7 +240,7 @@ Status ExecuteCompactionTask(
     uint64_t len = in.end_off - in.start_off;
     if (in.format == 1) {
       children.push_back(
-          NewLocalByteTableIterator(base + in.start_off, len));
+          NewLocalByteTableIterator(base + in.start_off, len, icmp));
     } else {
       // Block tables are always compacted whole: sub-compaction slicing is
       // a byte-addressable capability (record-aligned offsets).

@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/core/iterator.h"
 #include "src/core/options.h"
@@ -47,6 +49,17 @@ class DB {
   virtual Status Get(const ReadOptions& options, const Slice& key,
                      std::string* value) = 0;
 
+  /// Batched point lookup: values and statuses are resized to keys.size()
+  /// and (*statuses)[i] answers keys[i] exactly as Get would. Every key is
+  /// read at one snapshot — options.snapshot_sequence when given, else the
+  /// latest sequence at call time. The base implementation loops Get;
+  /// engines override it to post one doorbell batch of remote READs per
+  /// level wave and resolve per-key newest-wins locally.
+  virtual void MultiGet(const ReadOptions& options,
+                        std::span<const Slice> keys,
+                        std::vector<std::string>* values,
+                        std::vector<Status>* statuses);
+
   /// Iterator over user keys/values at the read snapshot. Caller deletes.
   virtual Iterator* NewIterator(const ReadOptions& options) = 0;
 
@@ -71,6 +84,24 @@ class DB {
   /// destructor if needed.
   virtual Status Close() = 0;
 };
+
+inline void DB::MultiGet(const ReadOptions& options,
+                         std::span<const Slice> keys,
+                         std::vector<std::string>* values,
+                         std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::OK());
+  ReadOptions ro = options;
+  const Snapshot* snap = nullptr;
+  if (ro.snapshot_sequence == ~0ull) {
+    snap = GetSnapshot();
+    ro.snapshot_sequence = snap->sequence();
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    (*statuses)[i] = Get(ro, keys[i], &(*values)[i]);
+  }
+  if (snap != nullptr) ReleaseSnapshot(snap);
+}
 
 }  // namespace dlsm
 

@@ -432,7 +432,55 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
 
   // SSTables: pinned via the version reference.
   VersionRef version = versions_->current();
-  for (const FileRef& f : version->CollectSearchOrder(icmp_, key)) {
+  size_t num_l0 = 0;
+  std::vector<const FileMetaData*> order;
+  version->CollectSearchOrder(icmp_, key, &order, &num_l0);
+  size_t start = 0;
+  if (options.async_reads && num_l0 > 1 && SupportsAsyncProbe(read_path_)) {
+    // Async L0 wave: post the data READs for every may-match L0 file in
+    // one doorbell batch, then harvest completions newest-first so the
+    // newest file's hit wins (the age order the serial loop relies on).
+    // A definitive probe (per-record index matched the user key) ends the
+    // wave early: older files cannot hold a newer visible version.
+    std::vector<TableProbe> probes(num_l0);
+    size_t wave_end = 0;
+    for (size_t i = 0; i < num_l0; i++) {
+      bool bloom_skip = false;
+      Status s = TableProbePrepare(icmp_, bloom_, *order[i], lkey,
+                                   &probes[i], &bloom_skip);
+      if (bloom_skip) {
+        stat_bloom_useful_.fetch_add(1, std::memory_order_relaxed);
+      }
+      DLSM_RETURN_NOT_OK(s);  // Nothing posted yet; safe to bail.
+      wave_end = i + 1;
+      if (probes[i].need_read && probes[i].definitive) break;
+    }
+    rdma::ReadBatch batch(mgr_.get());
+    std::vector<size_t> slots(wave_end, 0);
+    for (size_t i = 0; i < wave_end; i++) {
+      if (!probes[i].need_read) continue;
+      slots[i] = batch.Add(probes[i].buf.data(),
+                           order[i]->chunk.addr + probes[i].read_off,
+                           order[i]->chunk.rkey, probes[i].buf.size());
+    }
+    batch.WaitAll();  // Per-slot outcomes checked below, post drain.
+    for (size_t i = 0; i < wave_end; i++) {
+      if (!probes[i].need_read) continue;
+      Status s = batch.status(slots[i]);
+      TableLookupResult lookup = TableLookupResult::kNotPresent;
+      if (s.ok()) {
+        s = TableProbeFinish(icmp_, lkey, &probes[i], &lookup, value);
+      }
+      DLSM_RETURN_NOT_OK(s);
+      if (lookup == TableLookupResult::kFound) return Status::OK();
+      if (lookup == TableLookupResult::kDeleted) {
+        return Status::NotFound(Slice());
+      }
+    }
+    start = wave_end;
+  }
+  for (size_t i = start; i < order.size(); i++) {
+    const FileMetaData* f = order[i];
     TableLookupResult lookup;
     bool bloom_skip = false;
     Status s = TableGet(read_path_, icmp_, bloom_, *f, lkey, &lookup, value,
@@ -447,6 +495,158 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     }
   }
   return Status::NotFound(Slice());
+}
+
+void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                      std::vector<std::string>* values,
+                      std::vector<Status>* statuses) {
+  values->assign(keys.size(), std::string());
+  statuses->assign(keys.size(), Status::NotFound(Slice()));
+  if (keys.empty()) return;
+  SequenceNumber snapshot = options.snapshot_sequence != ~0ull
+                                ? options.snapshot_sequence
+                                : sequence_.load(std::memory_order_acquire);
+  if (!options.async_reads || !SupportsAsyncProbe(read_path_)) {
+    // Baseline read paths (RPC reads, staging copies, uncached indexes)
+    // keep their modeled per-read costs: serial lookups at one snapshot.
+    ReadOptions ro = options;
+    ro.snapshot_sequence = snapshot;
+    for (size_t i = 0; i < keys.size(); i++) {
+      (*statuses)[i] = Get(ro, keys[i], &(*values)[i]);
+    }
+    return;
+  }
+  stat_reads_.fetch_add(keys.size(), std::memory_order_relaxed);
+
+  // Pin the MemTable chain once for the whole batch, newest first.
+  std::vector<MemTable*> tables;
+  {
+    MutexLock l(&mem_mu_);
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    cur->Ref();
+    tables.push_back(cur);
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      (*it)->Ref();
+      tables.push_back(*it);
+    }
+  }
+  struct KeyState {
+    size_t idx = 0;                // Position in the caller's batch.
+    const LookupKey* lkey = nullptr;
+    // Remaining probe order (age order); borrowed from `version`.
+    std::vector<const FileMetaData*> order;
+    size_t num_l0 = 0;
+    size_t cursor = 0;             // Next candidate in order.
+  };
+  std::deque<LookupKey> lkeys;     // Stable addresses; LookupKey is pinned.
+  std::vector<KeyState> pending;
+  for (size_t i = 0; i < keys.size(); i++) {
+    lkeys.emplace_back(keys[i], snapshot);
+    const LookupKey& lk = lkeys.back();
+    bool done = false;
+    for (MemTable* m : tables) {
+      std::string v;
+      Status s;
+      if (m->Get(lk, &v, &s)) {
+        (*statuses)[i] = s;
+        if (s.ok()) (*values)[i] = std::move(v);
+        done = true;
+        break;
+      }
+    }
+    if (!done) pending.push_back(KeyState{i, &lk, {}, 0, 0});
+  }
+  for (MemTable* m : tables) m->Unref();
+  if (pending.empty()) return;
+
+  // SSTables: pinned via the version reference; the bloom/index filtering
+  // for the whole batch is local, only may-match data READs cross the wire.
+  VersionRef version = versions_->current();
+  for (KeyState& ks : pending) {
+    version->CollectSearchOrder(icmp_, keys[ks.idx], &ks.order, &ks.num_l0);
+  }
+
+  // Level waves: each round, every unresolved key contributes its next
+  // needed READs — all of its remaining may-match L0 files up to the
+  // first definitive probe, or one candidate from its next deeper level —
+  // to a single doorbell batch. Completions are harvested in one drain
+  // and resolved per key in age order (newest wins).
+  struct WaveProbe {
+    size_t key;   // Index into pending.
+    size_t slot;  // Batch slot for the posted READ.
+    TableProbe probe;
+  };
+  std::vector<char> resolved(pending.size(), 0);
+  size_t unresolved = pending.size();
+  while (unresolved > 0) {
+    rdma::ReadBatch batch(mgr_.get());
+    std::vector<WaveProbe> wave;
+    for (size_t k = 0; k < pending.size(); k++) {
+      if (resolved[k]) continue;
+      KeyState& ks = pending[k];
+      size_t reads_this_wave = 0;
+      while (ks.cursor < ks.order.size()) {
+        bool in_l0 = ks.cursor < ks.num_l0;
+        if (reads_this_wave > 0 && !in_l0) break;  // L0 results pending.
+        const FileMetaData* f = ks.order[ks.cursor];
+        TableProbe probe;
+        bool bloom_skip = false;
+        Status s = TableProbePrepare(icmp_, bloom_, *f, *ks.lkey, &probe,
+                                     &bloom_skip);
+        if (bloom_skip) {
+          stat_bloom_useful_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!s.ok()) {
+          (*statuses)[ks.idx] = s;
+          resolved[k] = 1;
+          unresolved--;
+          break;
+        }
+        ks.cursor++;
+        if (!probe.need_read) continue;  // Not in this table; no wire cost.
+        bool definitive = probe.definitive;
+        size_t slot = batch.Add(probe.buf.data(),
+                                f->chunk.addr + probe.read_off,
+                                f->chunk.rkey, probe.buf.size());
+        wave.push_back(WaveProbe{k, slot, std::move(probe)});
+        reads_this_wave++;
+        if (definitive || !in_l0) break;
+      }
+      if (!resolved[k] && reads_this_wave == 0 &&
+          pending[k].cursor >= pending[k].order.size()) {
+        resolved[k] = 1;  // Exhausted without a hit: stays NotFound.
+        unresolved--;
+      }
+    }
+    if (wave.empty()) break;
+    batch.WaitAll();  // One CQ drain for the whole wave.
+    for (WaveProbe& wp : wave) {
+      size_t k = wp.key;
+      if (resolved[k]) continue;  // A newer probe already decided this key.
+      KeyState& ks = pending[k];
+      Status s = batch.status(wp.slot);
+      TableLookupResult lookup = TableLookupResult::kNotPresent;
+      if (s.ok()) {
+        s = TableProbeFinish(icmp_, *ks.lkey, &wp.probe, &lookup,
+                             &(*values)[ks.idx]);
+      }
+      if (!s.ok()) {
+        (*statuses)[ks.idx] = s;
+        resolved[k] = 1;
+        unresolved--;
+        continue;
+      }
+      if (lookup == TableLookupResult::kFound) {
+        (*statuses)[ks.idx] = Status::OK();
+        resolved[k] = 1;
+        unresolved--;
+      } else if (lookup == TableLookupResult::kDeleted) {
+        resolved[k] = 1;  // Tombstone: stays NotFound.
+        unresolved--;
+      }
+      // kNotPresent: the key stays unresolved for the next wave.
+    }
+  }
 }
 
 Iterator* DLsmDB::NewIterator(const ReadOptions& options) {

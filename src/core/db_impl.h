@@ -51,6 +51,9 @@ class DLsmDB : public DB {
   Status Write(const WriteOptions& options, WriteBatch* batch) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  void MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;

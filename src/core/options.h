@@ -165,6 +165,13 @@ struct ReadOptions {
   /// Read at this snapshot sequence; kMaxSequenceNumber-like default means
   /// "latest". Filled by DB::GetSnapshot users.
   uint64_t snapshot_sequence = ~0ull;
+
+  /// Allow doorbell-batched asynchronous READs on the point-lookup path
+  /// (concurrent L0 probes, MultiGet waves). Only honored on read paths
+  /// that go through plain one-sided READs; baselines with RPC reads,
+  /// staging copies or uncached indexes always probe synchronously.
+  /// Exposed mainly for the read-batching ablation bench.
+  bool async_reads = true;
 };
 
 struct WriteOptions {

@@ -36,6 +36,11 @@ class ShardedDB : public DB {
   Status Write(const WriteOptions& options, WriteBatch* batch) override;
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value) override;
+  /// Fans the batch out per shard; each shard runs its own doorbell waves
+  /// over its keys and results scatter back to the caller's order.
+  void MultiGet(const ReadOptions& options, std::span<const Slice> keys,
+                std::vector<std::string>* values,
+                std::vector<Status>* statuses) override;
   Iterator* NewIterator(const ReadOptions& options) override;
   const Snapshot* GetSnapshot() override;
   void ReleaseSnapshot(const Snapshot* snapshot) override;

@@ -53,6 +53,11 @@ Status RemoteReadPath::Read(void* dst, uint64_t addr, uint32_t rkey,
   return Status::OK();
 }
 
+bool SupportsAsyncProbe(const RemoteReadPath& read_path) {
+  return read_path.rpc == nullptr && !read_path.extra_copy &&
+         !read_path.uncached_index;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -237,6 +242,103 @@ class BlockIter : public Iterator {
 // Remote iterators
 // ---------------------------------------------------------------------------
 
+/// Double-buffered sequential window over a remote table's data region.
+/// On the plain one-sided read path, every sequential window swap posts
+/// the following chunk's READ on a private queue pair before the caller
+/// consumes the current one, so chunk k+1 crosses the wire while the CPU
+/// drains chunk k. Random repositioning falls back to a synchronous
+/// fetch (and drains any in-flight prefetch first — posted READs are
+/// never abandoned). Baseline read paths (RPC / staging copy / uncached
+/// index) stay fully synchronous through RemoteReadPath::Read.
+class PrefetchWindow {
+ public:
+  PrefetchWindow(const RemoteReadPath& read_path, uint64_t base_addr,
+                 uint32_t rkey, uint64_t data_len, size_t chunk_bytes)
+      : rp_(read_path), base_(base_addr), rkey_(rkey), data_len_(data_len),
+        chunk_(chunk_bytes), async_(SupportsAsyncProbe(read_path)) {}
+
+  ~PrefetchWindow() {
+    if (pending_) WaitPending();
+  }
+
+  PrefetchWindow(const PrefetchWindow&) = delete;
+  PrefetchWindow& operator=(const PrefetchWindow&) = delete;
+
+  /// Makes [off, off+len) contiguously addressable; *out points at off.
+  /// The pointer stays valid until the next Acquire call.
+  Status Acquire(uint64_t off, size_t len, const char** out) {
+    if (off + len > data_len_) {
+      return Status::Corruption("record extends past table data");
+    }
+    if (Covers(front_off_, front_.size(), off, len)) {
+      *out = front_.data() + (off - front_off_);
+      return Status::OK();
+    }
+    if (pending_) {
+      uint64_t got_off = pending_off_;
+      size_t got_len = back_.size();
+      DLSM_RETURN_NOT_OK(WaitPending());
+      if (Covers(got_off, got_len, off, len)) {
+        std::swap(front_, back_);
+        front_off_ = got_off;
+        PostNext();  // Keep the pipeline primed while the caller parses.
+        *out = front_.data() + (off - front_off_);
+        return Status::OK();
+      }
+      // The consumer jumped elsewhere; the prefetched bytes are useless.
+    }
+    bool forward = off >= front_off_;
+    size_t want = chunk_ > len ? chunk_ : len;
+    if (off + want > data_len_) want = static_cast<size_t>(data_len_ - off);
+    front_.resize(want);
+    DLSM_RETURN_NOT_OK(rp_.Read(front_.data(), base_ + off, rkey_, want));
+    front_off_ = off;
+    if (forward) PostNext();
+    *out = front_.data() + (off - front_off_);
+    return Status::OK();
+  }
+
+ private:
+  static bool Covers(uint64_t win_off, size_t win_len, uint64_t off,
+                     size_t len) {
+    return win_len > 0 && off >= win_off && off + len <= win_off + win_len;
+  }
+
+  void PostNext() {
+    if (!async_) return;
+    uint64_t off = front_off_ + front_.size();
+    if (off >= data_len_) return;
+    size_t want = chunk_;
+    if (off + want > data_len_) want = static_cast<size_t>(data_len_ - off);
+    if (qp_ == nullptr) qp_ = rp_.mgr->CreateExclusiveQp();
+    back_.resize(want);
+    pending_wr_ = qp_->PostRead(back_.data(), base_ + off, rkey_, want);
+    pending_off_ = off;
+    pending_ = true;
+  }
+
+  Status WaitPending() {
+    rdma::Completion c = qp_->WaitCompletion();
+    DLSM_CHECK(c.wr_id == pending_wr_);
+    pending_ = false;
+    return c.status;
+  }
+
+  RemoteReadPath rp_;
+  uint64_t base_;
+  uint32_t rkey_;
+  uint64_t data_len_;
+  size_t chunk_;
+  bool async_;
+  rdma::QueuePair* qp_ = nullptr;  // Private QP: prefetch completions must
+                                   // not interleave with ThreadQp verbs.
+  std::string front_, back_;
+  uint64_t front_off_ = 0;
+  bool pending_ = false;
+  uint64_t pending_off_ = 0;
+  uint64_t pending_wr_ = 0;
+};
+
 /// Byte-addressable remote iterator: positions through the per-record
 /// index; the data region is consumed through a prefetch window.
 class RemoteByteTableIterator : public Iterator {
@@ -244,8 +346,9 @@ class RemoteByteTableIterator : public Iterator {
   RemoteByteTableIterator(const RemoteReadPath& read_path,
                           const InternalKeyComparator& icmp, FileRef file,
                           size_t prefetch)
-      : read_path_(read_path), icmp_(icmp), file_(std::move(file)),
-        prefetch_(prefetch < 4096 ? 4096 : prefetch) {}
+      : icmp_(icmp), file_(std::move(file)),
+        window_(read_path, file_->chunk.addr, file_->chunk.rkey,
+                file_->data_len, prefetch < 4096 ? 4096 : prefetch) {}
 
   bool Valid() const override { return valid_; }
   Status status() const override { return status_; }
@@ -285,29 +388,16 @@ class RemoteByteTableIterator : public Iterator {
       return;
     }
     TableIndex::Entry e = index.entry(ordinal);
-    if (e.offset < window_off_ ||
-        e.offset + e.length > window_off_ + window_.size()) {
-      // Sequential chunk prefetch (Sec. VI): one RDMA READ covers many
-      // upcoming records.
-      size_t want = prefetch_;
-      if (e.offset + want > file_->data_len) {
-        want = file_->data_len - e.offset;
-      }
-      if (want < e.length) want = e.length;
-      window_.resize(want);
-      Status s = read_path_.Read(window_.data(),
-                                 file_->chunk.addr + e.offset,
-                                 file_->chunk.rkey, want);
-      if (!s.ok()) {
-        status_ = s;
-        valid_ = false;
-        return;
-      }
-      window_off_ = e.offset;
+    // Sequential chunk prefetch (Sec. VI): one RDMA READ covers many
+    // upcoming records, and the window double-buffers the next chunk.
+    const char* p = nullptr;
+    Status s = window_.Acquire(e.offset, e.length, &p);
+    if (!s.ok()) {
+      status_ = s;
+      valid_ = false;
+      return;
     }
-    const char* p = window_.data() + (e.offset - window_off_);
-    const char* limit = window_.data() + window_.size();
-    if (ParseRecord(p, limit, &key_, &value_) == nullptr) {
+    if (ParseRecord(p, p + e.length, &key_, &value_) == nullptr) {
       status_ = Status::Corruption("bad record in table");
       valid_ = false;
       return;
@@ -316,12 +406,9 @@ class RemoteByteTableIterator : public Iterator {
     valid_ = true;
   }
 
-  RemoteReadPath read_path_;
   InternalKeyComparator icmp_;
   FileRef file_;
-  size_t prefetch_;
-  std::string window_;
-  uint64_t window_off_ = 0;
+  PrefetchWindow window_;
   size_t ordinal_ = 0;
   bool valid_ = false;
   Slice key_, value_;
@@ -336,7 +423,8 @@ class RemoteBlockTableIterator : public Iterator {
                            const InternalKeyComparator& icmp, FileRef file,
                            size_t prefetch)
       : read_path_(read_path), icmp_(icmp), file_(std::move(file)),
-        prefetch_(prefetch) {}
+        window_(read_path, file_->chunk.addr, file_->chunk.rkey,
+                file_->data_len, prefetch) {}
 
   bool Valid() const override { return inner_ != nullptr && inner_->Valid(); }
   Status status() const override {
@@ -406,27 +494,16 @@ class RemoteBlockTableIterator : public Iterator {
       return false;
     }
     TableIndex::Entry e = index.entry(b);
-    if (e.offset < window_off_ ||
-        e.offset + e.length > window_off_ + window_.size()) {
-      size_t want = prefetch_ > e.length ? prefetch_ : e.length;
-      if (e.offset + want > file_->data_len) {
-        want = file_->data_len - e.offset;
-      }
-      window_.resize(want);
-      Status s = read_path_.Read(window_.data(),
-                                 file_->chunk.addr + e.offset,
-                                 file_->chunk.rkey, want);
-      if (!s.ok()) {
-        status_ = s;
-        inner_.reset();
-        return false;
-      }
-      window_off_ = e.offset;
+    const char* p = nullptr;
+    Status s = window_.Acquire(e.offset, e.length, &p);
+    if (!s.ok()) {
+      status_ = s;
+      inner_.reset();
+      return false;
     }
     // Unwrap the block: BlockIter re-materializes keys entry by entry —
     // the copy overhead the byte-addressable layout avoids.
-    inner_ = std::make_unique<BlockIter>(
-        &icmp_, window_.data() + (e.offset - window_off_), e.length);
+    inner_ = std::make_unique<BlockIter>(&icmp_, p, e.length);
     block_ = b;
     return true;
   }
@@ -434,9 +511,7 @@ class RemoteBlockTableIterator : public Iterator {
   RemoteReadPath read_path_;
   InternalKeyComparator icmp_;
   FileRef file_;
-  size_t prefetch_;
-  std::string window_;
-  uint64_t window_off_ = 0;
+  PrefetchWindow window_;
   size_t block_ = 0;
   bool index_fetched_ = false;
   std::unique_ptr<BlockIter> inner_;
@@ -449,8 +524,9 @@ class RemoteBlockTableIterator : public Iterator {
 
 class LocalByteTableIterator : public Iterator {
  public:
-  LocalByteTableIterator(const char* data, uint64_t len)
-      : data_(data), limit_(data + len) {}
+  LocalByteTableIterator(const char* data, uint64_t len,
+                         const InternalKeyComparator& icmp)
+      : data_(data), limit_(data + len), icmp_(icmp) {}
 
   bool Valid() const override { return valid_; }
   Status status() const override { return status_; }
@@ -463,35 +539,22 @@ class LocalByteTableIterator : public Iterator {
   }
 
   void SeekToLast() override {
-    // Forward-only structure: scan to the end.
+    // Forward-only structure: scan to the final record.
     SeekToFirst();
-    if (!valid_) return;
-    for (;;) {
-      const char* save = next_;
-      Slice k = key_, v = value_;
-      if (next_ >= limit_) break;
-      Slice nk, nv;
-      const char* after = ParseRecord(next_, limit_, &nk, &nv);
-      if (after == nullptr) break;
-      next_ = after;
-      key_ = nk;
-      value_ = nv;
-      (void)save;
-      (void)k;
-      (void)v;
+    while (valid_ && next_ < limit_) {
+      Advance();
     }
   }
 
   void Seek(const Slice& target) override {
-    // Self-delimiting stream without an index: linear scan. Compaction
-    // never seeks; this path serves tests only.
-    SeekToFirst();
-    // The comparator-free contract: records are internal keys; use raw
-    // memcmp ordering via InternalKey comparator is unavailable here, so
-    // scan until key >= target bytewise on user key + trailer semantics is
-    // not required — tests use SeekToFirst/Next.
-    while (valid_ && key_.compare(target) < 0) {
-      Next();
+    // Self-delimiting stream without an index: a single forward scan
+    // under the internal-key comparator. Resume from the current record
+    // when the target lies ahead; otherwise restart from the front.
+    if (!valid_ || icmp_.Compare(key_, target) >= 0) {
+      SeekToFirst();
+    }
+    while (valid_ && icmp_.Compare(key_, target) < 0) {
+      Advance();
     }
   }
 
@@ -522,6 +585,7 @@ class LocalByteTableIterator : public Iterator {
 
   const char* data_;
   const char* limit_;
+  InternalKeyComparator icmp_;
   const char* next_ = nullptr;
   bool valid_ = false;
   Slice key_, value_;
@@ -607,12 +671,13 @@ class LocalBlockTableIterator : public Iterator {
 // Point lookup
 // ---------------------------------------------------------------------------
 
-Status TableGet(const RemoteReadPath& read_path,
-                const InternalKeyComparator& icmp,
-                const BloomFilterPolicy& bloom, const FileMetaData& file,
-                const LookupKey& lkey, TableLookupResult* result,
-                std::string* value, bool* skipped_by_bloom) {
-  *result = TableLookupResult::kNotPresent;
+Status TableProbePrepare(const InternalKeyComparator& icmp,
+                         const BloomFilterPolicy& bloom,
+                         const FileMetaData& file, const LookupKey& lkey,
+                         TableProbe* probe, bool* skipped_by_bloom) {
+  probe->need_read = false;
+  probe->definitive = false;
+  probe->file = &file;
   if (skipped_by_bloom != nullptr) *skipped_by_bloom = false;
   if (file.index == nullptr) {
     return Status::Corruption("table has no cached index");
@@ -625,30 +690,41 @@ Status TableGet(const RemoteReadPath& read_path,
     return Status::OK();
   }
 
-  if (read_path.uncached_index) {
-    DLSM_RETURN_NOT_OK(FetchIndexBlock(read_path, file));
-  }
-
   size_t pos = index.Find(icmp, lkey.internal_key());
   if (pos >= index.num_entries()) {
     return Status::OK();
   }
-
+  TableIndex::Entry e = index.entry(pos);
   if (index.kind() == TableIndex::kPerRecord) {
-    TableIndex::Entry e = index.entry(pos);
     if (icmp.user_comparator()->Compare(ExtractUserKey(e.key),
                                         lkey.user_key()) != 0) {
       return Status::OK();  // Next entry is a different user key.
     }
-    // One RDMA READ of exactly the record (byte-addressability payoff).
-    std::string record(e.length, '\0');
-    DLSM_RETURN_NOT_OK(read_path.Read(record.data(),
-                                      file.chunk.addr + e.offset,
-                                      file.chunk.rkey, e.length));
+    // The cached index already proved a visible version lives here, so
+    // the read's outcome settles the whole lookup (newest-wins harvest).
+    probe->definitive = true;
+  }
+  probe->need_read = true;
+  probe->read_off = e.offset;
+  probe->buf.assign(e.length, '\0');
+  probe->index_key = e.key;
+  return Status::OK();
+}
+
+Status TableProbeFinish(const InternalKeyComparator& icmp,
+                        const LookupKey& lkey, TableProbe* probe,
+                        TableLookupResult* result, std::string* value) {
+  *result = TableLookupResult::kNotPresent;
+  if (!probe->need_read) {
+    return Status::OK();
+  }
+  const TableIndex& index = *probe->file->index;
+
+  if (index.kind() == TableIndex::kPerRecord) {
     Slice ikey, v;
-    if (ParseRecord(record.data(), record.data() + record.size(), &ikey,
-                    &v) == nullptr ||
-        ikey != e.key) {
+    if (ParseRecord(probe->buf.data(), probe->buf.data() + probe->buf.size(),
+                    &ikey, &v) == nullptr ||
+        ikey != probe->index_key) {
       return Status::Corruption("record/index mismatch");
     }
     ParsedInternalKey parsed;
@@ -664,13 +740,9 @@ Status TableGet(const RemoteReadPath& read_path,
     return Status::OK();
   }
 
-  // Block layout: fetch the whole enclosing block, then unwrap.
-  TableIndex::Entry e = index.entry(pos);
-  std::string block(e.length, '\0');
-  DLSM_RETURN_NOT_OK(read_path.Read(block.data(),
-                                    file.chunk.addr + e.offset,
-                                    file.chunk.rkey, e.length));
-  BlockIter iter(&icmp, block.data(), static_cast<uint32_t>(block.size()));
+  // Block layout: unwrap the fetched block.
+  BlockIter iter(&icmp, probe->buf.data(),
+                 static_cast<uint32_t>(probe->buf.size()));
   iter.Seek(lkey.internal_key());
   if (!iter.Valid()) {
     return iter.status();
@@ -693,6 +765,33 @@ Status TableGet(const RemoteReadPath& read_path,
   return Status::OK();
 }
 
+Status TableGet(const RemoteReadPath& read_path,
+                const InternalKeyComparator& icmp,
+                const BloomFilterPolicy& bloom, const FileMetaData& file,
+                const LookupKey& lkey, TableLookupResult* result,
+                std::string* value, bool* skipped_by_bloom) {
+  *result = TableLookupResult::kNotPresent;
+  TableProbe probe;
+  bool bloom_skip = false;
+  DLSM_RETURN_NOT_OK(
+      TableProbePrepare(icmp, bloom, file, lkey, &probe, &bloom_skip));
+  if (skipped_by_bloom != nullptr) *skipped_by_bloom = bloom_skip;
+  // Ports without compute-side index caching pay the index-block fetch on
+  // every bloom-passing probe, whether or not the data read happens.
+  if (read_path.uncached_index && !bloom_skip) {
+    DLSM_RETURN_NOT_OK(FetchIndexBlock(read_path, file));
+  }
+  if (!probe.need_read) {
+    return Status::OK();
+  }
+  // One RDMA READ of exactly the record (byte-addressability payoff), or
+  // of the whole enclosing block under the block layout.
+  DLSM_RETURN_NOT_OK(read_path.Read(probe.buf.data(),
+                                    file.chunk.addr + probe.read_off,
+                                    file.chunk.rkey, probe.buf.size()));
+  return TableProbeFinish(icmp, lkey, &probe, result, value);
+}
+
 Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
                                  const InternalKeyComparator& icmp,
                                  FileRef file, size_t prefetch_bytes) {
@@ -707,8 +806,9 @@ Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
                                       prefetch_bytes);
 }
 
-Iterator* NewLocalByteTableIterator(const char* data, uint64_t data_len) {
-  return new LocalByteTableIterator(data, data_len);
+Iterator* NewLocalByteTableIterator(const char* data, uint64_t data_len,
+                                    const InternalKeyComparator& icmp) {
+  return new LocalByteTableIterator(data, data_len, icmp);
 }
 
 Iterator* NewLocalBlockTableIterator(const char* data, uint64_t data_len,

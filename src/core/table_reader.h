@@ -58,6 +58,46 @@ Status TableGet(const RemoteReadPath& read_path,
                 const LookupKey& lkey, TableLookupResult* result,
                 std::string* value, bool* skipped_by_bloom = nullptr);
 
+/// True when the read path is a plain one-sided READ (no RPC detour, no
+/// staging copy, no per-probe index fetch) and so its data reads may be
+/// posted asynchronously in a doorbell batch. The baseline read paths
+/// must keep their modeled per-read costs and stay synchronous.
+bool SupportsAsyncProbe(const RemoteReadPath& read_path);
+
+/// One table's share of a doorbell-batched point lookup. Prepare()
+/// consults the locally cached bloom filter and index; when the table
+/// needs bytes it sizes buf and records the read's table-relative offset
+/// so the caller can post [file.chunk.addr + read_off, +buf.size()) into
+/// buf. After the batch drains, Finish() resolves the fetched bytes.
+/// The probed file must outlive the probe (callers pin it via FileRef).
+struct TableProbe {
+  bool need_read = false;
+  /// The per-record index matched the user key, so the posted read alone
+  /// decides this lookup (found or tombstone); older tables need not be
+  /// probed. Block-format probes are never definitive before the read.
+  bool definitive = false;
+  uint64_t read_off = 0;
+  std::string buf;
+  // Resolution context for Finish(). index_key points into the cached
+  // index blob, stable while `file` stays pinned.
+  const FileMetaData* file = nullptr;
+  Slice index_key;
+};
+
+/// Phase 1: local filtering; fills *probe. Callers that model uncached
+/// indexes must fetch the index block themselves before posting data
+/// reads (see TableGet) — async batching requires cached indexes.
+Status TableProbePrepare(const InternalKeyComparator& icmp,
+                         const BloomFilterPolicy& bloom,
+                         const FileMetaData& file, const LookupKey& lkey,
+                         TableProbe* probe,
+                         bool* skipped_by_bloom = nullptr);
+
+/// Phase 2: resolves a probe whose read (if any) has completed into buf.
+Status TableProbeFinish(const InternalKeyComparator& icmp,
+                        const LookupKey& lkey, TableProbe* probe,
+                        TableLookupResult* result, std::string* value);
+
 /// Remote iterator over one SSTable; file is pinned for the iterator's
 /// lifetime. prefetch_bytes governs sequential chunk fetches.
 Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
@@ -65,8 +105,10 @@ Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
                                  FileRef file, size_t prefetch_bytes);
 
 /// Iterator over a byte-addressable data region in local memory
-/// (self-delimiting records; no index required).
-Iterator* NewLocalByteTableIterator(const char* data, uint64_t data_len);
+/// (self-delimiting records; no index required). Forward-only; Seek is a
+/// linear scan ordered by the internal-key comparator.
+Iterator* NewLocalByteTableIterator(const char* data, uint64_t data_len,
+                                    const InternalKeyComparator& icmp);
 
 /// Iterator over a block-format data region in local memory; needs the
 /// table's index to find block extents.

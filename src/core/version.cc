@@ -134,16 +134,19 @@ int Version::TotalFiles() const {
   return total;
 }
 
-std::vector<FileRef> Version::CollectSearchOrder(
-    const InternalKeyComparator& icmp, const Slice& user_key) const {
+void Version::CollectSearchOrder(const InternalKeyComparator& icmp,
+                                 const Slice& user_key,
+                                 std::vector<const FileMetaData*>* result,
+                                 size_t* num_l0) const {
   const Comparator* ucmp = icmp.user_comparator();
-  std::vector<FileRef> result;
+  result->clear();
   // L0 is kept newest-first; all overlapping files must be probed in order.
   for (const FileRef& f : levels_[0]) {
     if (!AfterFile(ucmp, user_key, *f) && !BeforeFile(ucmp, user_key, *f)) {
-      result.push_back(f);
+      result->push_back(f.get());
     }
   }
+  if (num_l0 != nullptr) *num_l0 = result->size();
   // Deeper levels are sorted and disjoint: at most one candidate each.
   for (int level = 1; level < num_levels(); level++) {
     const auto& files = levels_[level];
@@ -160,10 +163,9 @@ std::vector<FileRef> Version::CollectSearchOrder(
       }
     }
     if (lo < files.size() && !BeforeFile(ucmp, user_key, *files[lo])) {
-      result.push_back(files[lo]);
+      result->push_back(files[lo].get());
     }
   }
-  return result;
 }
 
 std::vector<FileRef> Version::GetOverlappingInputs(

@@ -37,9 +37,16 @@ class Version {
   int TotalFiles() const;
 
   /// Files that might contain user_key, in the order a reader must probe
-  /// them: L0 newest-to-oldest, then one candidate per deeper level.
-  std::vector<FileRef> CollectSearchOrder(const InternalKeyComparator& icmp,
-                                          const Slice& user_key) const;
+  /// them: L0 newest-to-oldest, then one candidate per deeper level. When
+  /// num_l0 is non-null it receives how many leading entries are L0 files
+  /// (the set a batched reader may probe concurrently, newest-wins).
+  /// `result` is cleared and filled with borrowed pointers that stay valid
+  /// for as long as the caller holds its VersionRef; passing the same
+  /// vector across lookups avoids reallocating on the read hot path.
+  void CollectSearchOrder(const InternalKeyComparator& icmp,
+                          const Slice& user_key,
+                          std::vector<const FileMetaData*>* result,
+                          size_t* num_l0 = nullptr) const;
 
   /// Files in `level` overlapping [smallest, largest] (user-key range).
   std::vector<FileRef> GetOverlappingInputs(

@@ -64,6 +64,47 @@ Status RdmaManager::Read(void* dst, uint64_t raddr, uint32_t rkey,
   return WaitForWr(qp, wr);
 }
 
+uint64_t RdmaManager::PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey,
+                                    size_t len) {
+  return ThreadQp()->PostRead(dst, raddr, rkey, len);
+}
+
+Status RdmaManager::WaitForAll(size_t n, std::vector<Status>* statuses) {
+  QueuePair* qp = ThreadQp();
+  Status first;
+  for (size_t i = 0; i < n; i++) {
+    Completion c = qp->WaitCompletion();
+    if (statuses != nullptr) statuses->push_back(c.status);
+    if (first.ok() && !c.status.ok()) first = c.status;
+  }
+  return first;
+}
+
+size_t ReadBatch::Add(void* dst, uint64_t raddr, uint32_t rkey, size_t len) {
+  QueuePair* qp = mgr_->ThreadQp();
+  if (qp_ == nullptr) {
+    qp_ = qp;
+  } else {
+    // A batch belongs to the thread that posted it; draining from another
+    // thread's QP would block forever.
+    DLSM_CHECK_MSG(qp_ == qp, "ReadBatch used from a different thread");
+  }
+  DLSM_CHECK_MSG(!drained_, "ReadBatch reused after WaitAll");
+  mgr_->PostReadAsync(dst, raddr, rkey, len);
+  return posted_++;
+}
+
+Status ReadBatch::WaitAll() {
+  if (drained_ || posted_ == 0) {
+    drained_ = true;
+    return Status::OK();
+  }
+  DLSM_CHECK_MSG(qp_ == mgr_->ThreadQp(),
+                 "ReadBatch drained from a different thread");
+  drained_ = true;
+  return mgr_->WaitForAll(posted_, &statuses_);
+}
+
 Status RdmaManager::Write(const void* src, uint64_t raddr, uint32_t rkey,
                           size_t len) {
   QueuePair* qp = ThreadQp();

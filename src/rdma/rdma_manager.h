@@ -46,6 +46,19 @@ class RdmaManager {
   /// Synchronous one-sided read; blocks until the wire completion.
   Status Read(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
 
+  /// Posts a one-sided READ on the calling thread's queue pair without
+  /// waiting for the completion; returns the work-request id. Doorbell
+  /// batching: post N READs back-to-back, then drain the CQ once with
+  /// WaitForAll. The thread must drain every outstanding post before it
+  /// issues any synchronous verb through this manager again.
+  uint64_t PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
+
+  /// Drains exactly n completions from the calling thread's queue pair.
+  /// Completions pop in FIFO post order (the fabric guarantees per-QP
+  /// ordering). Returns the first failed status; when statuses is
+  /// non-null, one entry per completion is appended in post order.
+  Status WaitForAll(size_t n, std::vector<Status>* statuses = nullptr);
+
   /// Synchronous one-sided write; blocks until the wire completion.
   Status Write(const void* src, uint64_t raddr, uint32_t rkey, size_t len);
 
@@ -68,6 +81,40 @@ class RdmaManager {
   std::vector<QueuePair*> owned_qps_;  // For diagnostics only; fabric owns.
 
   static std::atomic<uint64_t> next_instance_id_;
+};
+
+/// A doorbell batch of one-sided READs on the owning thread's queue pair:
+/// Add() posts without waiting; WaitAll() rings once and drains the CQ in
+/// a single sweep, so N small reads cost one base latency plus their wire
+/// occupancy instead of N round trips. At most one live batch per thread
+/// per manager, and the thread must not issue other verbs through the
+/// manager between the first Add() and WaitAll().
+class ReadBatch {
+ public:
+  explicit ReadBatch(RdmaManager* mgr) : mgr_(mgr) {}
+  ~ReadBatch() { WaitAll(); }  // Posted READs must never be abandoned.
+
+  ReadBatch(const ReadBatch&) = delete;
+  ReadBatch& operator=(const ReadBatch&) = delete;
+
+  /// Posts one READ of [raddr, raddr+len) into dst; returns its slot.
+  size_t Add(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
+
+  size_t size() const { return posted_; }
+
+  /// Blocks until every posted READ has completed; returns the first
+  /// failure. Idempotent; per-slot outcomes via status().
+  Status WaitAll();
+
+  /// Completion status of slot i; only valid after WaitAll().
+  const Status& status(size_t i) const { return statuses_[i]; }
+
+ private:
+  RdmaManager* mgr_;
+  QueuePair* qp_ = nullptr;  // Bound to the posting thread's QP on first Add.
+  size_t posted_ = 0;
+  std::vector<Status> statuses_;
+  bool drained_ = false;
 };
 
 }  // namespace rdma

@@ -122,6 +122,47 @@ TEST(ClusterTest, ConcurrentClientsOnTheirOwnComputeNodes) {
   });
 }
 
+TEST(ClusterTest, MultiGetFansOutToOwningShards) {
+  RunClusterTest(2, 2, 2, [](Cluster* cluster, Env*) {
+    const uint64_t kKeys = 2000;
+    const uint64_t kStride = 4500000000000ull;  // Spans all four shards.
+    for (uint64_t i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(
+          cluster->Put(UKey(i * kStride), "v" + std::to_string(i)).ok());
+    }
+    for (uint64_t i = 0; i < kKeys; i += 5) {
+      ASSERT_TRUE(cluster
+                      ->shard_db(cluster->ShardForKey(UKey(i * kStride)))
+                      ->Delete(WriteOptions(), UKey(i * kStride))
+                      .ok());
+    }
+    ASSERT_TRUE(cluster->Flush().ok());
+    ASSERT_TRUE(cluster->WaitForBackgroundIdle().ok());
+
+    // Shard-interleaved batch with absent keys mixed in; answers must
+    // match per-key Gets routed shard by shard.
+    std::vector<std::string> keys;
+    for (int i = static_cast<int>(kKeys) + 30; i >= 0; i -= 3) {
+      keys.push_back(UKey(static_cast<uint64_t>(i) * kStride));
+    }
+    std::vector<Slice> slices(keys.begin(), keys.end());
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    cluster->MultiGet(ReadOptions(), slices, &values, &statuses);
+    ASSERT_EQ(keys.size(), values.size());
+    for (size_t i = 0; i < keys.size(); i++) {
+      std::string serial_value;
+      Status serial = cluster->Get(keys[i], &serial_value);
+      EXPECT_EQ(serial.ok(), statuses[i].ok()) << "key " << keys[i];
+      EXPECT_EQ(serial.IsNotFound(), statuses[i].IsNotFound())
+          << "key " << keys[i];
+      if (serial.ok()) {
+        EXPECT_EQ(serial_value, values[i]) << "key " << keys[i];
+      }
+    }
+  });
+}
+
 TEST(ClusterTest, SingleNodeDegenerateTopologyWorks) {
   RunClusterTest(1, 1, 1, [](Cluster* cluster, Env*) {
     for (int i = 0; i < 500; i++) {

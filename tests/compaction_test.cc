@@ -154,7 +154,7 @@ class MergeTest : public ::testing::Test {
     std::vector<Iterator*> children;
     for (LocalTable* t : tables) {
       children.push_back(
-          NewLocalByteTableIterator(t->storage.data(), t->data_len));
+          NewLocalByteTableIterator(t->storage.data(), t->data_len, icmp));
     }
     Iterator* merged = NewMergingIterator(&icmp, children.data(),
                                           static_cast<int>(children.size()));
@@ -180,7 +180,8 @@ class MergeTest : public ::testing::Test {
     std::vector<Survivor> survivors;
     for (const CompactionOutput& out : outputs) {
       std::unique_ptr<Iterator> it(NewLocalByteTableIterator(
-          reinterpret_cast<const char*>(out.chunk.addr), out.data_len));
+          reinterpret_cast<const char*>(out.chunk.addr), out.data_len,
+          InternalKeyComparator(BytewiseComparator())));
       for (it->SeekToFirst(); it->Valid(); it->Next()) {
         ParsedInternalKey ikey;
         EXPECT_TRUE(ParseInternalKey(it->key(), &ikey));
@@ -349,7 +350,8 @@ TEST(NearDataExecutorTest, CompactsViaMemoryNodeService) {
 
     // Verify the merged contents straight out of memory-node DRAM.
     std::unique_ptr<Iterator> it(NewLocalByteTableIterator(
-        reinterpret_cast<const char*>(out.chunk.addr), out.data_len));
+        reinterpret_cast<const char*>(out.chunk.addr), out.data_len,
+        InternalKeyComparator(BytewiseComparator())));
     int count = 0;
     for (it->SeekToFirst(); it->Valid(); it->Next()) {
       ParsedInternalKey ikey;

@@ -516,5 +516,219 @@ TEST(DBTest, StatsAreAccounted) {
   });
 }
 
+// --- MultiGet ---------------------------------------------------------------
+
+// Runs both MultiGet and per-key Get at the same pinned snapshot and
+// demands byte-identical answers: same status code per key, same value
+// bytes for found keys.
+void ExpectMultiGetMatchesSerial(DB* db, const ReadOptions& options,
+                                 const std::vector<std::string>& keys) {
+  std::vector<Slice> slices(keys.begin(), keys.end());
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  db->MultiGet(options, slices, &values, &statuses);
+  ASSERT_EQ(keys.size(), values.size());
+  ASSERT_EQ(keys.size(), statuses.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    std::string serial_value;
+    Status serial = db->Get(options, keys[i], &serial_value);
+    EXPECT_EQ(serial.ok(), statuses[i].ok()) << "key " << keys[i];
+    EXPECT_EQ(serial.IsNotFound(), statuses[i].IsNotFound())
+        << "key " << keys[i];
+    if (serial.ok()) {
+      EXPECT_EQ(serial_value, values[i]) << "key " << keys[i];
+    }
+  }
+}
+
+TEST(DBTest, MultiGetMatchesSerialGetsUnderConcurrentWriters) {
+  RunDbTest(nullptr, [](DB* db, Env* env) {
+    const int kKeys = 2000;
+    // Seed every key, then delete a stripe so tombstones are in play.
+    for (int i = 0; i < kKeys; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    for (int i = 0; i < kKeys; i += 5) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<ThreadHandle> hs;
+    for (int t = 0; t < 3; t++) {
+      hs.push_back(env->StartThread(0, "writer", [&, t] {
+        Random rnd(100 + t);
+        for (int i = 0; !stop.load() && i < 4000; i++) {
+          uint64_t k = rnd.Next64() % kKeys;
+          if (i % 7 == 0) {
+            ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(k)).ok());
+          } else {
+            ASSERT_TRUE(
+                db->Put(WriteOptions(), TestKey(k), TestValue(i)).ok());
+          }
+          if (i % 64 == 0) env->MaybeYield();
+        }
+      }));
+    }
+
+    // Compare under the writers at a pinned snapshot: the batch includes
+    // present keys, deleted keys and keys that never existed.
+    Random rnd(42);
+    for (int round = 0; round < 10; round++) {
+      std::vector<std::string> keys;
+      for (int i = 0; i < 32; i++) {
+        keys.push_back(TestKey(rnd.Next64() % (kKeys + 200)));
+      }
+      const Snapshot* snap = db->GetSnapshot();
+      ReadOptions at_snap;
+      at_snap.snapshot_sequence = snap->sequence();
+      ExpectMultiGetMatchesSerial(db, at_snap, keys);
+      db->ReleaseSnapshot(snap);
+      env->MaybeYield();
+    }
+    stop.store(true);
+    for (ThreadHandle h : hs) env->Join(h);
+
+    // And once more over SSTables after flush + compaction settle.
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    std::vector<std::string> keys;
+    for (int i = 0; i < kKeys + 100; i += 13) keys.push_back(TestKey(i));
+    ExpectMultiGetMatchesSerial(db, ReadOptions(), keys);
+  });
+}
+
+TEST(DBTest, MultiGetWithL0BacklogNewestWins) {
+  // Many overlapping L0 files and no compaction to merge them: every key
+  // may-match several files, so lookups must resolve newest-first. Block
+  // format keeps the probes non-definitive, which drives the real
+  // multi-read doorbell waves.
+  RunDbTest(
+      [](Options* options) {
+        options->table_format = TableFormat::kBlock;
+        options->block_size = 1024;
+        options->memtable_size = 16 << 10;
+        options->l0_compaction_trigger = 64;  // Never compacts in-test.
+        options->l0_stop_writes_trigger = 128;
+      },
+      [](DB* db, Env*) {
+        const int kKeys = 300;
+        for (int round = 0; round < 6; round++) {
+          for (int i = 0; i < kKeys; i++) {
+            if (round == 4 && i % 3 == 0) {
+              ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+            } else {
+              ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i),
+                                  TestValue(round * 10000 + i))
+                              .ok());
+            }
+          }
+          ASSERT_TRUE(db->Flush().ok());
+        }
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        ASSERT_GT(db->NumFilesAtLevel(0), 1) << "backlog did not form";
+
+        std::vector<std::string> keys;
+        for (int i = 0; i < kKeys + 50; i++) keys.push_back(TestKey(i));
+        ExpectMultiGetMatchesSerial(db, ReadOptions(), keys);
+
+        // Newest-wins spot check against the known write history.
+        std::vector<Slice> slices(keys.begin(), keys.end());
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        db->MultiGet(ReadOptions(), slices, &values, &statuses);
+        for (int i = 0; i < kKeys; i++) {
+          // Every key was rewritten in the final round — including the
+          // stripe deleted in round 4, whose tombstone an older-file-first
+          // lookup would wrongly surface.
+          ASSERT_TRUE(statuses[i].ok()) << "key " << i;
+          EXPECT_EQ(TestValue(50000 + i), values[i]);
+        }
+        for (int i = kKeys; i < kKeys + 50; i++) {
+          EXPECT_TRUE(statuses[i].IsNotFound()) << "key " << i;
+        }
+      });
+}
+
+TEST(DBTest, MultiGetSerialFallbackMatches) {
+  // async_reads=false must take the serial path and still agree.
+  RunDbTest(nullptr, [](DB* db, Env*) {
+    for (int i = 0; i < 1500; i++) {
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    for (int i = 0; i < 1500; i += 4) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    ReadOptions no_async;
+    no_async.async_reads = false;
+    std::vector<std::string> keys;
+    for (int i = 0; i < 1600; i += 9) keys.push_back(TestKey(i));
+    ExpectMultiGetMatchesSerial(db, no_async, keys);
+  });
+}
+
+TEST(DBTest, MultiGetAcrossShards) {
+  RunDbTest(
+      [](Options* options) { options->shards = 8; },
+      [](DB* db, Env*) {
+        const int kN = 2000;
+        const uint64_t kStride = 4500000000000ull;  // Spans all shards.
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i * kStride),
+                              TestValue(i))
+                          .ok());
+        }
+        for (int i = 0; i < kN; i += 6) {
+          ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i * kStride)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        // Batch in shard-interleaved order so the scatter/gather really
+        // reorders; include absent keys.
+        std::vector<std::string> keys;
+        for (int i = kN + 40; i >= 0; i -= 3) {
+          keys.push_back(TestKey(i * kStride));
+        }
+        ExpectMultiGetMatchesSerial(db, ReadOptions(), keys);
+      });
+}
+
+TEST(DBTest, MultiGetStdEnvMatchesSerialGets) {
+  // The batched read path must also work in real time (StdEnv), where
+  // completions arrive via condition variables instead of virtual time.
+  Env* env = Env::Std();
+  rdma::Fabric fabric(env);
+  rdma::Node* compute = fabric.AddNode("compute", 0, 1ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 0, 2ull << 30);
+  MemoryNodeService service(&fabric, memory, 2);
+  service.Start();
+
+  Options options = test::SmallOptions(env);
+  DbDeps deps;
+  deps.fabric = &fabric;
+  deps.compute = compute;
+  deps.memory = &service;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DLsmDB::Open(options, deps, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  for (int i = 0; i < 1200; i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+  }
+  for (int i = 0; i < 1200; i += 3) {
+    ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(i)).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1300; i += 7) keys.push_back(TestKey(i));
+  ExpectMultiGetMatchesSerial(db.get(), ReadOptions(), keys);
+
+  ASSERT_TRUE(db->Close().ok());
+  db.reset();
+  service.Stop();
+}
+
 }  // namespace
 }  // namespace dlsm

@@ -294,13 +294,58 @@ TEST(LocalIteratorTest, ByteTableLocalScan) {
   ASSERT_TRUE(builder->Finish(&result).ok());
 
   std::unique_ptr<Iterator> it(
-      NewLocalByteTableIterator(storage.data(), result.data_len));
+      NewLocalByteTableIterator(storage.data(), result.data_len,
+                                InternalKeyComparator(BytewiseComparator())));
   int count = 0;
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     EXPECT_EQ(UKey(count), ExtractUserKey(it->key()).ToString());
     count++;
   }
   EXPECT_EQ(kN, count);
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(LocalIteratorTest, ByteTableSeekAndSeekToLast) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  BloomFilterPolicy bloom(10);
+  std::string storage(1 << 20, '\0');
+  LocalMemorySink sink(storage.data(), storage.size());
+  auto builder = NewByteTableBuilder(&bloom, &sink);
+  const int kN = 200;
+  for (int i = 0; i < kN; i++) {
+    ASSERT_TRUE(builder->Add(IKey(UKey(i), 9), "v" + std::to_string(i)).ok());
+  }
+  TableBuildResult result;
+  ASSERT_TRUE(builder->Finish(&result).ok());
+
+  std::unique_ptr<Iterator> it(
+      NewLocalByteTableIterator(storage.data(), result.data_len, icmp));
+
+  // Seek lands on the first record >= target (internal-key order).
+  it->Seek(IKey(UKey(50), kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(UKey(50), ExtractUserKey(it->key()).ToString());
+  EXPECT_EQ("v50", it->value().ToString());
+
+  // A forward re-seek continues from the current position...
+  it->Seek(IKey(UKey(120), kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(UKey(120), ExtractUserKey(it->key()).ToString());
+
+  // ...and a backward re-seek restarts the scan.
+  it->Seek(IKey(UKey(7), kMaxSequenceNumber));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(UKey(7), ExtractUserKey(it->key()).ToString());
+
+  // Seeking past the last key invalidates the iterator.
+  it->Seek(IKey(UKey(kN), kMaxSequenceNumber));
+  EXPECT_FALSE(it->Valid());
+
+  // SeekToLast works from any state, including invalid.
+  it->SeekToLast();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(UKey(kN - 1), ExtractUserKey(it->key()).ToString());
+  EXPECT_EQ("v" + std::to_string(kN - 1), it->value().ToString());
   EXPECT_TRUE(it->status().ok());
 }
 
@@ -326,7 +371,7 @@ TEST(LocalIteratorTest, ByteTableSliceScan) {
       index->entry(index->Find(icmp, IKey(UKey(60), kMaxSequenceNumber)))
           .offset;
   std::unique_ptr<Iterator> it(
-      NewLocalByteTableIterator(storage.data() + start, end - start));
+      NewLocalByteTableIterator(storage.data() + start, end - start, icmp));
   int expected = 30;
   for (it->SeekToFirst(); it->Valid(); it->Next()) {
     EXPECT_EQ(UKey(expected), ExtractUserKey(it->key()).ToString());

@@ -295,15 +295,17 @@ TEST(VersionTest, CollectSearchOrderPrunesByRange) {
   edit.AddFile(2, MakeFile(5, 0, 500));
   vs.Apply(edit);
 
-  auto order = vs.current()->CollectSearchOrder(icmp, UKey(50));
+  std::vector<const FileMetaData*> order;
+  vs.current()->CollectSearchOrder(icmp, UKey(50), &order);
   // L0 file 1 overlaps; L1 file 3; L2 file 5. L0 file 2 and L1 file 4 do not.
   ASSERT_EQ(3u, order.size());
   EXPECT_EQ(1u, order[0]->number);
   EXPECT_EQ(3u, order[1]->number);
   EXPECT_EQ(5u, order[2]->number);
 
-  auto none = vs.current()->CollectSearchOrder(icmp, UKey(700));
-  EXPECT_TRUE(none.empty());
+  // Reused across lookups: the vector is cleared, not appended to.
+  vs.current()->CollectSearchOrder(icmp, UKey(700), &order);
+  EXPECT_TRUE(order.empty());
 }
 
 TEST(VersionTest, PickCompactionL0TakesAllAndOverlappingL1) {
