@@ -27,6 +27,7 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(keys));
   std::printf("%-22s %16s %14s %14s\n", "system", "scan", "entries",
               "wire MB");
+  bool verb_stats = flags.GetBool("verb_stats", false);
   for (SystemKind system : systems) {
     BenchConfig config;
     config.system = system;
@@ -36,6 +37,8 @@ int Main(int argc, char** argv) {
                 FormatThroughput(r[0].ops_per_sec).c_str(),
                 static_cast<unsigned long long>(r[0].ops),
                 r[0].wire_bytes / 1e6);
+    std::string verbs = VerbStatsSummary(r[0].stats);
+    if (verb_stats && !verbs.empty()) std::printf("  [%s]\n", verbs.c_str());
     std::fflush(stdout);
   }
   return 0;

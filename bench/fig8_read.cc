@@ -35,9 +35,11 @@ int Main(int argc, char** argv) {
   for (int t : threads) std::printf("%12d-thr", t);
   std::printf("\n");
 
+  bool verb_stats = flags.GetBool("verb_stats", false);
   for (SystemKind system : systems) {
     std::printf("%-22s", SystemName(system));
     std::fflush(stdout);
+    std::string verbs;
     for (int t : threads) {
       BenchConfig config;
       config.system = system;
@@ -46,8 +48,11 @@ int Main(int argc, char** argv) {
       auto r = RunBench(config, {Phase::kReadRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);
+      verbs = VerbStatsSummary(r[0].stats);
     }
     std::printf("\n");
+    // Per-verb wire telemetry for the last (widest) thread count.
+    if (verb_stats && !verbs.empty()) std::printf("  [%s]\n", verbs.c_str());
   }
   return 0;
 }

@@ -132,6 +132,29 @@ std::string FormatThroughput(double ops_per_sec) {
   return buf;
 }
 
+std::string VerbStatsSummary(const DbStats& stats) {
+  const rdma::RdmaVerbStats& v = stats.rdma;
+  std::string out;
+  char buf[128];
+  for (int i = 0; i < rdma::kNumVerbClasses; i++) {
+    auto c = static_cast<rdma::VerbClass>(i);
+    const rdma::VerbClassStats& s = v.cls(c);
+    if (s.ops == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s %llu ops %.1f MB p50 %.1fus p99 %.1fus",
+                  out.empty() ? "" : " | ", rdma::VerbClassName(c),
+                  static_cast<unsigned long long>(s.ops),
+                  static_cast<double>(s.bytes) / (1024.0 * 1024.0),
+                  s.latency_us.Percentile(50.0), s.latency_us.Percentile(99.0));
+    out += buf;
+  }
+  if (out.empty()) return out;
+  std::snprintf(buf, sizeof(buf), " | max outstanding %llu abandoned %llu",
+                static_cast<unsigned long long>(v.max_outstanding),
+                static_cast<unsigned long long>(v.abandoned));
+  out += buf;
+  return out;
+}
+
 std::vector<PhaseResult> RunBench(const BenchConfig& config,
                                   const std::vector<Phase>& phases) {
   std::vector<PhaseResult> results(phases.size());

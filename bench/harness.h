@@ -91,6 +91,11 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
 /// Formats ops/s as the paper's figures do (Kops/Mops).
 std::string FormatThroughput(double ops_per_sec);
 
+/// Compact one-line per-verb telemetry from a phase's DbStats (ops, bytes,
+/// wire p50/p99, peak outstanding), for the figure binaries' --verb_stats
+/// mode. Empty string when the system posted no verbs.
+std::string VerbStatsSummary(const DbStats& stats);
+
 /// Multi-node deployment knobs (paper Sec. IX / Figs. 14-15).
 struct ClusterBenchConfig {
   ClusterBenchConfig() {}

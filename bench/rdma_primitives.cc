@@ -3,9 +3,15 @@
 // observation that motivates the LSM design). Sweeps payload size and
 // prints achieved one-sided READ bandwidth.
 //
+// Also measures the unified verb layer's overhead: synchronous wrappers
+// (post+wait per verb) vs handle waves (doorbell batches) vs interleaved
+// read+write handles on one queue pair — the three shapes engine code
+// drives the layer with.
+//
 // Usage: rdma_primitives [--total_mb=64]
 
 #include <cstdio>
+#include <deque>
 #include <vector>
 
 #include "bench/harness.h"
@@ -17,6 +23,60 @@
 namespace dlsm {
 namespace bench {
 namespace {
+
+void VerbLayerSeries(SimEnv* env, rdma::Fabric* fabric,
+                     rdma::RdmaManager* mgr, const rdma::MemoryRegion& mr) {
+  std::printf("\n=== Verb-layer overhead (one QP, %u ops/series) ===\n",
+              20000u);
+  std::printf("%10s %12s %14s %14s %14s\n", "payload", "wave", "sync ops/s",
+              "wave ops/s", "mixed ops/s");
+  constexpr uint64_t kOps = 20000;
+  constexpr size_t kWave = 16;
+  std::vector<char> buf(1 << 20);
+  for (size_t payload : {64ul, 4096ul}) {
+    // Sync wrappers: one post+wait round trip per verb.
+    uint64_t t0 = env->NowNanos();
+    for (uint64_t i = 0; i < kOps; i++) {
+      DLSM_CHECK(mgr->Read(buf.data(), mr.addr, mr.rkey, payload).ok());
+    }
+    double sync_rate = kOps / ((env->NowNanos() - t0) / 1e9);
+
+    // Handle waves: post kWave, wait the handles (doorbell batching).
+    t0 = env->NowNanos();
+    for (uint64_t i = 0; i < kOps; i += kWave) {
+      rdma::ReadBatch batch(mgr);
+      for (size_t j = 0; j < kWave; j++) {
+        batch.Add(buf.data() + j * payload, mr.addr + j * payload, mr.rkey,
+                  payload);
+      }
+      DLSM_CHECK(batch.WaitAll().ok());
+    }
+    double wave_rate = kOps / ((env->NowNanos() - t0) / 1e9);
+
+    // Interleaved read+write waves on the same queue — legal under the
+    // handle layer (was forbidden by the pre-refactor contract).
+    t0 = env->NowNanos();
+    for (uint64_t i = 0; i < kOps; i += kWave) {
+      std::vector<rdma::WrHandle> handles;
+      handles.reserve(kWave);
+      rdma::VerbQueue* vq = mgr->ThreadVq();
+      for (size_t j = 0; j < kWave; j++) {
+        uint64_t addr = mr.addr + j * payload;
+        char* b = buf.data() + j * payload;
+        handles.push_back(j % 2 == 0 ? vq->Read(b, addr, mr.rkey, payload)
+                                     : vq->Write(b, addr, mr.rkey, payload));
+      }
+      for (auto& h : handles) DLSM_CHECK(h.Wait().ok());
+    }
+    double mixed_rate = kOps / ((env->NowNanos() - t0) / 1e9);
+
+    std::printf("%10zu %12zu %14.0f %14.0f %14.0f\n", payload, kWave,
+                sync_rate, wave_rate, mixed_rate);
+  }
+  std::printf("\nVerb-layer telemetry after the series:\n%s",
+              mgr->StatsSnapshot().ToString().c_str());
+  (void)fabric;
+}
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -40,24 +100,25 @@ int Main(int argc, char** argv) {
     std::vector<char> buf(4 << 20);
 
     // Pipelined reads at queue depth 16, as the OFED perf-test drives the
-    // NIC (the paper's Sec. I measurement).
-    constexpr int kQueueDepth = 16;
+    // NIC (the paper's Sec. I measurement). A deque of in-flight handles
+    // keeps the pipe full; the oldest handle is waited as new posts go out.
+    constexpr size_t kQueueDepth = 16;
     double small_bw = 0, big_bw = 0;
     for (size_t payload : {64ul, 256ul, 1024ul, 4096ul, 16384ul, 65536ul,
                            262144ul, 1048576ul}) {
       uint64_t ops = total / payload;
       if (ops > 200000) ops = 200000;
-      rdma::QueuePair* qp = mgr.ThreadQp();
+      rdma::VerbQueue* vq = mgr.ThreadVq();
       uint64_t t0 = env.NowNanos();
       uint64_t posted = 0, completed = 0;
-      rdma::Completion c;
+      std::deque<rdma::WrHandle> inflight;
       while (completed < ops) {
-        while (posted < ops && posted - completed < kQueueDepth) {
-          qp->PostRead(buf.data(), mr.addr, mr.rkey, payload);
+        while (posted < ops && inflight.size() < kQueueDepth) {
+          inflight.push_back(vq->Read(buf.data(), mr.addr, mr.rkey, payload));
           posted++;
         }
-        c = qp->WaitCompletion();
-        DLSM_CHECK(c.status.ok());
+        DLSM_CHECK(inflight.front().Wait().ok());
+        inflight.pop_front();
         completed++;
       }
       uint64_t t1 = env.NowNanos();
@@ -69,6 +130,8 @@ int Main(int argc, char** argv) {
     }
     std::printf("\n64B vs 1MB throughput gap: %.0fx (paper cites ~100x)\n",
                 big_bw / small_bw);
+
+    VerbLayerSeries(&env, &fabric, &mgr, mr);
   });
   return 0;
 }

@@ -435,6 +435,7 @@ DbStats ShermanDB::GetStats() {
   DbStats s;
   s.writes = stat_writes_.load();
   s.reads = stat_reads_.load();
+  s.rdma = mgr_->StatsSnapshot();
   return s;
 }
 

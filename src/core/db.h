@@ -12,6 +12,7 @@
 #include "src/core/iterator.h"
 #include "src/core/options.h"
 #include "src/core/write_batch.h"
+#include "src/rdma/verb_stats.h"
 #include "src/util/slice.h"
 #include "src/util/status.h"
 
@@ -34,6 +35,10 @@ struct DbStats {
   uint64_t compaction_output_bytes = 0;
   uint64_t stall_ns = 0;          ///< Total write-stall virtual time.
   uint64_t bloom_useful = 0;      ///< Remote reads skipped by bloom filters.
+  /// Verb-layer telemetry of this engine's compute->memory connection:
+  /// per-verb-class ops/bytes and wire-latency histograms, plus
+  /// outstanding-op gauges. Merged exactly across shards.
+  rdma::RdmaVerbStats rdma;
 };
 
 /// A key-value store. Thread-safe: any number of concurrent readers and

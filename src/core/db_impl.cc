@@ -1006,8 +1006,7 @@ void DLsmDB::DrainGc() {
   }
   if (batch.empty()) return;
   std::string args, reply;
-  PutVarint32(&args, static_cast<uint32_t>(batch.size()));
-  for (uint64_t addr : batch) PutFixed64(&args, addr);
+  remote::EncodeFreeBatch(batch, &args);
   Status s = rpc_->Call(remote::RpcType::kFreeBatch, args, &reply);
   DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
 }
@@ -1079,6 +1078,7 @@ DbStats DLsmDB::GetStats() {
   s.compaction_output_bytes = stat_comp_out_.load();
   s.stall_ns = stat_stall_ns_.load();
   s.bloom_useful = stat_bloom_useful_.load();
+  s.rdma = mgr_->StatsSnapshot();
   return s;
 }
 

@@ -90,15 +90,10 @@ void MemoryNodeService::HandleAllocFlushRegion(const Slice& args,
 
 void MemoryNodeService::HandleFreeBatch(const Slice& args,
                                         std::string* reply) {
-  // args: varint32 count, then count fixed64 addresses.
-  Slice input = args;
-  uint32_t count;
-  DLSM_CHECK(GetVarint32(&input, &count));
+  std::vector<uint64_t> addrs;
+  DLSM_CHECK(remote::DecodeFreeBatch(args, &addrs).ok());
   uint32_t freed = 0;
-  for (uint32_t i = 0; i < count; i++) {
-    DLSM_CHECK(input.size() >= 8);
-    uint64_t addr = DecodeFixed64(input.data());
-    input.remove_prefix(8);
+  for (uint64_t addr : addrs) {
     std::lock_guard<std::mutex> lock(alloc_mu_);
     for (auto& [chunk_size, list] : compaction_allocs_) {
       bool done = false;

@@ -43,6 +43,12 @@ class MemoryNodeService {
   uint64_t worker_busy_ns() const { return server_->worker_busy_ns(); }
   int compaction_workers() const { return workers_; }
 
+  /// Verb-layer telemetry of the server's reply path (the WRITEs and
+  /// wakeups it posts back to clients), aggregated across channels.
+  rdma::RdmaVerbStats reply_verb_stats() const {
+    return server_->reply_verb_stats();
+  }
+
   /// Local (same-process) access for tests: the allocator serving
   /// compaction outputs of the given chunk size.
   remote::SlabAllocator* compaction_allocator(size_t chunk_size);

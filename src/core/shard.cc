@@ -287,6 +287,7 @@ DbStats ShardedDB::GetStats() {
     total.compaction_output_bytes += s.compaction_output_bytes;
     total.stall_ns += s.stall_ns;
     total.bloom_useful += s.bloom_useful;
+    total.rdma.MergeFrom(s.rdma);
   }
   return total;
 }

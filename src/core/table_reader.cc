@@ -244,22 +244,20 @@ class BlockIter : public Iterator {
 
 /// Double-buffered sequential window over a remote table's data region.
 /// On the plain one-sided read path, every sequential window swap posts
-/// the following chunk's READ on a private queue pair before the caller
+/// the following chunk's READ on a private verb queue before the caller
 /// consumes the current one, so chunk k+1 crosses the wire while the CPU
 /// drains chunk k. Random repositioning falls back to a synchronous
-/// fetch (and drains any in-flight prefetch first — posted READs are
-/// never abandoned). Baseline read paths (RPC / staging copy / uncached
-/// index) stay fully synchronous through RemoteReadPath::Read.
+/// fetch, cancelling any in-flight prefetch (the handle layer discards
+/// its completion; no drain stall). Baseline read paths (RPC / staging
+/// copy / uncached index) stay fully synchronous through
+/// RemoteReadPath::Read. The destructor never blocks: an outstanding
+/// prefetch handle cancels itself.
 class PrefetchWindow {
  public:
   PrefetchWindow(const RemoteReadPath& read_path, uint64_t base_addr,
                  uint32_t rkey, uint64_t data_len, size_t chunk_bytes)
       : rp_(read_path), base_(base_addr), rkey_(rkey), data_len_(data_len),
         chunk_(chunk_bytes), async_(SupportsAsyncProbe(read_path)) {}
-
-  ~PrefetchWindow() {
-    if (pending_) WaitPending();
-  }
 
   PrefetchWindow(const PrefetchWindow&) = delete;
   PrefetchWindow& operator=(const PrefetchWindow&) = delete;
@@ -274,11 +272,11 @@ class PrefetchWindow {
       *out = front_.data() + (off - front_off_);
       return Status::OK();
     }
-    if (pending_) {
+    if (pending_.valid()) {
       uint64_t got_off = pending_off_;
       size_t got_len = back_.size();
-      DLSM_RETURN_NOT_OK(WaitPending());
       if (Covers(got_off, got_len, off, len)) {
+        DLSM_RETURN_NOT_OK(WaitPending());
         std::swap(front_, back_);
         front_off_ = got_off;
         PostNext();  // Keep the pipeline primed while the caller parses.
@@ -286,6 +284,9 @@ class PrefetchWindow {
         return Status::OK();
       }
       // The consumer jumped elsewhere; the prefetched bytes are useless.
+      // Cancel rather than drain: the handle layer discards the
+      // completion, so repositioning pays no stall for the dead READ.
+      pending_.Cancel();
     }
     bool forward = off >= front_off_;
     size_t want = chunk_ > len ? chunk_ : len;
@@ -310,18 +311,16 @@ class PrefetchWindow {
     if (off >= data_len_) return;
     size_t want = chunk_;
     if (off + want > data_len_) want = static_cast<size_t>(data_len_ - off);
-    if (qp_ == nullptr) qp_ = rp_.mgr->CreateExclusiveQp();
+    if (vq_ == nullptr) vq_ = rp_.mgr->CreateExclusiveVq();
     back_.resize(want);
-    pending_wr_ = qp_->PostRead(back_.data(), base_ + off, rkey_, want);
+    pending_ = vq_->Read(back_.data(), base_ + off, rkey_, want);
     pending_off_ = off;
-    pending_ = true;
   }
 
   Status WaitPending() {
-    rdma::Completion c = qp_->WaitCompletion();
-    DLSM_CHECK(c.wr_id == pending_wr_);
-    pending_ = false;
-    return c.status;
+    Status s = pending_.Wait();
+    pending_ = rdma::WrHandle();
+    return s;
   }
 
   RemoteReadPath rp_;
@@ -330,13 +329,14 @@ class PrefetchWindow {
   uint64_t data_len_;
   size_t chunk_;
   bool async_;
-  rdma::QueuePair* qp_ = nullptr;  // Private QP: prefetch completions must
-                                   // not interleave with ThreadQp verbs.
+  // Private verb queue: the iterator may outlive probes on the caller
+  // thread's queue, and its in-flight chunk must not queue behind them.
+  // Declared before pending_ so the handle dies first.
+  std::unique_ptr<rdma::VerbQueue> vq_;
   std::string front_, back_;
   uint64_t front_off_ = 0;
-  bool pending_ = false;
+  rdma::WrHandle pending_;
   uint64_t pending_off_ = 0;
-  uint64_t pending_wr_ = 0;
 };
 
 /// Byte-addressable remote iterator: positions through the per-record

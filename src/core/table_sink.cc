@@ -33,7 +33,7 @@ AsyncRemoteSink::AsyncRemoteSink(rdma::RdmaManager* mgr,
       chunk_(chunk),
       buffer_size_(buffer_size),
       max_buffers_(buffer_count) {
-  qp_ = mgr_->CreateExclusiveQp();
+  vq_ = mgr_->CreateExclusiveVq();
   // First buffer up front; the rest are allocated on demand, and reused
   // once their transfers complete (Fig. 6 step 4).
   auto b = std::make_unique<Buffer>();
@@ -44,37 +44,30 @@ AsyncRemoteSink::AsyncRemoteSink(rdma::RdmaManager* mgr,
 }
 
 AsyncRemoteSink::~AsyncRemoteSink() {
-  // Buffers are DRAM-arena allocations; nothing to unmap. Any in-flight
-  // I/O must have been finished by Finish().
-  DLSM_CHECK_MSG(in_flight_.empty(),
-                 "AsyncRemoteSink destroyed with writes in flight");
+  // Buffers are DRAM-arena allocations; nothing to unmap. Destruction
+  // before Finish() (error unwind) is safe: each in-flight buffer's
+  // WrHandle cancels itself without blocking.
 }
 
 Status AsyncRemoteSink::ReapCompletions(bool block_for_one) {
-  rdma::QueuePair* qp = qp_;
-  rdma::Completion c;
-  if (block_for_one && !in_flight_.empty()) {
-    c = qp->WaitCompletion();
-    Buffer* head = in_flight_.front();
-    DLSM_CHECK_MSG(c.wr_id == head->wr_id,
-                   "flush completions out of FIFO order");
-    if (!c.status.ok()) status_ = c.status;
-    in_flight_.pop_front();
-    head->wr_id = 0;
+  auto recycle = [this](Buffer* head) {
+    if (!head->wr.status().ok()) status_ = head->wr.status();
+    head->wr = rdma::WrHandle();
     head->fill = 0;
     free_buffers_.push_back(head);
+  };
+  if (block_for_one && !in_flight_.empty()) {
+    Buffer* head = in_flight_.front();
+    head->wr.Wait();
+    in_flight_.pop_front();
+    recycle(head);
   }
   // Opportunistically reap whatever is already ready (Fig. 6: "the writer
   // thread checks for work request completions every time it submits").
-  while (!in_flight_.empty() && qp->PollCq(&c, 1) == 1) {
+  while (!in_flight_.empty() && in_flight_.front()->wr.Ready()) {
     Buffer* head = in_flight_.front();
-    DLSM_CHECK_MSG(c.wr_id == head->wr_id,
-                   "flush completions out of FIFO order");
-    if (!c.status.ok()) status_ = c.status;
     in_flight_.pop_front();
-    head->wr_id = 0;
-    head->fill = 0;
-    free_buffers_.push_back(head);
+    recycle(head);
   }
   return status_;
 }
@@ -82,10 +75,8 @@ Status AsyncRemoteSink::ReapCompletions(bool block_for_one) {
 Status AsyncRemoteSink::FlushCurrent() {
   if (current_->fill == 0) return status_;
   uint64_t remote_off = written_ - current_->fill;
-  rdma::QueuePair* qp = qp_;
-  uint64_t wr = qp->PostWrite(current_->data, chunk_.addr + remote_off,
-                              chunk_.rkey, current_->fill);
-  current_->wr_id = wr;
+  current_->wr = vq_->Write(current_->data, chunk_.addr + remote_off,
+                            chunk_.rkey, current_->fill);
   in_flight_.push_back(current_);
   current_ = nullptr;
 

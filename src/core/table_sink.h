@@ -2,9 +2,11 @@
 //
 //  * AsyncRemoteSink — the paper's Fig. 6 flush pipeline: bytes are
 //    serialized straight into registered staging buffers; a full buffer is
-//    posted as an asynchronous RDMA WRITE and serialization continues in
-//    the next buffer. Pending buffers form a FIFO linked queue mirroring
-//    the send-queue order, and completions recycle from the head.
+//    posted as an asynchronous RDMA WRITE through the unified verb layer
+//    and serialization continues in the next buffer. Each in-flight buffer
+//    holds its WRITE's WrHandle; buffers recycle as their handles become
+//    ready (oldest first — one QP completes FIFO, but the handle layer
+//    would tolerate any order).
 //  * SyncRemoteSink — ablation: one blocking RDMA WRITE per buffer.
 //  * LocalMemorySink — near-data compaction output: the memory node
 //    serializes directly into its own DRAM; no wire traffic at all.
@@ -76,7 +78,7 @@ class AsyncRemoteSink : public TableSink {
   struct Buffer {
     char* data;
     size_t fill = 0;
-    uint64_t wr_id = 0;  // Nonzero while its WRITE is in flight.
+    rdma::WrHandle wr;  // Live while its WRITE is in flight.
   };
 
   /// Posts the current buffer's contents as an async WRITE and rotates to
@@ -86,7 +88,8 @@ class AsyncRemoteSink : public TableSink {
   Status ReapCompletions(bool block_for_one);
 
   rdma::RdmaManager* mgr_;
-  rdma::QueuePair* qp_ = nullptr;  // Exclusive to this pipeline.
+  // Declared before the buffers so their handles die first on unwind.
+  std::unique_ptr<rdma::VerbQueue> vq_;  // Exclusive to this pipeline.
   remote::RemoteChunk chunk_;
   size_t buffer_size_;
   int max_buffers_;

@@ -117,12 +117,13 @@ uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
                              size_t len, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kRead;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
   c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
   uint64_t done = f->ReserveLink(peer_node(), local_, len,
-                                 f->params().read_latency_ns);
+                                 f->params().read_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -141,12 +142,13 @@ uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
                               size_t len, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
   c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
   uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns);
+      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -166,6 +168,7 @@ uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
                                      uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kWriteWithImm;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -173,7 +176,7 @@ uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
                       : f->CheckRemoteAccess(rkey, raddr, len,
                                              peer_node()->id());
   uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns);
+      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -196,6 +199,7 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
                                      uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -203,7 +207,7 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
       f->CheckRemoteAccess(rkey, raddr, len + sizeof(uint64_t),
                            peer_node()->id());
   uint64_t done = f->ReserveLink(local_, peer_node(), len + sizeof(uint64_t),
-                                 f->params().write_latency_ns);
+                                 f->params().write_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -227,11 +231,12 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
 uint64_t QueuePair::PostSend(const void* src, size_t len, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kSend;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
   uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().send_latency_ns);
+      f->ReserveLink(local_, peer_node(), len, f->params().send_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -252,6 +257,7 @@ uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
                                  uint64_t* result, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kFetchAdd;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -261,7 +267,7 @@ uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
     c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
   }
   uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
-                                 f->params().atomic_latency_ns);
+                                 f->params().atomic_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -281,6 +287,7 @@ uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
                                 uint64_t* result, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
+  c.post_ns = f->env()->NowNanos();
   c.opcode = Opcode::kCmpSwap;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -290,7 +297,7 @@ uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
     c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
   }
   uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
-                                 f->params().atomic_latency_ns);
+                                 f->params().atomic_latency_ns, c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -387,6 +394,11 @@ bool QueuePair::HasPendingSends() const {
   return !send_cq_.empty();
 }
 
+size_t QueuePair::send_cq_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_cq_.size();
+}
+
 // ---------------------------------------------------------------------------
 // Fabric
 // ---------------------------------------------------------------------------
@@ -449,8 +461,7 @@ Status Fabric::CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,
 }
 
 uint64_t Fabric::ReserveLink(Node* src, Node* dst, size_t len,
-                             uint64_t latency_ns) {
-  uint64_t now = env_->NowNanos();
+                             uint64_t latency_ns, uint64_t now) {
   uint64_t occupancy =
       params_.per_op_overhead_ns +
       static_cast<uint64_t>(static_cast<double>(len) / params_.BytesPerNano());

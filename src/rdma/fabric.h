@@ -139,6 +139,8 @@ struct Completion {
   uint32_t byte_len = 0;
   uint32_t imm = 0;
   bool has_imm = false;
+  /// Virtual time at which the verb was posted (for wire-latency stats).
+  uint64_t post_ns = 0;
   /// Virtual time at which the operation completed on the wire.
   uint64_t completion_ns = 0;
 };
@@ -205,6 +207,10 @@ class QueuePair {
 
   /// True if any send-side completion is pending (ready or not).
   bool HasPendingSends() const;
+
+  /// Number of send-side completions pending (ready or not); the fabric's
+  /// view of this QP's in-flight depth.
+  size_t send_cq_depth() const;
 
   /// Reads a ready stamp written by PostWriteStamped: 0 means not yet
   /// delivered, otherwise the completion time to AdvanceTo().
@@ -291,7 +297,10 @@ class Fabric {
 
   /// Reserves the link for a transfer of len bytes from src to dst at
   /// (virtual) time now; returns the wire completion time.
-  uint64_t ReserveLink(Node* src, Node* dst, size_t len, uint64_t latency_ns);
+  /// `now` is the caller's already-taken post timestamp (posts read the
+  /// thread-CPU clock exactly once).
+  uint64_t ReserveLink(Node* src, Node* dst, size_t len, uint64_t latency_ns,
+                       uint64_t now);
 
   Env* env_;
   LinkParams params_;

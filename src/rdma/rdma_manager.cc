@@ -8,10 +8,266 @@ namespace dlsm {
 namespace rdma {
 
 namespace {
-// Thread-local QP cache keyed by manager instance id (not pointer, to be
+// Thread-local VQ cache keyed by manager instance id (not pointer, to be
 // safe against allocator address reuse across manager lifetimes).
-thread_local std::unordered_map<uint64_t, QueuePair*> tls_qps;
+thread_local std::unordered_map<uint64_t, VerbQueue*> tls_vqs;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// WrHandle
+// ---------------------------------------------------------------------------
+
+WrHandle::WrHandle(WrHandle&& o) noexcept
+    : vq_(o.vq_),
+      wr_id_(o.wr_id_),
+      done_(o.done_),
+      status_(o.status_),
+      completion_ns_(o.completion_ns_) {
+  o.vq_ = nullptr;
+  o.done_ = false;
+}
+
+WrHandle& WrHandle::operator=(WrHandle&& o) noexcept {
+  if (this != &o) {
+    Cancel();
+    vq_ = o.vq_;
+    wr_id_ = o.wr_id_;
+    done_ = o.done_;
+    status_ = o.status_;
+    completion_ns_ = o.completion_ns_;
+    o.vq_ = nullptr;
+    o.done_ = false;
+  }
+  return *this;
+}
+
+Status WrHandle::Wait() {
+  if (done_) return status_;
+  DLSM_CHECK_MSG(vq_ != nullptr, "Wait on an invalid WrHandle");
+  Completion c;
+  status_ = vq_->WaitFor(wr_id_, &c);
+  completion_ns_ = c.completion_ns;
+  done_ = true;
+  return status_;
+}
+
+bool WrHandle::Ready() {
+  if (done_) return true;
+  if (vq_ == nullptr) return false;
+  Completion c;
+  if (!vq_->TryClaim(wr_id_, &c)) return false;
+  status_ = c.status;
+  completion_ns_ = c.completion_ns;
+  done_ = true;
+  return true;
+}
+
+void WrHandle::Cancel() {
+  if (vq_ != nullptr && !done_) {
+    vq_->Cancel(wr_id_);
+  }
+  vq_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// VerbQueue
+// ---------------------------------------------------------------------------
+
+VerbQueue::VerbQueue(QueuePair* qp, RdmaManager* mgr) : qp_(qp), mgr_(mgr) {
+  if (mgr_ != nullptr) mgr_->RegisterVq(this);
+}
+
+VerbQueue::~VerbQueue() {
+  if (mgr_ != nullptr) mgr_->UnregisterVq(this);
+}
+
+size_t VerbQueue::FindPending(uint64_t wr_id) const {
+  for (size_t i = 0; i < pending_.size(); i++) {
+    if (pending_[i].wr_id == wr_id) return i;
+  }
+  return pending_.size();
+}
+
+WrHandle VerbQueue::Track(uint64_t wr_id, VerbClass cls) {
+  pending_.push_back(Pending{wr_id, cls, false});
+  RecordPost();
+  return WrHandle(this, wr_id);
+}
+
+void VerbQueue::Admit(const Completion& c) {
+  size_t i = FindPending(c.wr_id);
+  DLSM_CHECK_MSG(i != pending_.size(),
+                 "completion for a wr this queue did not post");
+  RecordCompletion(pending_[i].cls, c);
+  bool cancelled = pending_[i].cancelled;
+  pending_[i] = pending_.back();
+  pending_.pop_back();
+  if (cancelled) {
+    RecordAbandoned();
+    return;  // Handle was cancelled; drop the completion.
+  }
+  stash_.push_back(c);
+}
+
+void VerbQueue::Sweep() {
+  Completion c;
+  while (qp_->PollCq(&c, 1) == 1) {
+    Admit(c);
+  }
+}
+
+Status VerbQueue::WaitFor(uint64_t wr_id, Completion* out) {
+  for (size_t i = 0; i < stash_.size(); i++) {
+    if (stash_[i].wr_id == wr_id) {
+      *out = stash_[i];
+      stash_[i] = stash_.back();
+      stash_.pop_back();
+      return out->status;
+    }
+  }
+  DLSM_CHECK_MSG(FindPending(wr_id) != pending_.size(),
+                 "waiting on a wr this queue never posted");
+  for (;;) {
+    Completion c = qp_->WaitCompletion();
+    if (c.wr_id == wr_id) {
+      // Fast path: the popped completion is the one being waited on (the
+      // common FIFO case) — no stash round trip. The waiter holds this
+      // verb's handle, so it cannot be cancelled.
+      size_t i = FindPending(wr_id);
+      DLSM_CHECK_MSG(i != pending_.size(),
+                     "completion for a wr this queue did not post");
+      RecordCompletion(pending_[i].cls, c);
+      pending_[i] = pending_.back();
+      pending_.pop_back();
+      *out = c;
+      return c.status;
+    }
+    Admit(c);
+  }
+}
+
+bool VerbQueue::TryClaim(uint64_t wr_id, Completion* out) {
+  Sweep();
+  for (size_t i = 0; i < stash_.size(); i++) {
+    if (stash_[i].wr_id == wr_id) {
+      *out = stash_[i];
+      stash_[i] = stash_.back();
+      stash_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void VerbQueue::Cancel(uint64_t wr_id) {
+  for (size_t i = 0; i < stash_.size(); i++) {
+    if (stash_[i].wr_id == wr_id) {
+      stash_[i] = stash_.back();
+      stash_.pop_back();
+      RecordAbandoned();
+      return;
+    }
+  }
+  size_t i = FindPending(wr_id);
+  if (i != pending_.size()) pending_[i].cancelled = true;
+}
+
+Status VerbQueue::DrainAll() {
+  Status first;
+  while (!pending_.empty()) {
+    Completion c = qp_->WaitCompletion();
+    if (first.ok() && !c.status.ok()) first = c.status;
+    Admit(c);
+  }
+  return first;
+}
+
+void VerbQueue::RecordPost() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  posted_++;
+  outstanding_++;
+  if (outstanding_ > max_outstanding_) max_outstanding_ = outstanding_;
+}
+
+void VerbQueue::RecordCompletion(VerbClass cls, const Completion& c) {
+  uint64_t wire_ns =
+      c.completion_ns >= c.post_ns ? c.completion_ns - c.post_ns : 0;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  completed_++;
+  outstanding_--;
+  VerbClassStats& s = cls_stats_[static_cast<int>(cls)];
+  s.ops++;
+  s.bytes += c.byte_len;
+  s.latency_us.Add(static_cast<double>(wire_ns) / 1000.0);
+}
+
+void VerbQueue::RecordAbandoned() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  abandoned_++;
+}
+
+void VerbQueue::SnapshotInto(RdmaVerbStats* out) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out->read.MergeFrom(cls_stats_[static_cast<int>(VerbClass::kRead)]);
+  out->write.MergeFrom(cls_stats_[static_cast<int>(VerbClass::kWrite)]);
+  out->send.MergeFrom(cls_stats_[static_cast<int>(VerbClass::kSend)]);
+  out->atomic.MergeFrom(cls_stats_[static_cast<int>(VerbClass::kAtomic)]);
+  out->posted += posted_;
+  out->completed += completed_;
+  out->abandoned += abandoned_;
+  out->outstanding += outstanding_;
+  if (max_outstanding_ > out->max_outstanding) {
+    out->max_outstanding = max_outstanding_;
+  }
+}
+
+WrHandle VerbQueue::Read(void* dst, uint64_t raddr, uint32_t rkey,
+                         size_t len) {
+  MaybeSweep();
+  return Track(qp_->PostRead(dst, raddr, rkey, len), VerbClass::kRead);
+}
+
+WrHandle VerbQueue::Write(const void* src, uint64_t raddr, uint32_t rkey,
+                          size_t len) {
+  MaybeSweep();
+  return Track(qp_->PostWrite(src, raddr, rkey, len), VerbClass::kWrite);
+}
+
+WrHandle VerbQueue::WriteStamped(const void* src, uint64_t raddr,
+                                 uint32_t rkey, size_t len) {
+  MaybeSweep();
+  return Track(qp_->PostWriteStamped(src, raddr, rkey, len),
+               VerbClass::kWrite);
+}
+
+WrHandle VerbQueue::WriteWithImm(const void* src, uint64_t raddr,
+                                 uint32_t rkey, size_t len, uint32_t imm) {
+  MaybeSweep();
+  return Track(qp_->PostWriteWithImm(src, raddr, rkey, len, imm),
+               VerbClass::kSend);
+}
+
+WrHandle VerbQueue::Send(const void* src, size_t len) {
+  MaybeSweep();
+  return Track(qp_->PostSend(src, len), VerbClass::kSend);
+}
+
+WrHandle VerbQueue::FetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                             uint64_t* prev) {
+  MaybeSweep();
+  return Track(qp_->PostFetchAdd(raddr, rkey, add, prev), VerbClass::kAtomic);
+}
+
+WrHandle VerbQueue::CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
+                            uint64_t desired, uint64_t* prev) {
+  MaybeSweep();
+  return Track(qp_->PostCmpSwap(raddr, rkey, expected, desired, prev),
+               VerbClass::kAtomic);
+}
+
+// ---------------------------------------------------------------------------
+// RdmaManager
+// ---------------------------------------------------------------------------
 
 std::atomic<uint64_t> RdmaManager::next_instance_id_{1};
 
@@ -23,107 +279,134 @@ RdmaManager::RdmaManager(Fabric* fabric, Node* local, Node* remote)
 
 RdmaManager::~RdmaManager() = default;
 
-QueuePair* RdmaManager::ThreadQp() {
-  auto it = tls_qps.find(instance_id_);
-  if (it != tls_qps.end()) {
-    return it->second;
-  }
+QueuePair* RdmaManager::CreateQp() {
   auto [local_qp, remote_qp] = fabric_->CreateQpPair(local_, remote_);
   (void)remote_qp;  // The passive side; one-sided verbs need no peer logic.
-  tls_qps[instance_id_] = local_qp;
+  return local_qp;
+}
+
+VerbQueue* RdmaManager::ThreadVq() {
+  auto it = tls_vqs.find(instance_id_);
+  if (it != tls_vqs.end()) {
+    return it->second;
+  }
+  auto vq = std::make_unique<VerbQueue>(CreateQp(), this);
+  VerbQueue* raw = vq.get();
+  tls_vqs[instance_id_] = raw;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    owned_qps_.push_back(local_qp);
+    thread_vqs_.push_back(std::move(vq));
   }
-  return local_qp;
+  return raw;
 }
 
-QueuePair* RdmaManager::CreateExclusiveQp() {
-  auto [local_qp, remote_qp] = fabric_->CreateQpPair(local_, remote_);
-  (void)remote_qp;
-  return local_qp;
+std::unique_ptr<VerbQueue> RdmaManager::CreateExclusiveVq() {
+  return std::make_unique<VerbQueue>(CreateQp(), this);
 }
 
-Status RdmaManager::WaitForWr(QueuePair* qp, uint64_t wr_id) {
-  for (;;) {
-    Completion c = qp->WaitCompletion();
-    if (c.wr_id == wr_id) {
-      return c.status;
+void RdmaManager::RegisterVq(VerbQueue* vq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_vqs_.push_back(vq);
+}
+
+void RdmaManager::UnregisterVq(VerbQueue* vq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RdmaVerbStats last;
+  vq->SnapshotInto(&last);
+  // Verbs still in flight when their queue dies can never be harvested;
+  // fold them into the abandoned count instead of pinning the gauge.
+  last.abandoned += last.outstanding;
+  last.outstanding = 0;
+  retired_.MergeFrom(last);
+  for (size_t i = 0; i < live_vqs_.size(); i++) {
+    if (live_vqs_[i] == vq) {
+      live_vqs_[i] = live_vqs_.back();
+      live_vqs_.pop_back();
+      break;
     }
-    // A completion for an earlier async post on this thread's QP; the
-    // synchronous wrappers are only used on QPs without outstanding async
-    // work, so this indicates a protocol bug.
-    DLSM_CHECK_MSG(false, "unexpected completion while waiting synchronously");
   }
+}
+
+RdmaVerbStats RdmaManager::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RdmaVerbStats out = retired_;
+  for (VerbQueue* vq : live_vqs_) {
+    vq->SnapshotInto(&out);
+  }
+  return out;
 }
 
 Status RdmaManager::Read(void* dst, uint64_t raddr, uint32_t rkey,
                          size_t len) {
-  QueuePair* qp = ThreadQp();
-  uint64_t wr = qp->PostRead(dst, raddr, rkey, len);
-  return WaitForWr(qp, wr);
-}
-
-uint64_t RdmaManager::PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey,
-                                    size_t len) {
-  return ThreadQp()->PostRead(dst, raddr, rkey, len);
-}
-
-Status RdmaManager::WaitForAll(size_t n, std::vector<Status>* statuses) {
-  QueuePair* qp = ThreadQp();
-  Status first;
-  for (size_t i = 0; i < n; i++) {
-    Completion c = qp->WaitCompletion();
-    if (statuses != nullptr) statuses->push_back(c.status);
-    if (first.ok() && !c.status.ok()) first = c.status;
-  }
-  return first;
-}
-
-size_t ReadBatch::Add(void* dst, uint64_t raddr, uint32_t rkey, size_t len) {
-  QueuePair* qp = mgr_->ThreadQp();
-  if (qp_ == nullptr) {
-    qp_ = qp;
-  } else {
-    // A batch belongs to the thread that posted it; draining from another
-    // thread's QP would block forever.
-    DLSM_CHECK_MSG(qp_ == qp, "ReadBatch used from a different thread");
-  }
-  DLSM_CHECK_MSG(!drained_, "ReadBatch reused after WaitAll");
-  mgr_->PostReadAsync(dst, raddr, rkey, len);
-  return posted_++;
-}
-
-Status ReadBatch::WaitAll() {
-  if (drained_ || posted_ == 0) {
-    drained_ = true;
-    return Status::OK();
-  }
-  DLSM_CHECK_MSG(qp_ == mgr_->ThreadQp(),
-                 "ReadBatch drained from a different thread");
-  drained_ = true;
-  return mgr_->WaitForAll(posted_, &statuses_);
+  return ThreadVq()->Read(dst, raddr, rkey, len).Wait();
 }
 
 Status RdmaManager::Write(const void* src, uint64_t raddr, uint32_t rkey,
                           size_t len) {
-  QueuePair* qp = ThreadQp();
-  uint64_t wr = qp->PostWrite(src, raddr, rkey, len);
-  return WaitForWr(qp, wr);
+  return ThreadVq()->Write(src, raddr, rkey, len).Wait();
 }
 
 Status RdmaManager::FetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
                              uint64_t* prev) {
-  QueuePair* qp = ThreadQp();
-  uint64_t wr = qp->PostFetchAdd(raddr, rkey, add, prev);
-  return WaitForWr(qp, wr);
+  return ThreadVq()->FetchAdd(raddr, rkey, add, prev).Wait();
 }
 
 Status RdmaManager::CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
                             uint64_t desired, uint64_t* prev) {
-  QueuePair* qp = ThreadQp();
-  uint64_t wr = qp->PostCmpSwap(raddr, rkey, expected, desired, prev);
-  return WaitForWr(qp, wr);
+  return ThreadVq()->CmpSwap(raddr, rkey, expected, desired, prev).Wait();
+}
+
+WrHandle RdmaManager::PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey,
+                                    size_t len) {
+  return ThreadVq()->Read(dst, raddr, rkey, len);
+}
+
+WrHandle RdmaManager::PostWriteAsync(const void* src, uint64_t raddr,
+                                     uint32_t rkey, size_t len) {
+  return ThreadVq()->Write(src, raddr, rkey, len);
+}
+
+// ---------------------------------------------------------------------------
+// ReadBatch
+// ---------------------------------------------------------------------------
+
+size_t ReadBatch::Add(void* dst, uint64_t raddr, uint32_t rkey, size_t len) {
+  VerbQueue* vq = mgr_->ThreadVq();
+  if (vq_ == nullptr) {
+    vq_ = vq;
+  } else {
+    // Handles harvest from the posting thread's queue; waiting them from
+    // another thread would poll the wrong CQ.
+    DLSM_CHECK_MSG(vq_ == vq, "ReadBatch used from a different thread");
+  }
+  handles_.push_back(vq->Read(dst, raddr, rkey, len));
+  return handles_.size() - 1;
+}
+
+Status ReadBatch::WaitAll() {
+  for (WrHandle& h : handles_) {
+    Status s = h.Wait();
+    if (first_.ok() && !s.ok()) first_ = s;
+  }
+  return first_;
+}
+
+// ---------------------------------------------------------------------------
+// StampFuture
+// ---------------------------------------------------------------------------
+
+Status StampFuture::Wait() {
+  uint64_t t;
+  while ((t = QueuePair::ReadReadyStamp(stamp_)) == 0) {
+    // Poll politely: the writer needs this node's poller thread to stand
+    // aside, and in virtual time a tight spin would never advance.
+    env_->YieldToOthers();
+  }
+  // The stamp holds the producer's wire completion time; honoring it keeps
+  // one-sided delivery causal in virtual time.
+  env_->AdvanceTo(t);
+  completion_ns_ = t;
+  return Status::OK();
 }
 
 }  // namespace rdma

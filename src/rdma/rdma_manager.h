@@ -1,25 +1,197 @@
 // RdmaManager: the intermediate layer between engine code and the verbs
-// fabric (paper Sec. X-B). It owns the connection between one local node
-// and one remote node, hands out thread-local queue pairs (so completion
-// polling never mixes threads), and provides synchronous one-sided
-// wrappers that block in virtual time until the wire completion.
+// fabric (paper Sec. X-B), built around a first-class completion handle.
+//
+// Every verb — READ, WRITE, SEND, FETCH_ADD, CMP_SWAP — is posted through
+// a VerbQueue and returns a WrHandle. Handles can be waited individually,
+// in doorbell-batched waves (ReadBatch), or harvested out of post order by
+// wr_id: a completion that pops before its handle asks is stashed until
+// claimed. Synchronous wrappers are post+wait over the same path, so reads,
+// writes and atomics interleave freely on one queue pair and any number of
+// waves may be live at once — there is no "drain everything before a sync
+// verb" or "one live batch per thread" restriction. Dropping or
+// Cancel()ing a handle never blocks: the completion is discarded when it
+// pops, which makes error unwind safe.
+//
+// The layer also keeps per-QP in-flight accounting and per-verb-class
+// ops/bytes/wire-latency telemetry (RdmaVerbStats), surfaced through
+// DbStats and the bench harness.
 
 #ifndef DLSM_RDMA_RDMA_MANAGER_H_
 #define DLSM_RDMA_RDMA_MANAGER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "src/rdma/fabric.h"
+#include "src/rdma/verb_stats.h"
 #include "src/util/status.h"
 
 namespace dlsm {
 namespace rdma {
 
+class RdmaManager;
+class VerbQueue;
+
+/// Completion handle for one posted verb; move-only, obtained from a
+/// VerbQueue post. Wait() blocks (in virtual time) until this verb's own
+/// completion — other completions popping meanwhile are stashed for their
+/// handles, so handles may be waited in any order. Destroying or
+/// Cancel()ing a live handle never blocks; the completion is discarded on
+/// arrival (the fabric moves payloads at post time, so abandoning a verb
+/// cannot corrupt buffers). A handle must not outlive its VerbQueue.
+class WrHandle {
+ public:
+  WrHandle() = default;
+  WrHandle(WrHandle&& o) noexcept;
+  WrHandle& operator=(WrHandle&& o) noexcept;
+  ~WrHandle() { Cancel(); }
+
+  WrHandle(const WrHandle&) = delete;
+  WrHandle& operator=(const WrHandle&) = delete;
+
+  /// False for default-constructed, moved-from, or cancelled handles.
+  bool valid() const { return vq_ != nullptr || done_; }
+  uint64_t wr_id() const { return wr_id_; }
+
+  /// Blocks until this verb completes; returns its status. Idempotent.
+  Status Wait();
+
+  /// Nonblocking: true once the completion has arrived (claiming it as a
+  /// side effect, so status() becomes valid). Idempotent.
+  bool Ready();
+
+  /// Completion status; valid after Wait() or a true Ready().
+  const Status& status() const { return status_; }
+
+  /// Wire completion time; valid after Wait() or a true Ready().
+  uint64_t completion_ns() const { return completion_ns_; }
+
+  /// Detaches from the completion without blocking: it is dropped when it
+  /// pops and this handle becomes invalid. No-op on invalid or already
+  /// completed handles.
+  void Cancel();
+
+ private:
+  friend class VerbQueue;
+  WrHandle(VerbQueue* vq, uint64_t wr_id) : vq_(vq), wr_id_(wr_id) {}
+
+  VerbQueue* vq_ = nullptr;
+  uint64_t wr_id_ = 0;
+  bool done_ = false;
+  Status status_;
+  uint64_t completion_ns_ = 0;
+};
+
+/// Post/harvest state over one queue pair's send side. Tracks every verb
+/// posted through it until its completion is claimed by a handle, stashes
+/// completions that pop before their handle asks (enabling out-of-post-
+/// order harvest by wr_id), drops completions whose handles were
+/// cancelled, and feeds per-verb telemetry to the owning manager.
+///
+/// A VerbQueue is single-owner: either thread-local (RdmaManager::
+/// ThreadVq) or used under the caller's own synchronization. Wrap a QP
+/// before posting on it and route every send-side post through the queue;
+/// receive-side verbs (PostRecv / recv CQ) are independent and untouched.
+class VerbQueue {
+ public:
+  /// mgr may be null (bare-fabric use); then this queue's telemetry is
+  /// not aggregated into any manager snapshot.
+  explicit VerbQueue(QueuePair* qp, RdmaManager* mgr = nullptr);
+  ~VerbQueue();
+
+  VerbQueue(const VerbQueue&) = delete;
+  VerbQueue& operator=(const VerbQueue&) = delete;
+
+  QueuePair* qp() const { return qp_; }
+
+  /// Verbs posted through this queue whose completion has not popped yet.
+  size_t in_flight() const { return pending_.size(); }
+
+  WrHandle Read(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
+  WrHandle Write(const void* src, uint64_t raddr, uint32_t rkey, size_t len);
+  /// One-sided write releasing an 8-byte ready stamp at raddr+len last
+  /// (see QueuePair::PostWriteStamped / StampFuture).
+  WrHandle WriteStamped(const void* src, uint64_t raddr, uint32_t rkey,
+                        size_t len);
+  WrHandle WriteWithImm(const void* src, uint64_t raddr, uint32_t rkey,
+                        size_t len, uint32_t imm);
+  WrHandle Send(const void* src, size_t len);
+  WrHandle FetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
+                    uint64_t* prev);
+  WrHandle CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
+                   uint64_t desired, uint64_t* prev);
+
+  /// Blocks until every in-flight verb has popped (stashing completions
+  /// for live handles, dropping cancelled ones). Returns the first
+  /// failure observed among the completions popped by this call. A
+  /// teardown / barrier helper; individual waits don't need it.
+  Status DrainAll();
+
+ private:
+  friend class WrHandle;
+  friend class RdmaManager;
+
+  /// Fire-and-forget users (cancelled handles) never pop their
+  /// completions themselves; once this many verbs are pending, a post
+  /// first sweeps the CQ so it cannot grow unboundedly. Live waves
+  /// smaller than this are never drained early, keeping the
+  /// outstanding-op gauges faithful to what is actually in flight.
+  static constexpr size_t kAutoSweepThreshold = 32;
+
+  /// One posted-but-unharvested verb. Flat vectors with swap-erase beat
+  /// node-based maps here: the sets are wave-sized (tens at most, see
+  /// kAutoSweepThreshold) and this bookkeeping is charged as host CPU on
+  /// every verb the simulation times.
+  struct Pending {
+    uint64_t wr_id;
+    VerbClass cls;
+    bool cancelled;
+  };
+
+  WrHandle Track(uint64_t wr_id, VerbClass cls);
+  /// Accounts one popped completion: telemetry, pending bookkeeping, and
+  /// stash-or-drop depending on whether the handle was cancelled.
+  void Admit(const Completion& c);
+  /// Admits everything already ready on the CQ (nonblocking).
+  void Sweep();
+  /// Sweep, but only past the auto-sweep threshold (called on posts).
+  void MaybeSweep() {
+    if (pending_.size() >= kAutoSweepThreshold) Sweep();
+  }
+  Status WaitFor(uint64_t wr_id, Completion* out);
+  bool TryClaim(uint64_t wr_id, Completion* out);
+  void Cancel(uint64_t wr_id);
+
+  size_t FindPending(uint64_t wr_id) const;
+  void RecordPost();
+  void RecordCompletion(VerbClass cls, const Completion& c);
+  void RecordAbandoned();
+  /// Merges this queue's telemetry into *out (thread-safe vs the owner).
+  void SnapshotInto(RdmaVerbStats* out) const;
+
+  QueuePair* qp_;
+  RdmaManager* mgr_;
+  std::vector<Pending> pending_;
+  std::vector<Completion> stash_;
+
+  // Telemetry is queue-local under an uncontended per-queue mutex (the
+  // queue is single-owner; only manager snapshots contend), so the
+  // per-verb cost is two cheap lock round trips instead of traffic on a
+  // shared cache line.
+  mutable std::mutex stats_mu_;
+  VerbClassStats cls_stats_[kNumVerbClasses];
+  uint64_t posted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t abandoned_ = 0;
+  uint64_t outstanding_ = 0;
+  uint64_t max_outstanding_ = 0;
+};
+
 /// Per-(local node, remote node) RDMA connection manager. Thread-safe;
-/// each calling thread transparently gets its own queue pair.
+/// each calling thread transparently gets its own verb queue (and QP).
 class RdmaManager {
  public:
   RdmaManager(Fabric* fabric, Node* local, Node* remote);
@@ -33,31 +205,23 @@ class RdmaManager {
   Node* remote() const { return remote_; }
   Env* env() const { return fabric_->env(); }
 
-  /// Returns the calling thread's queue pair to the remote node, creating
-  /// it on first use (paper: "every thread creates a thread-local queue
-  /// pair ... so threads do not collide when polling completions").
-  QueuePair* ThreadQp();
+  /// Returns the calling thread's verb queue, creating it (and its queue
+  /// pair) on first use (paper: "every thread creates a thread-local
+  /// queue pair ... so threads do not collide when polling completions").
+  /// Handles from it must be waited on the posting thread.
+  VerbQueue* ThreadVq();
 
-  /// Creates a queue pair for a single owner with outstanding asynchronous
-  /// work (e.g. the flush pipeline), so its completions never interleave
-  /// with the thread's synchronous verbs on ThreadQp().
-  QueuePair* CreateExclusiveQp();
+  /// Creates a verb queue over a fresh queue pair for a single owner with
+  /// long-lived outstanding work (flush pipeline, scan prefetch), so its
+  /// in-flight depth never queues behind the owner thread's other verbs.
+  std::unique_ptr<VerbQueue> CreateExclusiveVq();
+
+  // Synchronous wrappers: post + wait on the calling thread's verb queue.
+  // They interleave freely with outstanding async handles on the same
+  // queue — waits harvest by wr_id, not FIFO position.
 
   /// Synchronous one-sided read; blocks until the wire completion.
   Status Read(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
-
-  /// Posts a one-sided READ on the calling thread's queue pair without
-  /// waiting for the completion; returns the work-request id. Doorbell
-  /// batching: post N READs back-to-back, then drain the CQ once with
-  /// WaitForAll. The thread must drain every outstanding post before it
-  /// issues any synchronous verb through this manager again.
-  uint64_t PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
-
-  /// Drains exactly n completions from the calling thread's queue pair.
-  /// Completions pop in FIFO post order (the fabric guarantees per-QP
-  /// ordering). Returns the first failed status; when statuses is
-  /// non-null, one entry per completion is appended in post order.
-  Status WaitForAll(size_t n, std::vector<Status>* statuses = nullptr);
 
   /// Synchronous one-sided write; blocks until the wire completion.
   Status Write(const void* src, uint64_t raddr, uint32_t rkey, size_t len);
@@ -70,29 +234,56 @@ class RdmaManager {
   Status CmpSwap(uint64_t raddr, uint32_t rkey, uint64_t expected,
                  uint64_t desired, uint64_t* prev);
 
+  /// Posts a one-sided READ (WRITE) on the calling thread's verb queue
+  /// without waiting. Doorbell batching: post N, then wait the handles.
+  WrHandle PostReadAsync(void* dst, uint64_t raddr, uint32_t rkey,
+                         size_t len);
+  WrHandle PostWriteAsync(const void* src, uint64_t raddr, uint32_t rkey,
+                          size_t len);
+
+  /// Snapshot of verb-layer telemetry across all of this manager's
+  /// queues (thread-local and exclusive).
+  RdmaVerbStats StatsSnapshot() const;
+
+  /// Verbs posted through this manager whose completion has not popped
+  /// yet (gauge across all queues).
+  uint64_t outstanding_ops() const { return StatsSnapshot().outstanding; }
+
  private:
-  Status WaitForWr(QueuePair* qp, uint64_t wr_id);
+  friend class VerbQueue;
+
+  /// Every VerbQueue with a manager registers for snapshot aggregation;
+  /// on destruction its final telemetry folds into retired_. A queue must
+  /// not outlive its manager.
+  void RegisterVq(VerbQueue* vq);
+  void UnregisterVq(VerbQueue* vq);
+
+  QueuePair* CreateQp();
 
   Fabric* fabric_;
   Node* local_;
   Node* remote_;
   uint64_t instance_id_;
-  std::mutex mu_;
-  std::vector<QueuePair*> owned_qps_;  // For diagnostics only; fabric owns.
+  mutable std::mutex mu_;  // Guards thread_vqs_, live_vqs_, retired_.
+  std::vector<VerbQueue*> live_vqs_;
+  RdmaVerbStats retired_;
+  // Declared after the registry so the owned queues die first: their
+  // destructors unregister through mu_/live_vqs_/retired_.
+  std::vector<std::unique_ptr<VerbQueue>> thread_vqs_;
 
   static std::atomic<uint64_t> next_instance_id_;
 };
 
-/// A doorbell batch of one-sided READs on the owning thread's queue pair:
-/// Add() posts without waiting; WaitAll() rings once and drains the CQ in
-/// a single sweep, so N small reads cost one base latency plus their wire
-/// occupancy instead of N round trips. At most one live batch per thread
-/// per manager, and the thread must not issue other verbs through the
-/// manager between the first Add() and WaitAll().
+/// A doorbell wave of one-sided READs on the posting thread's verb queue:
+/// Add() posts without waiting; WaitAll() harvests the wave, so N small
+/// reads cost one base latency plus their wire occupancy instead of N
+/// round trips. Thin wrapper over a WrHandle vector: any number of waves
+/// may be live at once and other verbs may interleave with a wave. A
+/// destroyed batch cancels its un-waited reads without blocking (safe
+/// during error unwind). The wave stays on the thread that posted it.
 class ReadBatch {
  public:
   explicit ReadBatch(RdmaManager* mgr) : mgr_(mgr) {}
-  ~ReadBatch() { WaitAll(); }  // Posted READs must never be abandoned.
 
   ReadBatch(const ReadBatch&) = delete;
   ReadBatch& operator=(const ReadBatch&) = delete;
@@ -100,21 +291,47 @@ class ReadBatch {
   /// Posts one READ of [raddr, raddr+len) into dst; returns its slot.
   size_t Add(void* dst, uint64_t raddr, uint32_t rkey, size_t len);
 
-  size_t size() const { return posted_; }
+  size_t size() const { return handles_.size(); }
 
   /// Blocks until every posted READ has completed; returns the first
   /// failure. Idempotent; per-slot outcomes via status().
   Status WaitAll();
 
   /// Completion status of slot i; only valid after WaitAll().
-  const Status& status(size_t i) const { return statuses_[i]; }
+  const Status& status(size_t i) const { return handles_[i].status(); }
 
  private:
   RdmaManager* mgr_;
-  QueuePair* qp_ = nullptr;  // Bound to the posting thread's QP on first Add.
-  size_t posted_ = 0;
-  std::vector<Status> statuses_;
-  bool drained_ = false;
+  VerbQueue* vq_ = nullptr;  // Bound to the posting thread's VQ on first Add.
+  std::vector<WrHandle> handles_;
+  Status first_;
+};
+
+/// Completion future for a one-sided "ready stamp" (PostWriteStamped
+/// protocol): the consumer of an incoming one-sided WRITE has no CQ entry
+/// for it, so delivery is detected by polling the stamp word the RNIC
+/// writes last. Wait() parks politely in virtual time and then adopts the
+/// writer's wire completion time (AdvanceTo), preserving causality. This
+/// is the handle type for RPC reply waiters.
+class StampFuture {
+ public:
+  StampFuture(Env* env, const void* stamp_addr)
+      : env_(env), stamp_(stamp_addr) {}
+
+  /// Nonblocking: true once the stamp has been released.
+  bool Ready() const { return QueuePair::ReadReadyStamp(stamp_) != 0; }
+
+  /// Blocks until the stamp is released, then advances to the writer's
+  /// completion time. Idempotent.
+  Status Wait();
+
+  /// The writer's wire completion time; valid after Wait().
+  uint64_t completion_ns() const { return completion_ns_; }
+
+ private:
+  Env* env_;
+  const void* stamp_;
+  uint64_t completion_ns_ = 0;
 };
 
 }  // namespace rdma

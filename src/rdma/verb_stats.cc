@@ -1,0 +1,49 @@
+#include "src/rdma/verb_stats.h"
+
+#include <cstdio>
+
+namespace dlsm {
+namespace rdma {
+
+void RdmaVerbStats::MergeFrom(const RdmaVerbStats& o) {
+  read.MergeFrom(o.read);
+  write.MergeFrom(o.write);
+  send.MergeFrom(o.send);
+  atomic.MergeFrom(o.atomic);
+  posted += o.posted;
+  completed += o.completed;
+  abandoned += o.abandoned;
+  outstanding += o.outstanding;
+  if (o.max_outstanding > max_outstanding) {
+    max_outstanding = o.max_outstanding;
+  }
+}
+
+std::string RdmaVerbStats::ToString() const {
+  std::string out;
+  char line[160];
+  for (int i = 0; i < kNumVerbClasses; i++) {
+    auto c = static_cast<VerbClass>(i);
+    const VerbClassStats& s = cls(c);
+    if (s.ops == 0) continue;
+    snprintf(line, sizeof(line),
+             "  %-6s %10llu ops %10.2f MB  wire p50 %7.1f us  p99 %7.1f us\n",
+             VerbClassName(c), static_cast<unsigned long long>(s.ops),
+             static_cast<double>(s.bytes) / (1024.0 * 1024.0),
+             s.latency_us.Percentile(50.0), s.latency_us.Percentile(99.0));
+    out += line;
+  }
+  snprintf(line, sizeof(line),
+           "  posted %llu  completed %llu  abandoned %llu  outstanding %llu "
+           "(max %llu)\n",
+           static_cast<unsigned long long>(posted),
+           static_cast<unsigned long long>(completed),
+           static_cast<unsigned long long>(abandoned),
+           static_cast<unsigned long long>(outstanding),
+           static_cast<unsigned long long>(max_outstanding));
+  out += line;
+  return out;
+}
+
+}  // namespace rdma
+}  // namespace dlsm

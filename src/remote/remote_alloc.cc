@@ -1,9 +1,32 @@
 #include "src/remote/remote_alloc.h"
 
+#include "src/util/coding.h"
 #include "src/util/logging.h"
 
 namespace dlsm {
 namespace remote {
+
+void EncodeFreeBatch(const std::vector<uint64_t>& addrs, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(addrs.size()));
+  for (uint64_t addr : addrs) PutFixed64(out, addr);
+}
+
+Status DecodeFreeBatch(const Slice& payload, std::vector<uint64_t>* addrs) {
+  Slice input = payload;
+  uint32_t count;
+  if (!GetVarint32(&input, &count)) {
+    return Status::Corruption("free batch: bad count");
+  }
+  if (input.size() < static_cast<size_t>(count) * 8) {
+    return Status::Corruption("free batch: truncated addresses");
+  }
+  addrs->reserve(addrs->size() + count);
+  for (uint32_t i = 0; i < count; i++) {
+    addrs->push_back(DecodeFixed64(input.data()));
+    input.remove_prefix(8);
+  }
+  return Status::OK();
+}
 
 SlabAllocator::SlabAllocator(const rdma::MemoryRegion& region,
                              size_t chunk_size, uint32_t owner_node)

@@ -16,13 +16,23 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/rdma/fabric.h"
+#include "src/util/slice.h"
 #include "src/util/status.h"
 
 namespace dlsm {
 namespace remote {
+
+/// Wire format of the free-batch RPC payload (varint32 count, then count
+/// fixed64 addresses). One codec shared by the compute-side GC batcher and
+/// the memory node's handler, so the two sides cannot drift.
+void EncodeFreeBatch(const std::vector<uint64_t>& addrs, std::string* out);
+
+/// Decodes a free-batch payload; returns Corruption on a malformed one.
+Status DecodeFreeBatch(const Slice& payload, std::vector<uint64_t>* addrs);
 
 /// A chunk of remote memory handed out by a SlabAllocator.
 struct RemoteChunk {

@@ -132,6 +132,7 @@ RpcClient::RpcClient(rdma::Fabric* fabric, rdma::Node* client_node,
       wait_mu_(fabric->env()) {
   RpcServer::Channel* ch = server_->RegisterClient(client_node_);
   channel_ep_ = ch->client_ep;
+  send_vq_ = std::make_unique<rdma::VerbQueue>(channel_ep_);
   // Pre-post receive slots for WRITE_WITH_IMM wakeups (notification only,
   // no payload, but each consumes a posted receive).
   for (int i = 0; i < kRecvSlots; i++) {
@@ -196,10 +197,9 @@ Status RpcClient::SendRequest(uint8_t type, const Slice& args, bool wake,
   size_t n = EncodeRequest(r, req);
   {
     std::lock_guard<std::mutex> lock(send_mu_);
-    channel_ep_->PostSend(req, n);
-    // Drain ready send completions so the CQ does not grow unboundedly.
-    rdma::Completion scratch[8];
-    channel_ep_->PollCq(scratch, 8);
+    // Fire-and-forget: the cancelled handle's completion is swept (and the
+    // CQ kept bounded) by the verb queue on subsequent posts.
+    send_vq_->Send(req, n).Cancel();
   }
   return Status::OK();
 }
@@ -214,17 +214,13 @@ Status RpcClient::ParseReply(ThreadBuffers* bufs, std::string* reply) {
 }
 
 Status RpcClient::Call(uint8_t type, const Slice& args, std::string* reply) {
-  Env* env = fabric_->env();
   ThreadBuffers* bufs = GetThreadBuffers();
   DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/false, 0, bufs));
-  // Poll the ready stamp; the stamp value is the delivery time, which we
-  // adopt to preserve virtual-time causality.
-  const void* stamp = reinterpret_cast<const void*>(bufs->stamp_addr());
-  uint64_t t;
-  while ((t = rdma::QueuePair::ReadReadyStamp(stamp)) == 0) {
-    env->YieldToOthers();
-  }
-  env->AdvanceTo(t);
+  // The reply arrives as a one-sided WRITE; its completion handle is a
+  // stamp future over the ready word at the end of the reply buffer.
+  rdma::StampFuture reply_ready(
+      fabric_->env(), reinterpret_cast<const void*>(bufs->stamp_addr()));
+  DLSM_RETURN_NOT_OK(reply_ready.Wait());
   return ParseReply(bufs, reply);
 }
 
@@ -251,13 +247,14 @@ Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
     }
     waiters_.erase(id);
   }
-  // The payload write carries the ready stamp; adopt its delivery time.
-  const void* stamp = reinterpret_cast<const void*>(bufs->stamp_addr());
-  uint64_t t = rdma::QueuePair::ReadReadyStamp(stamp);
-  if (t == 0) {
+  // The payload write carries the ready stamp; its future must already be
+  // ready (the wakeup is posted after the stamped write completes).
+  rdma::StampFuture reply_ready(
+      env, reinterpret_cast<const void*>(bufs->stamp_addr()));
+  if (!reply_ready.Ready()) {
     return Status::Corruption("wakeup before reply payload");
   }
-  env->AdvanceTo(t);
+  reply_ready.Wait();  // Adopts the writer's completion time.
   return ParseReply(bufs, reply);
 }
 
@@ -329,6 +326,7 @@ RpcServer::Channel* RpcServer::RegisterClient(rdma::Node* client_node) {
   ch->server_ep = server_ep;
   ch->to_client = std::make_unique<rdma::RdmaManager>(fabric_, server_node_,
                                                       client_node);
+  ch->wake_vq = std::make_unique<rdma::VerbQueue>(ch->server_ep);
   for (int i = 0; i < kRecvSlots; i++) {
     ch->recv_bufs.emplace_back(new char[kRequestBufSize]);
     ch->server_ep->PostRecv(ch->recv_bufs.back().get(), kRequestBufSize,
@@ -432,28 +430,35 @@ void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
   std::string framed;
   PutFixed32(&framed, static_cast<uint32_t>(reply.size()));
   framed.append(reply);
-  rdma::QueuePair* qp = ch->to_client->ThreadQp();
-  uint64_t wr1 = qp->PostWrite(framed.data(), reply_addr, reply_rkey,
-                               framed.size());
-  // Zero-length stamped write: releases only the 8-byte ready stamp.
-  uint64_t wr2 = qp->PostWriteStamped(
+  rdma::VerbQueue* vq = ch->to_client->ThreadVq();
+  rdma::WrHandle payload =
+      vq->Write(framed.data(), reply_addr, reply_rkey, framed.size());
+  // Zero-length stamped write: releases only the 8-byte ready stamp. The
+  // stamp must be posted after the payload (same QP => FIFO on the wire),
+  // but the handles may be waited in either order.
+  rdma::WrHandle stamp = vq->WriteStamped(
       nullptr, reply_addr + reply_cap - sizeof(uint64_t), reply_rkey, 0);
-  (void)wr1;
-  // Consume both completions (this thread's QP; ordering is FIFO).
-  rdma::Completion c = qp->WaitCompletion();
-  DLSM_CHECK_MSG(c.status.ok(), c.status.ToString().c_str());
-  c = qp->WaitCompletion();
-  DLSM_CHECK_MSG(c.status.ok(), c.status.ToString().c_str());
-  DLSM_CHECK(c.wr_id == wr2);
+  Status s = payload.Wait();
+  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+  s = stamp.Wait();
+  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
 
   if (wake) {
     // Wake the sleeping requester through the channel QP so the client's
-    // notifier sees the immediate.
+    // notifier sees the immediate. Fire-and-forget through the channel's
+    // verb queue; sweeps on later posts keep the CQ bounded.
     std::lock_guard<std::mutex> lock(ch->wake_mu_);
-    ch->server_ep->PostWriteWithImm(nullptr, 0, 0, 0, id);
-    rdma::Completion scratch[8];
-    ch->server_ep->PollCq(scratch, 8);
+    ch->wake_vq->WriteWithImm(nullptr, 0, 0, 0, id).Cancel();
   }
+}
+
+rdma::RdmaVerbStats RpcServer::reply_verb_stats() {
+  rdma::RdmaVerbStats total;
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  for (const auto& ch : channels_) {
+    total.MergeFrom(ch->to_client->StatsSnapshot());
+  }
+  return total;
 }
 
 }  // namespace remote

@@ -5,8 +5,9 @@
 //  * General-purpose RPC: the requester attaches the address/rkey of a
 //    registered reply buffer to a small SEND; the responder executes the
 //    handler and returns the result with a one-sided WRITE, bypassing any
-//    dispatcher on the requester side. The requester polls a ready flag at
-//    the end of the reply buffer.
+//    dispatcher on the requester side. The requester waits on a
+//    rdma::StampFuture over the ready stamp at the end of the reply
+//    buffer (the one-sided analogue of a completion handle).
 //
 //  * Customized near-data-compaction RPC: compaction runs long and carries
 //    large arguments, so (a) the requester sleeps on a condition variable
@@ -17,7 +18,11 @@
 //
 // Requests travel over a per-client-node channel queue pair; replies,
 // argument reads and wakeups use the worker threads' own thread-local
-// queue pairs so the dispatcher never becomes a reply bottleneck.
+// queue pairs so the dispatcher never becomes a reply bottleneck. All
+// send-side verbs go through the unified handle layer (rdma::VerbQueue):
+// fire-and-forget posts (requests, wakeups) are cancelled handles whose
+// completions the queue sweeps on later posts, and replies are explicit
+// handle waits — no hand-rolled CQ scrubbing.
 
 #ifndef DLSM_REMOTE_RPC_H_
 #define DLSM_REMOTE_RPC_H_
@@ -93,7 +98,8 @@ class RpcClient {
   uint64_t instance_id_;
   rdma::QueuePair* channel_ep_ = nullptr;  // Client end of the channel.
 
-  std::mutex send_mu_;  // Guards PostSend on the channel (quick, non-blocking).
+  std::mutex send_mu_;  // Guards send_vq_ posts (quick, non-blocking).
+  std::unique_ptr<rdma::VerbQueue> send_vq_;  // Channel sends, under send_mu_.
 
   // Wakeup registry: request id -> waiter.
   struct Waiter {
@@ -147,6 +153,10 @@ class RpcServer {
   }
   int worker_threads() const { return worker_threads_; }
 
+  /// Verb-layer telemetry of the reply path, merged across all client
+  /// channels (argument READs, reply WRITEs, wakeups).
+  rdma::RdmaVerbStats reply_verb_stats();
+
  private:
   friend class RpcClient;
 
@@ -155,7 +165,8 @@ class RpcServer {
     rdma::QueuePair* server_ep = nullptr;
     rdma::QueuePair* client_ep = nullptr;
     std::unique_ptr<rdma::RdmaManager> to_client;  // Server -> client verbs.
-    std::mutex wake_mu_;  // Guards WRITE_WITH_IMM posts on server_ep.
+    std::mutex wake_mu_;  // Guards wake_vq posts on server_ep.
+    std::unique_ptr<rdma::VerbQueue> wake_vq;  // WRITE_WITH_IMM wakeups.
     std::vector<std::unique_ptr<char[]>> recv_bufs;
   };
 

@@ -67,6 +67,29 @@ TEST(SlabAllocatorTest, FreeByAddrValidation) {
   EXPECT_TRUE(alloc.FreeByAddr(c.addr).ok());
 }
 
+TEST(FreeBatchCodecTest, RoundTripsAndRejectsTruncation) {
+  std::vector<uint64_t> addrs = {0x1000, 0xdeadbeef00, 1, 0};
+  std::string wire;
+  EncodeFreeBatch(addrs, &wire);
+
+  std::vector<uint64_t> decoded;
+  ASSERT_TRUE(DecodeFreeBatch(Slice(wire), &decoded).ok());
+  EXPECT_EQ(addrs, decoded);
+
+  // A payload that promises more addresses than it carries is corrupt,
+  // not a crash.
+  decoded.clear();
+  Slice truncated(wire.data(), wire.size() - 3);
+  EXPECT_TRUE(DecodeFreeBatch(truncated, &decoded).IsCorruption());
+  EXPECT_TRUE(DecodeFreeBatch(Slice(), &decoded).IsCorruption());
+
+  std::string empty_wire;
+  EncodeFreeBatch({}, &empty_wire);
+  decoded.clear();
+  ASSERT_TRUE(DecodeFreeBatch(Slice(empty_wire), &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
 class RpcTest : public ::testing::Test {
  protected:
   void RunSim(std::function<void(rdma::Fabric*, rdma::Node*, rdma::Node*)>
@@ -91,6 +114,29 @@ TEST_F(RpcTest, PingEchoes) {
     Status s = client.Call(RpcType::kPing, "hello", &reply);
     ASSERT_TRUE(s.ok()) << s.ToString();
     EXPECT_EQ("hello", reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, ReplyPathReportsVerbTelemetry) {
+  // The server's reply path runs on the unified verb layer: each call posts
+  // a payload WRITE plus a stamped-release WRITE back to the client, and
+  // the telemetry must show them.
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    const int kCalls = 5;
+    for (int i = 0; i < kCalls; i++) {
+      std::string reply;
+      ASSERT_TRUE(client.Call(RpcType::kPing, "x", &reply).ok());
+    }
+    rdma::RdmaVerbStats stats = server.reply_verb_stats();
+    EXPECT_GE(stats.write.ops, static_cast<uint64_t>(2 * kCalls));
+    EXPECT_EQ(stats.posted, stats.completed);
+    EXPECT_EQ(0u, stats.outstanding);
+    EXPECT_GT(stats.write.latency_us.Count(), 0u);
     server.Stop();
   });
 }
