@@ -28,10 +28,15 @@ int Main(int argc, char** argv) {
   uint64_t keys = flags.GetInt("keys", 150000);
   std::vector<int> writers = ParseList(flags.GetString("writers", "1,4,12"));
   std::vector<int> cores = ParseList(flags.GetString("cores", "1,2,4,8,12"));
+  bool async_write = flags.GetBool("async_write", true);
+  uint64_t budget = flags.GetInt("budget", 64);
+  bool verb_stats = flags.GetBool("verb_stats", false);
 
   std::printf("\n=== Figure 12: near-data compaction, randomfill normal "
-              "mode, %llu keys ===\n",
-              static_cast<unsigned long long>(keys));
+              "mode, %llu keys, async_write=%s budget=%llu ===\n",
+              static_cast<unsigned long long>(keys),
+              async_write ? "on" : "off",
+              static_cast<unsigned long long>(budget));
   std::printf("(cells: write throughput @ memory-node CPU utilization)\n");
   std::printf("%-10s", "writers");
   for (int c : cores) std::printf("   %8d-core", c);
@@ -40,12 +45,16 @@ int Main(int argc, char** argv) {
   for (int w : writers) {
     std::printf("%-10d", w);
     std::fflush(stdout);
+    std::string verbs;
+    uint64_t rpc_peak = 0;
     for (int c : cores) {
       BenchConfig config;
       config.threads = w;
       config.num_keys = keys;
       config.memory_cores = c;
       config.compaction_workers = c;
+      config.async_write = async_write;
+      config.compaction_verb_budget = budget;
       config.memtable_size = 1 << 20;
       config.sstable_size = 1 << 20;
       auto r = RunBench(config, {Phase::kFillRandom});
@@ -53,17 +62,25 @@ int Main(int argc, char** argv) {
                   FormatThroughput(r[0].ops_per_sec).c_str(),
                   r[0].memory_cpu_util * 100);
       std::fflush(stdout);
+      verbs = VerbStatsSummary(r[0].stats);
+      rpc_peak = r[0].stats.compaction_rpc_inflight_peak;
     }
     // The last group of bars: compaction executed on the compute node.
     BenchConfig config;
     config.threads = w;
     config.num_keys = keys;
     config.placement = CompactionPlacement::kComputeSide;
+    config.async_write = async_write;
     config.memtable_size = 1 << 20;
     config.sstable_size = 1 << 20;
     auto r = RunBench(config, {Phase::kFillRandom});
     std::printf("   %16s\n", FormatThroughput(r[0].ops_per_sec).c_str());
     std::fflush(stdout);
+    // Telemetry from the widest-core near-data cell of this row.
+    if (verb_stats && !verbs.empty()) {
+      std::printf("  [%s | rpc inflight peak %llu]\n", verbs.c_str(),
+                  static_cast<unsigned long long>(rpc_peak));
+    }
   }
   return 0;
 }

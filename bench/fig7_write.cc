@@ -23,7 +23,7 @@ std::vector<int> ParseThreads(const std::string& s) {
 }
 
 void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
-             const std::string& only) {
+             const std::string& only, bool async_write, bool verb_stats) {
   std::vector<SystemKind> systems = {
       SystemKind::kDLsm,       SystemKind::kRocks8K, SystemKind::kRocks2K,
       SystemKind::kMemoryRocks, SystemKind::kNovaLsm,
@@ -41,9 +41,11 @@ void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
     systems = filtered;
   }
 
-  std::printf("\n=== Figure 7(%s): randomfill, %s mode, %llu keys ===\n",
+  std::printf("\n=== Figure 7(%s): randomfill, %s mode, %llu keys, "
+              "async_write=%s ===\n",
               bulkload ? "b" : "a", bulkload ? "bulkload" : "normal",
-              static_cast<unsigned long long>(keys));
+              static_cast<unsigned long long>(keys),
+              async_write ? "on" : "off");
   std::printf("%-22s", "system");
   for (int t : threads) std::printf("%12d-thr", t);
   std::printf("\n");
@@ -51,12 +53,16 @@ void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
   for (SystemKind system : systems) {
     std::printf("%-22s", SystemName(system));
     std::fflush(stdout);
+    std::string verbs;
+    uint64_t rpc_peak = 0;
+    double stall_ms = 0;
     for (int t : threads) {
       BenchConfig config;
       config.system = system;
       config.threads = t;
       config.num_keys = keys;
       config.bulkload = bulkload;
+      config.async_write = async_write;
       // 1 MB MemTables/SSTables (paper's 64 MB scaled with the dataset):
       // normal mode must feel flush and L0-compaction pressure.
       config.memtable_size = 1 << 20;
@@ -64,8 +70,17 @@ void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
       auto r = RunBench(config, {Phase::kFillRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);
+      verbs = VerbStatsSummary(r[0].stats);
+      rpc_peak = r[0].stats.compaction_rpc_inflight_peak;
+      stall_ms = static_cast<double>(r[0].stats.stall_ns) / 1e6;
     }
     std::printf("\n");
+    // Per-verb wire telemetry for the last (widest) thread count.
+    if (verb_stats && !verbs.empty()) {
+      std::printf("  [%s | rpc inflight peak %llu | stall %.1f ms]\n",
+                  verbs.c_str(), static_cast<unsigned long long>(rpc_peak),
+                  stall_ms);
+    }
   }
 }
 
@@ -76,9 +91,13 @@ int Main(int argc, char** argv) {
       ParseThreads(flags.GetString("threads", "1,2,4,8,16"));
   std::string mode = flags.GetString("mode", "both");
   std::string only = flags.GetString("only", "");
-  if (mode == "normal" || mode == "both") RunMode(false, keys, threads, only);
+  bool async_write = flags.GetBool("async_write", true);
+  bool verb_stats = flags.GetBool("verb_stats", false);
+  if (mode == "normal" || mode == "both") {
+    RunMode(false, keys, threads, only, async_write, verb_stats);
+  }
   if (mode == "bulkload" || mode == "both") {
-    RunMode(true, keys, threads, only);
+    RunMode(true, keys, threads, only, async_write, verb_stats);
   }
   return 0;
 }

@@ -13,6 +13,40 @@ namespace dlsm {
 namespace bench {
 namespace {
 
+// SLO mode (--slo_read_p99_us=N): mixed 50/50 read/write workload on dLSM
+// so flushes and near-data compactions run concurrently with foreground
+// READ waves, then checks the one-sided READ p99 against the threshold.
+// This is the guardrail for the compaction verb budget: an uncapped
+// pipelined compaction scheduler could queue enough verbs to blow up
+// foreground tail latency. Returns nonzero on violation (CI-friendly).
+int RunReadSlo(uint64_t keys, int threads, double slo_us, uint64_t budget) {
+  BenchConfig config;
+  config.threads = threads;
+  config.num_keys = keys;
+  config.read_ratio = 0.5;
+  config.compaction_verb_budget = budget;
+  config.memtable_size = 1 << 20;
+  config.sstable_size = 1 << 20;
+  auto r = RunBench(config, {Phase::kReadWriteMixed});
+  const auto& read = r[0].stats.rdma.cls(rdma::VerbClass::kRead);
+  double p99 = read.latency_us.Percentile(99.0);
+  bool ok = p99 <= slo_us;
+  std::printf("\n=== READ p99 SLO under concurrent compaction: %llu keys, "
+              "%d threads, budget=%llu ===\n",
+              static_cast<unsigned long long>(keys), threads,
+              static_cast<unsigned long long>(budget));
+  std::printf("mixed %.1f Kops/s | %llu READs p50 %.1fus p99 %.1fus | "
+              "compactions %llu (rpc inflight peak %llu) | SLO %.1fus: %s\n",
+              r[0].ops_per_sec / 1e3,
+              static_cast<unsigned long long>(read.ops),
+              read.latency_us.Percentile(50.0), p99,
+              static_cast<unsigned long long>(r[0].stats.compactions),
+              static_cast<unsigned long long>(
+                  r[0].stats.compaction_rpc_inflight_peak),
+              slo_us, ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint64_t keys = flags.GetInt("keys", 100000);
@@ -21,6 +55,11 @@ int Main(int argc, char** argv) {
     std::stringstream ss(flags.GetString("threads", "1,2,4,8,16"));
     std::string tok;
     while (std::getline(ss, tok, ',')) threads.push_back(std::stoi(tok));
+  }
+  double slo_us = flags.GetDouble("slo_read_p99_us", 0);
+  if (slo_us > 0) {
+    return RunReadSlo(keys, static_cast<int>(flags.GetInt("slo_threads", 8)),
+                      slo_us, flags.GetInt("budget", 64));
   }
 
   std::vector<SystemKind> systems = {

@@ -91,6 +91,8 @@ Options MakeEngineOptions(const BenchConfig& config, Env* env) {
   if (config.override_switch_policy) {
     options.switch_policy = config.switch_policy;
   }
+  options.async_write = config.async_write;
+  options.compaction_verb_budget = config.compaction_verb_budget;
   // Flush region: enough for the whole dataset plus compaction churn,
   // pinned snapshots and per-shard slab rounding.
   uint64_t data = config.num_keys *

@@ -61,6 +61,11 @@ struct BenchConfig {
   /// Ablation overrides (applied after the system preset).
   bool override_switch_policy = false;
   MemTableSwitchPolicy switch_policy = MemTableSwitchPolicy::kSeqRange;
+  /// Async write path (group sequence batching, deferred flush WRITEs,
+  /// pipelined compaction RPCs); off = the blocking ablation legs.
+  bool async_write = true;
+  /// Options::compaction_verb_budget passthrough (async_write only).
+  uint64_t compaction_verb_budget = 64;
 };
 
 /// One phase's outcome.

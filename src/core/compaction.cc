@@ -119,6 +119,20 @@ bool CompactionResult::Deserialize(const Slice& in, CompactionResult* result) {
   return true;
 }
 
+Status ParseCompactionReply(const std::string& reply,
+                            CompactionResult* result) {
+  if (reply.empty()) return Status::Corruption("empty compaction reply");
+  if (reply[0] != 1) {
+    return Status::IOError("near-data compaction failed",
+                           Slice(reply.data() + 1, reply.size() - 1));
+  }
+  if (!CompactionResult::Deserialize(
+          Slice(reply.data() + 1, reply.size() - 1), result)) {
+    return Status::Corruption("bad compaction reply");
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // MergeAndBuild
 // ---------------------------------------------------------------------------

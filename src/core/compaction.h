@@ -78,6 +78,11 @@ struct CompactionResult {
   static bool Deserialize(const Slice& in, CompactionResult* result);
 };
 
+/// Decodes a near-data compaction RPC reply ([u8 ok][result|error text])
+/// into *result; shared by the blocking and pipelined schedulers.
+Status ParseCompactionReply(const std::string& reply,
+                            CompactionResult* result);
+
 /// Shared merge/drop/build loop. Consumes `merged` (takes ownership).
 /// new_output is called to provision each output chunk + sink; it must fill
 /// both out-params. Outputs are appended to *outputs.

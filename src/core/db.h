@@ -35,6 +35,9 @@ struct DbStats {
   uint64_t compaction_output_bytes = 0;
   uint64_t stall_ns = 0;          ///< Total write-stall virtual time.
   uint64_t bloom_useful = 0;      ///< Remote reads skipped by bloom filters.
+  /// Peak concurrent near-data compaction RPCs (async scheduler window);
+  /// 1 when the verb budget serializes them or async_write is off.
+  uint64_t compaction_rpc_inflight_peak = 0;
   /// Verb-layer telemetry of this engine's compute->memory connection:
   /// per-verb-class ops/bytes and wire-latency histograms, plus
   /// outstanding-op gauges. Merged exactly across shards.

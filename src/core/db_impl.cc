@@ -210,6 +210,47 @@ Status DLsmDB::WriteInternal(WriteBatch* batch) {
   }
 }
 
+Status DLsmDB::WriteAtSequence(WriteBatch* batch, SequenceNumber seq_base,
+                               uint32_t n, bool* reallocated) {
+  if (reallocated != nullptr) *reallocated = false;
+  if (n == 0) return Status::OK();
+  for (;;) {
+    MemTable* cur = mem_.load(std::memory_order_acquire);
+    cur->BeginWrite();
+    if (cur->immutable()) {
+      cur->EndWrite();
+      env_->MaybeYield();
+      continue;
+    }
+    if (cur->AcceptsSequence(seq_base)) {
+      Status s = WriteBatchInternal::InsertInto(batch, seq_base, cur);
+      cur->EndWrite();
+      stat_writes_.fetch_add(n, std::memory_order_relaxed);
+      if (options_.switch_policy == MemTableSwitchPolicy::kDoubleCheckedSize &&
+          cur->ApproximateMemoryUsage() >= options_.memtable_size) {
+        MutexLock l(&mem_mu_);
+        if (mem_.load(std::memory_order_acquire) == cur &&
+            cur->ApproximateMemoryUsage() >= options_.memtable_size) {
+          SwitchMemTableLocked();
+        }
+      }
+      return s;
+    }
+    cur->EndWrite();
+    if (seq_base >= cur->seq_limit()) {
+      DLSM_RETURN_NOT_OK(HandleSwitch(seq_base));
+    } else {
+      // The pre-allocated base landed behind the current table's range
+      // (a switch burst or a Flush range burn overtook the group window):
+      // discard it and draw a fresh one — gaps are harmless, and this
+      // keeps "newer version in newer table" absolute, exactly as the
+      // reallocation in WriteInternal does.
+      seq_base = sequence_.fetch_add(n, std::memory_order_acq_rel) + 1;
+      if (reallocated != nullptr) *reallocated = true;
+    }
+  }
+}
+
 /// A parked writer in the RocksDB-style queue.
 struct DLsmDB::QueuedWriter {
   QueuedWriter(Env* env, Mutex* mu) : cv(env, mu) {}
@@ -244,8 +285,39 @@ Status DLsmDB::WriteQueued(WriteBatch* batch) {
   }
   write_mu_->Unlock();
 
-  for (QueuedWriter* qw : group) {
-    qw->status = WriteInternal(qw->batch);
+  if (options_.async_write && group.size() > 1) {
+    // Group sequence batching (the sequence-allocation analogue of the
+    // read path's doorbell waves): one fetch-add covers the whole group,
+    // then each batch routes at its own sub-base. Queue order fixes the
+    // sub-bases, so commit order matches arrival order exactly as in the
+    // one-fetch-add-per-batch path.
+    uint64_t total = 0;
+    for (QueuedWriter* qw : group) {
+      total += WriteBatchInternal::Count(qw->batch);
+    }
+    SequenceNumber base =
+        total > 0 ? sequence_.fetch_add(total, std::memory_order_acq_rel) + 1
+                  : 0;
+    bool window_valid = total > 0;
+    for (QueuedWriter* qw : group) {
+      uint32_t n = WriteBatchInternal::Count(qw->batch);
+      if (window_valid) {
+        bool reallocated = false;
+        qw->status = WriteAtSequence(qw->batch, base, n, &reallocated);
+        base += n;
+        // A reallocation jumped past the rest of the window; if later
+        // members kept their (now lower) sub-bases, a later write could
+        // commit below an earlier one and lose last-writer-wins within
+        // the group. Fall back to fresh allocation for the remainder.
+        if (reallocated) window_valid = false;
+      } else {
+        qw->status = WriteInternal(qw->batch);
+      }
+    }
+  } else {
+    for (QueuedWriter* qw : group) {
+      qw->status = WriteInternal(qw->batch);
+    }
   }
 
   write_mu_->Lock();
@@ -270,16 +342,24 @@ Status DLsmDB::HandleSwitch(SequenceNumber seq) {
   while (seq >= cur->seq_limit() && !shutdown_.load()) {
     // Backpressure before installing a new table: too many immutables
     // (flushing can't keep up) or L0 at the stop trigger (compaction
-    // can't keep up) — the paper's write stalls.
-    uint64_t stall_start = 0;
+    // can't keep up) — the paper's write stalls. Stall time is charged as
+    // the union of the concurrent writers' intervals (state under
+    // mem_mu_): the first writer to park opens the interval, the last to
+    // leave closes it. Per-writer timing would add the same wall-clock
+    // window once per stalled writer, overstating stall_ns past elapsed
+    // time.
+    bool stalled = false;
     while (!shutdown_.load() &&
            (static_cast<int>(imms_.size()) >= options_.max_immutables ||
             versions_->NeedsStall())) {
-      if (stall_start == 0) stall_start = env_->NowNanos();
+      if (!stalled) {
+        stalled = true;
+        if (stalled_writers_++ == 0) stall_since_ = env_->NowNanos();
+      }
       backpressure_cv_.TimedWait(2'000'000);  // 2 ms, re-check triggers.
     }
-    if (stall_start != 0) {
-      stat_stall_ns_.fetch_add(env_->NowNanos() - stall_start,
+    if (stalled && --stalled_writers_ == 0) {
+      stat_stall_ns_.fetch_add(env_->NowNanos() - stall_since_,
                                std::memory_order_relaxed);
     }
     cur = mem_.load(std::memory_order_acquire);
@@ -327,8 +407,18 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
   Status s;
   std::vector<CompactionOutput> outputs;
   if (mem->num_entries() > 0) {
-    auto new_output = [this](remote::RemoteChunk* chunk,
-                             std::unique_ptr<TableSink>* sink) -> Status {
+    // async_write: all of this job's output WRITEs ride one FlushPipeline —
+    // each sink's tail buffers are adopted as deferred handles at Finish()
+    // instead of being waited per table, and the whole wave drains once
+    // below, before install (the durability barrier: a table becomes
+    // visible only after its bytes are on the memory node).
+    std::unique_ptr<FlushPipeline> pipeline;
+    if (options_.async_write) {
+      pipeline = std::make_unique<FlushPipeline>(mgr_.get());
+    }
+    auto new_output = [this, &pipeline](remote::RemoteChunk* chunk,
+                                        std::unique_ptr<TableSink>* sink)
+        -> Status {
       remote::RemoteChunk c = flush_alloc_->Allocate();
       for (int tries = 0; !c.valid() && tries < 10000; tries++) {
         // Flush region exhausted: give GC and compaction a chance.
@@ -340,9 +430,16 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
         return Status::OutOfMemory("flush region exhausted");
       }
       *chunk = c;
-      std::unique_ptr<TableSink> base = std::make_unique<AsyncRemoteSink>(
-          mgr_.get(), c, options_.flush_buffer_size,
-          options_.flush_buffers_per_thread);
+      std::unique_ptr<TableSink> base;
+      if (options_.async_write) {
+        base = std::make_unique<AsyncRemoteSink>(
+            mgr_.get(), c, options_.flush_buffer_size,
+            options_.flush_buffers_per_thread, pipeline.get());
+      } else {
+        // Ablation: one blocking WRITE per flush buffer.
+        base = std::make_unique<SyncRemoteSink>(mgr_.get(), c,
+                                                options_.flush_buffer_size);
+      }
       *sink = options_.extra_io_copy
                   ? std::make_unique<CopySink>(std::move(base))
                   : std::move(base);
@@ -353,6 +450,7 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
                       OldestSnapshot(), /*drop_tombstones=*/false,
                       options_.sstable_size, options_.table_format,
                       options_.block_size, new_output, &outputs);
+    if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
     DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
   }
 
@@ -796,19 +894,22 @@ CompactionInput DLsmDB::MakeInput(const FileRef& f, const Slice* lo,
 
 Status DLsmDB::IssueCompactionRpc(const CompactionTask& task,
                                   CompactionResult* result) {
+  NoteCompactionRpcIssued();
   std::string reply;
-  DLSM_RETURN_NOT_OK(rpc_->CallWithWakeup(remote::RpcType::kCompaction,
-                                          task.Serialize(), &reply));
-  if (reply.empty()) return Status::Corruption("empty compaction reply");
-  if (reply[0] != 1) {
-    return Status::IOError("near-data compaction failed",
-                           Slice(reply.data() + 1, reply.size() - 1));
+  Status s = rpc_->CallWithWakeup(remote::RpcType::kCompaction,
+                                  task.Serialize(), &reply);
+  if (s.ok()) s = ParseCompactionReply(reply, result);
+  stat_comp_rpc_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  return s;
+}
+
+void DLsmDB::NoteCompactionRpcIssued() {
+  uint64_t cur =
+      stat_comp_rpc_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = stat_comp_rpc_peak_.load(std::memory_order_relaxed);
+  while (cur > peak && !stat_comp_rpc_peak_.compare_exchange_weak(
+                           peak, cur, std::memory_order_relaxed)) {
   }
-  if (!CompactionResult::Deserialize(
-          Slice(reply.data() + 1, reply.size() - 1), result)) {
-    return Status::Corruption("bad compaction reply");
-  }
-  return Status::OK();
 }
 
 Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
@@ -904,19 +1005,56 @@ Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
   }
   if (tasks.empty()) return Status::OK();
 
-  // Issue sub-compactions in parallel; this thread takes the first.
   std::vector<CompactionResult> results(tasks.size());
   std::vector<Status> statuses(tasks.size());
-  std::vector<ThreadHandle> helpers;
-  for (size_t i = 1; i < tasks.size(); i++) {
-    helpers.push_back(env_->StartThread(
-        deps_.compute->env_node(), "subcompaction", [this, &tasks, &results,
-                                                     &statuses, i] {
-          statuses[i] = IssueCompactionRpc(tasks[i], &results[i]);
-        }));
+  if (options_.async_write) {
+    // Pipelined scheduler: this one thread keeps several memory-node
+    // sub-compactions in flight through CallAsync instead of parking a
+    // helper thread per RPC. The window widens only while
+    //   window + outstanding one-sided verbs on this engine  <  budget
+    // so compaction admission yields to foreground READ waves already on
+    // the wire (budget 1 degenerates to strictly serial RPCs; 0 uncaps).
+    struct InFlightRpc {
+      size_t idx;
+      remote::PendingCall call;
+    };
+    std::deque<InFlightRpc> window;
+    const uint64_t budget = options_.compaction_verb_budget;
+    auto wait_oldest = [&] {
+      InFlightRpc f = std::move(window.front());
+      window.pop_front();
+      std::string reply;
+      statuses[f.idx] = f.call.Wait(&reply);
+      if (statuses[f.idx].ok()) {
+        statuses[f.idx] = ParseCompactionReply(reply, &results[f.idx]);
+      }
+      stat_comp_rpc_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    };
+    for (size_t i = 0; i < tasks.size(); i++) {
+      while (!window.empty() && budget != 0 &&
+             window.size() + mgr_->outstanding_ops() >= budget) {
+        wait_oldest();
+      }
+      NoteCompactionRpcIssued();
+      window.push_back(InFlightRpc{
+          i, rpc_->CallAsync(remote::RpcType::kCompaction,
+                             tasks[i].Serialize())});
+    }
+    while (!window.empty()) wait_oldest();
+  } else {
+    // Blocking scheduler (ablation): a helper thread per sub-compaction,
+    // each parked in its own two-sided call; this thread takes the first.
+    std::vector<ThreadHandle> helpers;
+    for (size_t i = 1; i < tasks.size(); i++) {
+      helpers.push_back(env_->StartThread(
+          deps_.compute->env_node(), "subcompaction", [this, &tasks, &results,
+                                                       &statuses, i] {
+            statuses[i] = IssueCompactionRpc(tasks[i], &results[i]);
+          }));
+    }
+    statuses[0] = IssueCompactionRpc(tasks[0], &results[0]);
+    for (ThreadHandle h : helpers) env_->Join(h);
   }
-  statuses[0] = IssueCompactionRpc(tasks[0], &results[0]);
-  for (ThreadHandle h : helpers) env_->Join(h);
 
   for (size_t i = 0; i < tasks.size(); i++) {
     DLSM_RETURN_NOT_OK(statuses[i]);
@@ -941,26 +1079,41 @@ Status DLsmDB::RunComputeSideCompaction(
   Iterator* merged = NewMergingIterator(&icmp_, children.data(),
                                         static_cast<int>(children.size()));
 
-  auto new_output = [this](remote::RemoteChunk* chunk,
-                           std::unique_ptr<TableSink>* sink) -> Status {
+  std::unique_ptr<FlushPipeline> pipeline;
+  if (options_.async_write) {
+    pipeline = std::make_unique<FlushPipeline>(mgr_.get());
+  }
+  auto new_output = [this, &pipeline](remote::RemoteChunk* chunk,
+                                      std::unique_ptr<TableSink>* sink)
+      -> Status {
     remote::RemoteChunk c = flush_alloc_->Allocate();
     if (!c.valid()) {
       return Status::OutOfMemory("flush region exhausted (compaction)");
     }
     *chunk = c;
-    std::unique_ptr<TableSink> base = std::make_unique<AsyncRemoteSink>(
-        mgr_.get(), c, options_.flush_buffer_size,
-        options_.flush_buffers_per_thread);
+    std::unique_ptr<TableSink> base;
+    if (options_.async_write) {
+      base = std::make_unique<AsyncRemoteSink>(
+          mgr_.get(), c, options_.flush_buffer_size,
+          options_.flush_buffers_per_thread, pipeline.get());
+    } else {
+      base = std::make_unique<SyncRemoteSink>(mgr_.get(), c,
+                                              options_.flush_buffer_size);
+    }
     *sink = options_.extra_io_copy
                 ? std::make_unique<CopySink>(std::move(base))
                 : std::move(base);
     return Status::OK();
   };
 
-  return MergeAndBuild(env_, merged, icmp_, bloom_, OldestSnapshot(),
-                       pick.bottommost, options_.sstable_size,
-                       options_.table_format, options_.block_size, new_output,
-                       outputs);
+  Status s = MergeAndBuild(env_, merged, icmp_, bloom_, OldestSnapshot(),
+                           pick.bottommost, options_.sstable_size,
+                           options_.table_format, options_.block_size,
+                           new_output, outputs);
+  // Drain before the caller installs the outputs: same durability barrier
+  // as FlushJob.
+  if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -1078,6 +1231,7 @@ DbStats DLsmDB::GetStats() {
   s.compaction_output_bytes = stat_comp_out_.load();
   s.stall_ns = stat_stall_ns_.load();
   s.bloom_useful = stat_bloom_useful_.load();
+  s.compaction_rpc_inflight_peak = stat_comp_rpc_peak_.load();
   s.rdma = mgr_->StatsSnapshot();
   return s;
 }

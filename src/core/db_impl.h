@@ -73,8 +73,21 @@ class DLsmDB : public DB {
 
   // -- Write path (Sec. IV) --------------------------------------------------
   Status WriteInternal(WriteBatch* batch);
+  /// Inserts a batch of n entries at a pre-allocated sequence base (group
+  /// sequence batching: the queue leader draws one window for the whole
+  /// group). Routes exactly like WriteInternal: switches forward when the
+  /// base is past the current table's range, reallocates a fresh base
+  /// when it landed behind (stale window after a switch burst or Flush
+  /// range burn) so "newer version in newer table" stays absolute.
+  /// *reallocated (may be null) reports whether the pre-allocated base was
+  /// abandoned — the group leader must then stop using the rest of its
+  /// window, or later group members would commit below this batch.
+  Status WriteAtSequence(WriteBatch* batch, SequenceNumber seq_base,
+                         uint32_t n, bool* reallocated = nullptr);
   /// RocksDB-style writer queue (baseline write path): writers serialize
-  /// through a mutex; the queue head commits a group at a time.
+  /// through a mutex; the queue head commits a group at a time. Under
+  /// async_write the leader batches the group's sequence allocations into
+  /// one fetch-add instead of one per batch.
   Status WriteQueued(WriteBatch* batch);
   /// Installs MemTables until seq routes into the current one. Also the
   /// stall point (L0 stop trigger / immutable backlog).
@@ -94,6 +107,8 @@ class DLsmDB : public DB {
                                   std::vector<CompactionOutput>* outputs);
   Status IssueCompactionRpc(const CompactionTask& task,
                             CompactionResult* result);
+  /// Bumps the in-flight compaction-RPC gauge and folds it into the peak.
+  void NoteCompactionRpcIssued();
   CompactionInput MakeInput(const FileRef& f, const Slice* lo,
                             const Slice* hi) const;
 
@@ -127,6 +142,11 @@ class DLsmDB : public DB {
   CondVar backpressure_cv_;  // Signalled when flush/compaction frees room.
   std::deque<MemTable*> imms_;  // Oldest first; referenced.
   int pending_flushes_ = 0;     // Guarded by mem_mu_.
+  // Stall-interval union (guarded by mem_mu_): concurrent stalled writers
+  // share one open interval so stat_stall_ns_ measures stalled wall time,
+  // not the sum over writers (which could exceed elapsed time).
+  int stalled_writers_ = 0;
+  uint64_t stall_since_ = 0;
 
   // Compaction coordination.
   std::vector<ThreadHandle> coordinators_;
@@ -157,6 +177,8 @@ class DLsmDB : public DB {
   std::atomic<uint64_t> stat_comp_out_{0};
   std::atomic<uint64_t> stat_stall_ns_{0};
   std::atomic<uint64_t> stat_bloom_useful_{0};
+  std::atomic<uint64_t> stat_comp_rpc_inflight_{0};
+  std::atomic<uint64_t> stat_comp_rpc_peak_{0};
 
   bool closed_ = false;
 };

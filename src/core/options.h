@@ -72,6 +72,23 @@ struct Options {
 
   WritePath write_path = WritePath::kLockFree;
 
+  /// Asynchronous write path (mirrors ReadOptions::async_reads): flush
+  /// buffers leave as handle waves drained once per job instead of per
+  /// output, writer-queue groups take one sequence allocation for the
+  /// whole group, and near-data compaction RPCs are pipelined through
+  /// RpcClient::CallAsync. When false every flush buffer is a blocking
+  /// WRITE and each compaction RPC parks its scheduler thread — the
+  /// fig7/fig12 --async_write=false ablation leg.
+  bool async_write = true;
+
+  /// Verb-budget cap for the pipelined compaction scheduler: before
+  /// widening its in-flight RPC window it requires (window size +
+  /// outstanding verbs on this engine's connection) <= budget, so
+  /// compaction waves yield to foreground read/flush traffic instead of
+  /// relying on link fairness. 1 serializes sub-compaction RPCs; 0 means
+  /// no cap. Only consulted when async_write is set.
+  uint64_t compaction_verb_budget = 64;
+
   /// Maximum immutable MemTables awaiting flush (paper: 16).
   int max_immutables = 16;
 

@@ -287,6 +287,8 @@ DbStats ShardedDB::GetStats() {
     total.compaction_output_bytes += s.compaction_output_bytes;
     total.stall_ns += s.stall_ns;
     total.bloom_useful += s.bloom_useful;
+    total.compaction_rpc_inflight_peak = std::max(
+        total.compaction_rpc_inflight_peak, s.compaction_rpc_inflight_peak);
     total.rdma.MergeFrom(s.rdma);
   }
   return total;

@@ -23,17 +23,41 @@ Status LocalMemorySink::Append(const char* data, size_t n) {
 }
 
 // ---------------------------------------------------------------------------
+// FlushPipeline
+// ---------------------------------------------------------------------------
+
+FlushPipeline::FlushPipeline(rdma::RdmaManager* mgr)
+    : vq_(mgr->CreateExclusiveVq()) {}
+
+Status FlushPipeline::Drain() {
+  Status first;
+  for (rdma::WrHandle& wr : deferred_) {
+    Status s = wr.Wait();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  deferred_.clear();
+  return first;
+}
+
+// ---------------------------------------------------------------------------
 // AsyncRemoteSink
 // ---------------------------------------------------------------------------
 
 AsyncRemoteSink::AsyncRemoteSink(rdma::RdmaManager* mgr,
                                  const remote::RemoteChunk& chunk,
-                                 size_t buffer_size, int buffer_count)
+                                 size_t buffer_size, int buffer_count,
+                                 FlushPipeline* pipeline)
     : mgr_(mgr),
+      pipeline_(pipeline),
       chunk_(chunk),
       buffer_size_(buffer_size),
       max_buffers_(buffer_count) {
-  vq_ = mgr_->CreateExclusiveVq();
+  if (pipeline_ != nullptr) {
+    vq_ = pipeline_->vq();
+  } else {
+    owned_vq_ = mgr_->CreateExclusiveVq();
+    vq_ = owned_vq_.get();
+  }
   // First buffer up front; the rest are allocated on demand, and reused
   // once their transfers complete (Fig. 6 step 4).
   auto b = std::make_unique<Buffer>();
@@ -126,6 +150,17 @@ Status AsyncRemoteSink::Append(const char* data, size_t n) {
 
 Status AsyncRemoteSink::Finish() {
   DLSM_RETURN_NOT_OK(FlushCurrent());
+  if (pipeline_ != nullptr) {
+    // Defer the tail: the pipeline owns the in-flight WRITEs from here and
+    // the job drains them once, before installing any output. The buffer
+    // memory is arena DRAM and the fabric captures payloads at post time,
+    // so the Buffer structs may die ahead of their completions.
+    while (!in_flight_.empty()) {
+      pipeline_->Adopt(std::move(in_flight_.front()->wr));
+      in_flight_.pop_front();
+    }
+    return status_;
+  }
   while (!in_flight_.empty()) {
     DLSM_RETURN_NOT_OK(ReapCompletions(true));
   }

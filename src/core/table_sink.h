@@ -10,6 +10,12 @@
 //  * SyncRemoteSink — ablation: one blocking RDMA WRITE per buffer.
 //  * LocalMemorySink — near-data compaction output: the memory node
 //    serializes directly into its own DRAM; no wire traffic at all.
+//
+// A FlushPipeline extends the async pipeline across the outputs of one
+// flush/compaction job: sinks attached to a pipeline share its verb queue
+// and hand their tail WRITE handles over on Finish() instead of draining,
+// so serialization of the next output overlaps the previous output's wire
+// tail. The job drains the pipeline once, before installing any output.
 
 #ifndef DLSM_CORE_TABLE_SINK_H_
 #define DLSM_CORE_TABLE_SINK_H_
@@ -57,13 +63,52 @@ class LocalMemorySink : public TableSink {
   uint64_t written_ = 0;
 };
 
+/// Job-scoped wave state shared by every output sink of one flush or
+/// compute-side compaction: one exclusive verb queue plus the WRITE
+/// handles deferred by finished sinks. Single-owner, like the verb queue
+/// it wraps: one job thread creates it, attaches its sinks to it, and
+/// drains it before installing any output. Destruction without Drain()
+/// (error unwind, DB teardown) cancels the deferred handles without
+/// blocking; the verb queue folds their completions into the abandoned
+/// counter so the outstanding gauge is never pinned.
+class FlushPipeline {
+ public:
+  explicit FlushPipeline(rdma::RdmaManager* mgr);
+  ~FlushPipeline() = default;  // Handles cancel, then the queue unwinds.
+
+  FlushPipeline(const FlushPipeline&) = delete;
+  FlushPipeline& operator=(const FlushPipeline&) = delete;
+
+  rdma::VerbQueue* vq() { return vq_.get(); }
+
+  /// Takes ownership of a finished sink's in-flight WRITE handle.
+  void Adopt(rdma::WrHandle wr) { deferred_.push_back(std::move(wr)); }
+
+  /// Waits out every deferred WRITE; returns the first failure. The
+  /// durability barrier before outputs are installed in the version.
+  Status Drain();
+
+  /// Deferred handles not yet drained (exposed for tests).
+  size_t deferred_writes() const { return deferred_.size(); }
+
+ private:
+  // Declared before the handles so they die first on unwind.
+  std::unique_ptr<rdma::VerbQueue> vq_;
+  std::vector<rdma::WrHandle> deferred_;
+};
+
 /// The asynchronous flush pipeline of paper Sec. X-C.
 class AsyncRemoteSink : public TableSink {
  public:
   /// Streams into the remote chunk through buffer_count staging buffers of
-  /// buffer_size bytes each, allocated from the compute node's DRAM.
+  /// buffer_size bytes each, allocated from the compute node's DRAM. With
+  /// a pipeline, the sink posts on the pipeline's shared verb queue and
+  /// Finish() defers its in-flight WRITEs to the pipeline instead of
+  /// draining them (the async write path); without one it owns an
+  /// exclusive queue and Finish() blocks until the last byte lands.
   AsyncRemoteSink(rdma::RdmaManager* mgr, const remote::RemoteChunk& chunk,
-                  size_t buffer_size, int buffer_count);
+                  size_t buffer_size, int buffer_count,
+                  FlushPipeline* pipeline = nullptr);
   ~AsyncRemoteSink() override;
 
   Status Append(const char* data, size_t n) override;
@@ -89,7 +134,9 @@ class AsyncRemoteSink : public TableSink {
 
   rdma::RdmaManager* mgr_;
   // Declared before the buffers so their handles die first on unwind.
-  std::unique_ptr<rdma::VerbQueue> vq_;  // Exclusive to this pipeline.
+  std::unique_ptr<rdma::VerbQueue> owned_vq_;  // Null when pipelined.
+  rdma::VerbQueue* vq_ = nullptr;  // owned_vq_ or the pipeline's queue.
+  FlushPipeline* pipeline_ = nullptr;
   remote::RemoteChunk chunk_;
   size_t buffer_size_;
   int max_buffers_;

@@ -148,23 +148,68 @@ RpcClient::~RpcClient() {
   fabric_->env()->Join(notifier_);
 }
 
+namespace {
+
+std::unique_ptr<RpcClient::ThreadBuffers> NewRegisteredBuffers(
+    rdma::Fabric* fabric, rdma::Node* node) {
+  auto bufs = std::make_unique<RpcClient::ThreadBuffers>();
+  bufs->reply = node->AllocDram(kReplyBufSize);
+  DLSM_CHECK_MSG(bufs->reply != nullptr, "client DRAM exhausted");
+  bufs->reply_mr = fabric->RegisterMemory(node, bufs->reply, kReplyBufSize);
+  bufs->args = node->AllocDram(kArgsBufSize);
+  DLSM_CHECK_MSG(bufs->args != nullptr, "client DRAM exhausted");
+  bufs->args_mr = fabric->RegisterMemory(node, bufs->args, kArgsBufSize);
+  return bufs;
+}
+
+}  // namespace
+
 RpcClient::ThreadBuffers* RpcClient::GetThreadBuffers() {
   auto it = tls_client_bufs.find(instance_id_);
   if (it != tls_client_bufs.end()) return it->second;
-  auto bufs = std::make_unique<ThreadBuffers>();
-  bufs->reply = client_node_->AllocDram(kReplyBufSize);
-  DLSM_CHECK_MSG(bufs->reply != nullptr, "client DRAM exhausted");
-  bufs->reply_mr =
-      fabric_->RegisterMemory(client_node_, bufs->reply, kReplyBufSize);
-  bufs->args = client_node_->AllocDram(kArgsBufSize);
-  DLSM_CHECK_MSG(bufs->args != nullptr, "client DRAM exhausted");
-  bufs->args_mr =
-      fabric_->RegisterMemory(client_node_, bufs->args, kArgsBufSize);
+  auto bufs = NewRegisteredBuffers(fabric_, client_node_);
   ThreadBuffers* raw = bufs.get();
   tls_client_bufs[instance_id_] = raw;
   std::lock_guard<std::mutex> lock(bufs_mu_);
   all_bufs_.push_back(std::move(bufs));
   return raw;
+}
+
+RpcClient::ThreadBuffers* RpcClient::AcquireContext() {
+  {
+    std::lock_guard<std::mutex> lock(ctx_mu_);
+    // Zombies become reusable once their abandoned call's reply stamp has
+    // fired — only then is the server provably done writing the buffers.
+    for (size_t i = 0; i < zombie_ctx_.size();) {
+      auto* stamp = reinterpret_cast<const void*>(zombie_ctx_[i]->stamp_addr());
+      if (rdma::QueuePair::ReadReadyStamp(stamp) != 0) {
+        free_ctx_.push_back(zombie_ctx_[i]);
+        zombie_ctx_[i] = zombie_ctx_.back();
+        zombie_ctx_.pop_back();
+      } else {
+        i++;
+      }
+    }
+    if (!free_ctx_.empty()) {
+      ThreadBuffers* ctx = free_ctx_.back();
+      free_ctx_.pop_back();
+      return ctx;
+    }
+  }
+  auto bufs = NewRegisteredBuffers(fabric_, client_node_);
+  ThreadBuffers* raw = bufs.get();
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  all_ctx_.push_back(std::move(bufs));
+  return raw;
+}
+
+void RpcClient::ReleaseContext(ThreadBuffers* ctx, bool completed) {
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  if (completed) {
+    free_ctx_.push_back(ctx);
+  } else {
+    zombie_ctx_.push_back(ctx);
+  }
 }
 
 Status RpcClient::SendRequest(uint8_t type, const Slice& args, bool wake,
@@ -256,6 +301,81 @@ Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
   }
   reply_ready.Wait();  // Adopts the writer's completion time.
   return ParseReply(bufs, reply);
+}
+
+PendingCall RpcClient::CallAsync(uint8_t type, const Slice& args) {
+  PendingCall call;
+  call.client_ = this;
+  ThreadBuffers* ctx = AcquireContext();
+  call.ctx_ = ctx;
+  // wake=true routes execution to the server's worker pool (long-running
+  // requests must not run inline on the dispatcher) and stages the args
+  // for the server's RDMA READ — but no waiter is registered, so the
+  // wakeup immediate is dropped by the notifier and completion is the
+  // reply stamp alone.
+  call.send_status_ =
+      SendRequest(type, args, /*wake=*/true, next_id_.fetch_add(1), ctx);
+  return call;
+}
+
+// ---------------------------------------------------------------------------
+// PendingCall
+// ---------------------------------------------------------------------------
+
+PendingCall::PendingCall(PendingCall&& o) noexcept
+    : client_(o.client_), ctx_(o.ctx_), send_status_(o.send_status_) {
+  o.client_ = nullptr;
+  o.ctx_ = nullptr;
+}
+
+PendingCall& PendingCall::operator=(PendingCall&& o) noexcept {
+  if (this != &o) {
+    Release();
+    client_ = o.client_;
+    ctx_ = o.ctx_;
+    send_status_ = o.send_status_;
+    o.client_ = nullptr;
+    o.ctx_ = nullptr;
+  }
+  return *this;
+}
+
+PendingCall::~PendingCall() { Release(); }
+
+void PendingCall::Release() {
+  if (client_ == nullptr) return;
+  auto* ctx = static_cast<RpcClient::ThreadBuffers*>(ctx_);
+  // Abandoned without Wait: the context can be reused immediately only if
+  // the request never left or the reply already landed; otherwise it waits
+  // on the zombie list for its stamp.
+  client_->ReleaseContext(ctx, !send_status_.ok() || Ready());
+  client_ = nullptr;
+  ctx_ = nullptr;
+}
+
+bool PendingCall::Ready() const {
+  if (client_ == nullptr || !send_status_.ok()) return false;
+  auto* ctx = static_cast<RpcClient::ThreadBuffers*>(ctx_);
+  return rdma::QueuePair::ReadReadyStamp(
+             reinterpret_cast<const void*>(ctx->stamp_addr())) != 0;
+}
+
+Status PendingCall::Wait(std::string* reply) {
+  if (client_ == nullptr) return send_status_;
+  RpcClient* client = client_;
+  auto* ctx = static_cast<RpcClient::ThreadBuffers*>(ctx_);
+  client_ = nullptr;
+  ctx_ = nullptr;
+  if (!send_status_.ok()) {
+    client->ReleaseContext(ctx, /*completed=*/true);
+    return send_status_;
+  }
+  rdma::StampFuture reply_ready(
+      client->fabric_->env(), reinterpret_cast<const void*>(ctx->stamp_addr()));
+  Status s = reply_ready.Wait();
+  if (s.ok()) s = client->ParseReply(ctx, reply);
+  client->ReleaseContext(ctx, /*completed=*/true);
+  return s;
 }
 
 void RpcClient::NotifierLoop() {

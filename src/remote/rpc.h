@@ -59,6 +59,45 @@ struct RpcType {
 };
 
 class RpcServer;
+class RpcClient;
+
+/// An issued CallAsync awaiting its reply; move-only, like a WrHandle for
+/// a whole RPC. Wait() parks on the reply buffer's ready stamp (a
+/// rdma::StampFuture) and recycles the call's buffers. Dropping a live
+/// PendingCall never blocks: its context is parked on a zombie list and
+/// reclaimed only after the server's reply WRITE has landed, so a late
+/// reply can never scribble over a recycled buffer.
+class PendingCall {
+ public:
+  PendingCall() = default;
+  PendingCall(PendingCall&& o) noexcept;
+  PendingCall& operator=(PendingCall&& o) noexcept;
+  ~PendingCall();
+
+  PendingCall(const PendingCall&) = delete;
+  PendingCall& operator=(const PendingCall&) = delete;
+
+  /// False for default-constructed, moved-from, or waited calls.
+  bool valid() const { return client_ != nullptr; }
+
+  /// Nonblocking: true once the reply payload has landed.
+  bool Ready() const;
+
+  /// Blocks until the reply lands, fills *reply, releases the call's
+  /// buffers. Idempotent calls after the first return the send status.
+  Status Wait(std::string* reply);
+
+ private:
+  friend class RpcClient;
+
+  /// Returns the context to the pool (zombie if the reply is still
+  /// inbound) and invalidates this handle. Never blocks.
+  void Release();
+
+  RpcClient* client_ = nullptr;
+  void* ctx_ = nullptr;   // RpcClient::ThreadBuffers, opaque here.
+  Status send_status_;
+};
 
 /// Client side of the RPC layer; one per (compute node, server) pair.
 /// Thread-safe: every calling thread gets its own registered reply and
@@ -81,12 +120,32 @@ class RpcClient {
   /// wakeup arrives.
   Status CallWithWakeup(uint8_t type, const Slice& args, std::string* reply);
 
+  /// Pipelined RPC: sends now, returns a handle to wait later, so one
+  /// thread can keep several long-running server-side requests (near-data
+  /// compactions) in flight. The request is dispatched to the server's
+  /// worker pool like CallWithWakeup — args travel via the staging buffer
+  /// the server pulls with RDMA READ — but completion is detected through
+  /// the reply stamp (rdma::StampFuture), not a sleeping waiter; the
+  /// wakeup immediate finds no registered waiter and is dropped. Each call
+  /// draws its own registered buffers from a pool, so any number may be in
+  /// flight per thread.
+  PendingCall CallAsync(uint8_t type, const Slice& args);
+
   rdma::Node* client_node() const { return client_node_; }
 
   struct ThreadBuffers;  // Internal; public only for thread-local storage.
 
  private:
+  friend class PendingCall;
+
   ThreadBuffers* GetThreadBuffers();
+  /// Call-context pool for CallAsync: reclaims zombies whose reply has
+  /// since landed, reuses a free context, or registers fresh buffers.
+  ThreadBuffers* AcquireContext();
+  /// completed: the reply landed (or the request was never sent) and the
+  /// buffers may be reused immediately; otherwise the context goes to the
+  /// zombie list until its stamp fires.
+  void ReleaseContext(ThreadBuffers* ctx, bool completed);
   Status SendRequest(uint8_t type, const Slice& args, bool wake, uint32_t id,
                      ThreadBuffers* bufs);
   Status ParseReply(ThreadBuffers* bufs, std::string* reply);
@@ -116,6 +175,14 @@ class RpcClient {
 
   std::mutex bufs_mu_;
   std::vector<std::unique_ptr<ThreadBuffers>> all_bufs_;
+
+  // CallAsync context pool (guarded by ctx_mu_). Contexts own the same
+  // registered buffer pair as ThreadBuffers; zombies are abandoned calls
+  // whose reply WRITE may still be inbound.
+  std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<ThreadBuffers>> all_ctx_;
+  std::vector<ThreadBuffers*> free_ctx_;
+  std::vector<ThreadBuffers*> zombie_ctx_;
 
   static std::atomic<uint64_t> next_instance_id_;
 };

@@ -871,5 +871,356 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) ? "AsyncReads" : "SyncReads");
     });
 
+// --- Async/sync write-path equivalence --------------------------------------
+
+// The async_write toggle may only change how flush bytes and compaction
+// RPCs move (deferred handle waves, pipelined CallAsync) — never the
+// resulting DB state. This sweep replays a seeded randomized write
+// workload with flushes and compactions overlapping foreground writes and
+// demands the final state be byte-identical to an in-memory model.
+
+void WriteEquivalenceWorkload(DB* db, int write_ops, size_t value_len) {
+  const uint64_t kKeySpace = 2000;
+  Random rnd(97);
+  std::map<std::string, std::string> model;
+  auto apply = [&](int i) {
+    uint64_t k = rnd.Uniform(kKeySpace);
+    std::string key = TestKey(k);
+    if (rnd.OneIn(5)) {
+      ASSERT_TRUE(db->Delete(WriteOptions(), key).ok());
+      model.erase(key);
+    } else {
+      // Distinct payload per (key, op) so a lost or stale write is
+      // detectable, not just a missing key.
+      std::string value = TestValue(k * 1000003 + i, value_len);
+      ASSERT_TRUE(db->Put(WriteOptions(), key, value).ok());
+      model[key] = value;
+    }
+  };
+  // Flush mid-stream so deferred flush waves overlap foreground writes,
+  // then quiesce and lay down a fresh stripe: the final state spans
+  // memtable, L0, and compacted levels at once.
+  for (int i = 0; i < write_ops / 2; i++) apply(i);
+  ASSERT_TRUE(db->Flush().ok());
+  for (int i = write_ops / 2; i < write_ops; i++) apply(i);
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+  for (int i = 0; i < 150; i++) {
+    uint64_t k = rnd.Uniform(kKeySpace);
+    std::string value = TestValue(k + 31337, value_len);
+    ASSERT_TRUE(db->Put(WriteOptions(), TestKey(k), value).ok());
+    model[TestKey(k)] = value;
+  }
+
+  // Point lookups: every key in the space, hit or miss, byte-identical.
+  for (uint64_t k = 0; k < kKeySpace; k++) {
+    std::string key = TestKey(k);
+    std::string value;
+    Status s = db->Get(ReadOptions(), key, &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << "key " << key << ": " << s.ToString();
+    } else {
+      ASSERT_TRUE(s.ok()) << "key " << key << ": " << s.ToString();
+      EXPECT_EQ(it->second, value) << "key " << key;
+    }
+  }
+
+  // Full forward scan: exactly the model, in order.
+  std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(model.end(), mit) << "scan yielded extra key "
+                                << iter->key().ToString();
+    EXPECT_EQ(mit->first, iter->key().ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString()) << "key " << mit->first;
+  }
+  ASSERT_TRUE(iter->status().ok()) << iter->status().ToString();
+  EXPECT_TRUE(mit == model.end()) << "scan stopped early at " << mit->first;
+}
+
+// Param: (use_std_env, async_write, value_len).
+class WritePathEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+
+TEST_P(WritePathEquivalenceTest, RandomizedWorkloadIsByteIdentical) {
+  const bool use_std_env = std::get<0>(GetParam());
+  const bool async = std::get<1>(GetParam());
+  const size_t value_len = static_cast<size_t>(std::get<2>(GetParam()));
+
+  if (!use_std_env) {
+    RunDbTest([async](Options* options) { options->async_write = async; },
+              [value_len](DB* db, Env*) {
+                WriteEquivalenceWorkload(db, 5000, value_len);
+              });
+    return;
+  }
+
+  // Real-time deployment: flush-wave completions and CallAsync reply
+  // stamps arrive via condition variables under actual thread scheduling.
+  Env* env = Env::Std();
+  rdma::Fabric fabric(env);
+  rdma::Node* compute = fabric.AddNode("compute", 0, 1ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 0, 2ull << 30);
+  MemoryNodeService service(&fabric, memory, 2);
+  service.Start();
+
+  Options options = test::SmallOptions(env);
+  options.async_write = async;
+  DbDeps deps;
+  deps.fabric = &fabric;
+  deps.compute = compute;
+  deps.memory = &service;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DLsmDB::Open(options, deps, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  // Smaller workload than the SimEnv combos: wire latencies are real
+  // sleeps here, and the target is the StdEnv wait paths.
+  WriteEquivalenceWorkload(db.get(), 1500, value_len);
+
+  ASSERT_TRUE(db->Close().ok());
+  db.reset();
+  service.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnvModeAndValueSize, WritePathEquivalenceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(64, 1024)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool, int>>& info) {
+      return std::string(std::get<0>(info.param) ? "StdEnv" : "SimEnv") +
+             (std::get<1>(info.param) ? "AsyncWrite" : "SyncWrite") + "Val" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Full dump of a DB's user-visible state plus its final sequence number.
+struct DbDump {
+  std::vector<std::pair<std::string, std::string>> entries;
+  uint64_t sequence = 0;
+};
+
+DbDump RunSeededWriteWorkload(bool async_write) {
+  DbDump dump;
+  RunDbTest(
+      [async_write](Options* options) {
+        options->async_write = async_write;
+        options->write_path = WritePath::kWriterQueue;
+      },
+      [&dump](DB* db, Env*) {
+        Random rnd(1234);
+        for (int i = 0; i < 5000; i++) {
+          uint64_t k = rnd.Uniform(1200);
+          if (rnd.OneIn(6)) {
+            ASSERT_TRUE(db->Delete(WriteOptions(), TestKey(k)).ok());
+          } else {
+            ASSERT_TRUE(
+                db->Put(WriteOptions(), TestKey(k), TestValue(k * 7 + i))
+                    .ok());
+          }
+          if (i == 2500) ASSERT_TRUE(db->Flush().ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        const Snapshot* snap = db->GetSnapshot();
+        dump.sequence = snap->sequence();
+        db->ReleaseSnapshot(snap);
+        std::unique_ptr<Iterator> iter(db->NewIterator(ReadOptions()));
+        for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+          dump.entries.emplace_back(iter->key().ToString(),
+                                    iter->value().ToString());
+        }
+        ASSERT_TRUE(iter->status().ok()) << iter->status().ToString();
+      });
+  return dump;
+}
+
+TEST(DBTest, WriteModesProduceIdenticalStateAndSequences) {
+  // Group sequence batching must assign exactly the sequences the
+  // one-at-a-time path would: same final sequence number, same surviving
+  // versions. A single-threaded writer-queue workload is deterministic, so
+  // the two modes are compared dump-for-dump.
+  DbDump sync_dump = RunSeededWriteWorkload(false);
+  DbDump async_dump = RunSeededWriteWorkload(true);
+  EXPECT_EQ(sync_dump.sequence, async_dump.sequence);
+  ASSERT_EQ(sync_dump.entries.size(), async_dump.entries.size());
+  for (size_t i = 0; i < sync_dump.entries.size(); i++) {
+    EXPECT_EQ(sync_dump.entries[i].first, async_dump.entries[i].first)
+        << "entry " << i;
+    EXPECT_EQ(sync_dump.entries[i].second, async_dump.entries[i].second)
+        << "key " << sync_dump.entries[i].first;
+  }
+}
+
+TEST(DBTest, WriterQueueGroupCommitKeepsProgramOrder) {
+  // Group sequence batching (one fetch-add per writer group) must keep
+  // each writer's program order even when the group leader's sequence
+  // window straddles a MemTable switch and later members fall back to
+  // fresh allocations. Small MemTables force frequent switches.
+  RunDbTest(
+      [](Options* options) {
+        options->write_path = WritePath::kWriterQueue;
+        options->async_write = true;
+        options->memtable_size = 16 << 10;
+      },
+      [](DB* db, Env* env) {
+        constexpr int kThreads = 8;
+        constexpr int kKeysPerThread = 200;
+        constexpr int kRounds = 3;
+        std::vector<ThreadHandle> hs;
+        for (int t = 0; t < kThreads; t++) {
+          hs.push_back(env->StartThread(0, "writer", [&, t] {
+            for (int round = 0; round < kRounds; round++) {
+              for (int i = 0; i < kKeysPerThread; i++) {
+                uint64_t k = static_cast<uint64_t>(t) * kKeysPerThread + i;
+                ASSERT_TRUE(db->Put(WriteOptions(), TestKey(k),
+                                    TestValue(k * 10 + round))
+                                .ok());
+                if (i % 32 == 0) env->MaybeYield();
+              }
+            }
+          }));
+        }
+        for (ThreadHandle h : hs) env->Join(h);
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        // Key ranges are disjoint per thread, so the visible version of
+        // every key must be that thread's last write — an inverted group
+        // window would leave an earlier round on top.
+        for (int t = 0; t < kThreads; t++) {
+          for (int i = 0; i < kKeysPerThread; i++) {
+            uint64_t k = static_cast<uint64_t>(t) * kKeysPerThread + i;
+            std::string value;
+            ASSERT_TRUE(db->Get(ReadOptions(), TestKey(k), &value).ok())
+                << "lost write " << k;
+            EXPECT_EQ(TestValue(k * 10 + (kRounds - 1)), value)
+                << "key " << k;
+          }
+        }
+        EXPECT_EQ(
+            static_cast<uint64_t>(kThreads) * kKeysPerThread * kRounds,
+            db->GetStats().writes);
+      });
+}
+
+TEST(DBTest, StallAccountingNeverExceedsElapsedTime) {
+  // Stalled-writer time is a union of intervals: with N writers parked on
+  // the same flush/compaction backlog, stall_ns must not count the overlap
+  // N times over (the old per-writer accounting could report ~N x the
+  // wall-clock stall).
+  RunDbTest(
+      [](Options* options) {
+        options->memtable_size = 16 << 10;
+        options->max_immutables = 1;
+        options->flush_threads = 1;
+        options->l0_compaction_trigger = 2;
+        options->l0_stop_writes_trigger = 3;
+      },
+      [](DB* db, Env* env) {
+        const uint64_t start = env->NowNanos();
+        constexpr int kThreads = 8;
+        constexpr int kPerThread = 800;
+        std::vector<ThreadHandle> hs;
+        for (int t = 0; t < kThreads; t++) {
+          hs.push_back(env->StartThread(0, "writer", [&, t] {
+            for (int i = 0; i < kPerThread; i++) {
+              uint64_t k = static_cast<uint64_t>(t) * kPerThread + i;
+              ASSERT_TRUE(
+                  db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok());
+              if (i % 64 == 0) env->MaybeYield();
+            }
+          }));
+        }
+        for (ThreadHandle h : hs) env->Join(h);
+        const uint64_t elapsed = env->NowNanos() - start;
+        DbStats stats = db->GetStats();
+        EXPECT_GT(stats.stall_ns, 0u) << "backlog never stalled a writer";
+        EXPECT_LE(stats.stall_ns, elapsed)
+            << "stall time double-counted across concurrent writers";
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+      });
+}
+
+TEST(DBTest, VerbBudgetOneSerializesCompactionRpcs) {
+  // budget=1: the pipelined scheduler may never have a second compaction
+  // RPC posted while one is outstanding. One scheduler thread so no other
+  // coordinator can widen the gauge.
+  RunDbTest(
+      [](Options* options) {
+        options->async_write = true;
+        options->compaction_verb_budget = 1;
+        options->compaction_scheduler_threads = 1;
+        options->memtable_size = 16 << 10;
+        options->sstable_size = 16 << 10;
+        options->l0_compaction_trigger = 2;
+      },
+      [](DB* db, Env*) {
+        Random rnd(11);
+        for (int i = 0; i < 6000; i++) {
+          uint64_t k = rnd.Uniform(4000);
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(k), TestValue(k + i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        DbStats stats = db->GetStats();
+        ASSERT_GT(stats.compactions, 0u);
+        EXPECT_EQ(1u, stats.compaction_rpc_inflight_peak)
+            << "budget=1 must serialize sub-compaction RPCs";
+      });
+}
+
+TEST(DBTest, UncappedBudgetPipelinesCompactionRpcs) {
+  // budget=0 removes the cap: a multi-task sub-compaction pick must drive
+  // the in-flight RPC window past one (the whole point of CallAsync).
+  RunDbTest(
+      [](Options* options) {
+        options->async_write = true;
+        options->compaction_verb_budget = 0;
+        options->memtable_size = 16 << 10;
+        options->sstable_size = 16 << 10;
+        options->l0_compaction_trigger = 2;
+      },
+      [](DB* db, Env*) {
+        Random rnd(12);
+        for (int i = 0; i < 12000; i++) {
+          uint64_t k = rnd.Uniform(8000);
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(k), TestValue(k + i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        DbStats stats = db->GetStats();
+        ASSERT_GT(stats.compactions, 0u);
+        EXPECT_GE(stats.compaction_rpc_inflight_peak, 2u)
+            << "uncapped scheduler never overlapped compaction RPCs";
+      });
+}
+
+TEST(DBTest, CloseWithFlushBacklogUnderAsyncWrite) {
+  // Teardown with deferred flush WRITE waves and pipelined compaction
+  // RPCs still in motion: Close() must cancel cleanly — no hang, and no
+  // verbs left pinned on the outstanding gauge.
+  RunDbTest(
+      [](Options* options) {
+        options->async_write = true;
+        options->memtable_size = 16 << 10;
+        options->sstable_size = 16 << 10;
+        options->l0_compaction_trigger = 2;
+      },
+      [](DB* db, Env*) {
+        Random rnd(13);
+        for (int i = 0; i < 6000; i++) {
+          uint64_t k = rnd.Uniform(4000);
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok());
+        }
+        // No Flush(), no WaitForBackgroundIdle(): close into the backlog.
+        ASSERT_TRUE(db->Close().ok());
+        EXPECT_EQ(0u, db->GetStats().rdma.outstanding);
+      });
+}
+
 }  // namespace
 }  // namespace dlsm

@@ -275,6 +275,116 @@ TEST_F(RpcTest, WorkerBusyTimeIsTracked) {
   });
 }
 
+TEST_F(RpcTest, CallAsyncPipelinesCallsOnOneThread) {
+  // The compaction scheduler's pattern: one thread keeps several
+  // long-running server-side requests in flight and collects the replies
+  // out of issue order.
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    Env* env = f->env();
+    RpcServer server(f, memory, 4);
+    server.set_handler(
+        [env](uint8_t type, const Slice& args, std::string* reply) {
+          EXPECT_EQ(RpcType::kCompaction, type);
+          env->SleepNanos(2'000'000);
+          *reply = "r:" + args.ToString();
+        });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    constexpr int kCalls = 6;
+    std::vector<PendingCall> calls;
+    for (int i = 0; i < kCalls; i++) {
+      calls.push_back(
+          client.CallAsync(RpcType::kCompaction, "c" + std::to_string(i)));
+      ASSERT_TRUE(calls.back().valid());
+    }
+    for (int i = kCalls - 1; i >= 0; i--) {
+      std::string reply;
+      Status s = calls[i].Wait(&reply);
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ("r:c" + std::to_string(i), reply);
+      EXPECT_FALSE(calls[i].valid()) << "Wait must release the context";
+    }
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, CallAsyncDroppedCallsAreReclaimed) {
+  // Abandoning a PendingCall parks its context on the zombie list; it may
+  // be reused only after the late reply has landed, and that reply must
+  // never corrupt a later call's buffers. Many rounds so reclamation
+  // actually cycles contexts instead of registering fresh ones.
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    RpcServer server(f, memory, 2);
+    server.set_handler([](uint8_t, const Slice& args, std::string* reply) {
+      *reply = "r:" + args.ToString();
+    });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    for (int round = 0; round < 32; round++) {
+      PendingCall dropped = client.CallAsync(
+          RpcType::kCompaction, "dropped" + std::to_string(round));
+      ASSERT_TRUE(dropped.valid());
+      PendingCall kept = client.CallAsync(RpcType::kCompaction,
+                                          "kept" + std::to_string(round));
+      std::string reply;
+      ASSERT_TRUE(kept.Wait(&reply).ok());
+      EXPECT_EQ("r:kept" + std::to_string(round), reply);
+      // `dropped` dies here, its reply possibly still inbound.
+    }
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, CallAsyncLargeArgumentsTravelViaRdmaRead) {
+  // CallAsync args never inline: they stage in the per-call registered
+  // buffer the server pulls with an RDMA READ, same as CallWithWakeup.
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    std::string big(64 * 1024, '\0');
+    for (size_t i = 0; i < big.size(); i++) {
+      big[i] = static_cast<char>('a' + i % 26);
+    }
+    RpcServer server(f, memory, 2);
+    server.set_handler([&](uint8_t, const Slice& args, std::string* reply) {
+      EXPECT_EQ(big, args.ToString());
+      *reply = std::to_string(args.size());
+    });
+    server.Start();
+    RpcClient client(f, compute, &server);
+
+    PendingCall call = client.CallAsync(RpcType::kCompaction, big);
+    std::string reply;
+    ASSERT_TRUE(call.Wait(&reply).ok());
+    EXPECT_EQ(std::to_string(big.size()), reply);
+    server.Stop();
+  });
+}
+
+TEST_F(RpcTest, CallAsyncTeardownWithCallsInFlight) {
+  // Client and server tear down while pipelined calls are still being
+  // served: nothing may hang, and the late reply WRITEs must land in
+  // node DRAM the abandoned contexts still own, not recycled memory.
+  RunSim([](rdma::Fabric* f, rdma::Node* compute, rdma::Node* memory) {
+    Env* env = f->env();
+    RpcServer server(f, memory, 2);
+    server.set_handler([env](uint8_t, const Slice&, std::string* reply) {
+      env->SleepNanos(10'000'000);  // Replies arrive long after the drop.
+      *reply = "late";
+    });
+    server.Start();
+    {
+      RpcClient client(f, compute, &server);
+      for (int i = 0; i < 4; i++) {
+        PendingCall call = client.CallAsync(RpcType::kCompaction, "x");
+        ASSERT_TRUE(call.valid());
+        // Dropped immediately: still executing server-side.
+      }
+    }  // Client destroyed with all four replies inbound.
+    server.Stop();
+  });
+}
+
 }  // namespace
 }  // namespace remote
 }  // namespace dlsm
