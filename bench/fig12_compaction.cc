@@ -31,6 +31,11 @@ int Main(int argc, char** argv) {
   bool async_write = flags.GetBool("async_write", true);
   uint64_t budget = flags.GetInt("budget", 64);
   bool verb_stats = flags.GetBool("verb_stats", false);
+  // Deterministic fault injection; --verb_stats then shows per-verb error
+  // counts, QP reconnects and retry/timeout totals.
+  double fault_rate = flags.GetDouble("fault_rate", 0);
+  double rnr_rate = flags.GetDouble("rnr_rate", 0);
+  uint64_t fault_seed = flags.GetInt("fault_seed", 1);
 
   std::printf("\n=== Figure 12: near-data compaction, randomfill normal "
               "mode, %llu keys, async_write=%s budget=%llu ===\n",
@@ -57,6 +62,9 @@ int Main(int argc, char** argv) {
       config.compaction_verb_budget = budget;
       config.memtable_size = 1 << 20;
       config.sstable_size = 1 << 20;
+      config.fault_seed = fault_seed;
+      config.wr_error_rate = fault_rate;
+      config.rnr_delay_rate = rnr_rate;
       auto r = RunBench(config, {Phase::kFillRandom});
       std::printf(" %9s@%3.0f%%",
                   FormatThroughput(r[0].ops_per_sec).c_str(),
@@ -73,6 +81,9 @@ int Main(int argc, char** argv) {
     config.async_write = async_write;
     config.memtable_size = 1 << 20;
     config.sstable_size = 1 << 20;
+    config.fault_seed = fault_seed;
+    config.wr_error_rate = fault_rate;
+    config.rnr_delay_rate = rnr_rate;
     auto r = RunBench(config, {Phase::kFillRandom});
     std::printf("   %16s\n", FormatThroughput(r[0].ops_per_sec).c_str());
     std::fflush(stdout);

@@ -75,6 +75,11 @@ int Main(int argc, char** argv) {
   std::printf("\n");
 
   bool verb_stats = flags.GetBool("verb_stats", false);
+  // Deterministic fault injection; --verb_stats then shows per-verb error
+  // counts, QP reconnects and retry/timeout totals.
+  double fault_rate = flags.GetDouble("fault_rate", 0);
+  double rnr_rate = flags.GetDouble("rnr_rate", 0);
+  uint64_t fault_seed = flags.GetInt("fault_seed", 1);
   for (SystemKind system : systems) {
     std::printf("%-22s", SystemName(system));
     std::fflush(stdout);
@@ -84,6 +89,9 @@ int Main(int argc, char** argv) {
       config.system = system;
       config.threads = t;
       config.num_keys = keys;
+      config.fault_seed = fault_seed;
+      config.wr_error_rate = fault_rate;
+      config.rnr_delay_rate = rnr_rate;
       auto r = RunBench(config, {Phase::kReadRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);

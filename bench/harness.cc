@@ -93,6 +93,13 @@ Options MakeEngineOptions(const BenchConfig& config, Env* env) {
   }
   options.async_write = config.async_write;
   options.compaction_verb_budget = config.compaction_verb_budget;
+  if (config.wr_error_rate > 0.0) {
+    // Injected WR errors surface as fast IOErrors; a bounded RPC retry
+    // policy (the one-sided paths already retry by default) keeps the
+    // workload running through transient faults.
+    options.rpc_timeout_ns = 20 * 1000 * 1000;
+    options.rpc_max_retries = 4;
+  }
   // Flush region: enough for the whole dataset plus compaction churn,
   // pinned snapshots and per-shard slab rounding.
   uint64_t data = config.num_keys *
@@ -148,12 +155,32 @@ std::string VerbStatsSummary(const DbStats& stats) {
                   static_cast<double>(s.bytes) / (1024.0 * 1024.0),
                   s.latency_us.Percentile(50.0), s.latency_us.Percentile(99.0));
     out += buf;
+    if (s.errors > 0) {
+      std::snprintf(buf, sizeof(buf), " errs %llu",
+                    static_cast<unsigned long long>(s.errors));
+      out += buf;
+    }
   }
   if (out.empty()) return out;
   std::snprintf(buf, sizeof(buf), " | max outstanding %llu abandoned %llu",
                 static_cast<unsigned long long>(v.max_outstanding),
                 static_cast<unsigned long long>(v.abandoned));
   out += buf;
+  // Fault/recovery telemetry; omitted on a clean run to keep the line as
+  // it always was.
+  if (v.reconnects + stats.read_retries + stats.flush_retries +
+          stats.rpc_retries + stats.rpc_timeouts >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | reconnects %llu retries read %llu flush %llu rpc %llu "
+                  "timeouts %llu",
+                  static_cast<unsigned long long>(v.reconnects),
+                  static_cast<unsigned long long>(stats.read_retries),
+                  static_cast<unsigned long long>(stats.flush_retries),
+                  static_cast<unsigned long long>(stats.rpc_retries),
+                  static_cast<unsigned long long>(stats.rpc_timeouts));
+    out += buf;
+  }
   return out;
 }
 
@@ -205,6 +232,19 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
     }
     db.reset(raw);
+
+    if ((config.wr_error_rate > 0.0 || config.rnr_delay_rate > 0.0) &&
+        config.system != SystemKind::kSherman) {
+      // Start injection only once the deployment is up, so the schedule
+      // covers the measured workload, not setup. Sherman is excluded: the
+      // baseline has no retry layer, so an injected error aborts the run
+      // rather than measuring anything.
+      rdma::FaultParams fp;
+      fp.seed = config.fault_seed;
+      fp.wr_error_rate = config.wr_error_rate;
+      fp.rnr_delay_rate = config.rnr_delay_rate;
+      fabric.set_fault_params(fp);
+    }
 
     const uint64_t key_range =
         config.key_range != 0 ? config.key_range : config.num_keys;

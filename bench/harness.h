@@ -66,6 +66,13 @@ struct BenchConfig {
   bool async_write = true;
   /// Options::compaction_verb_budget passthrough (async_write only).
   uint64_t compaction_verb_budget = 64;
+  /// Deterministic fabric fault injection (rdma::FaultParams), enabled
+  /// after the deployment opens. Nonzero wr_error_rate also turns on the
+  /// engine's RPC retry policy so transient faults are absorbed rather
+  /// than aborting the run.
+  uint64_t fault_seed = 1;
+  double wr_error_rate = 0.0;
+  double rnr_delay_rate = 0.0;
 };
 
 /// One phase's outcome.

@@ -38,9 +38,17 @@ struct DbStats {
   /// Peak concurrent near-data compaction RPCs (async scheduler window);
   /// 1 when the verb budget serializes them or async_write is off.
   uint64_t compaction_rpc_inflight_peak = 0;
+
+  // Fault/recovery telemetry (all zero when injection is off).
+  uint64_t read_retries = 0;   ///< Point/scan reads re-issued after a fault.
+  uint64_t flush_retries = 0;  ///< Flush jobs re-run before install.
+  uint64_t rpc_retries = 0;    ///< RPC attempts re-issued after a failure.
+  uint64_t rpc_timeouts = 0;   ///< RPC attempts that hit the reply deadline.
+
   /// Verb-layer telemetry of this engine's compute->memory connection:
   /// per-verb-class ops/bytes and wire-latency histograms, plus
-  /// outstanding-op gauges. Merged exactly across shards.
+  /// outstanding-op gauges and error/reconnect counts. Merged exactly
+  /// across shards.
   rdma::RdmaVerbStats rdma;
 };
 

@@ -69,6 +69,15 @@ Status DLsmDB::Init() {
         deps_.fabric, deps_.compute, deps_.memory->rpc_server());
     rpc_ = owned_rpc_.get();
   }
+  if (options_.rpc_timeout_ns > 0) {
+    // Shared clients get the same policy from every shard (same Options),
+    // so the redundant installs are harmless.
+    remote::RpcPolicy policy;
+    policy.timeout_ns = options_.rpc_timeout_ns;
+    policy.max_retries = options_.rpc_max_retries;
+    policy.retry_backoff_ns = options_.rpc_retry_backoff_ns;
+    rpc_->set_policy(policy);
+  }
 
   // Acquire the compute-controlled flush region from the memory node via
   // the general-purpose RPC (paper Sec. V-A).
@@ -97,6 +106,9 @@ Status DLsmDB::Init() {
   read_path_.rpc = options_.reads_via_rpc ? rpc_ : nullptr;
   read_path_.extra_copy = options_.extra_io_copy;
   read_path_.uncached_index = !options_.cache_index_blocks;
+  read_path_.max_retries = options_.rdma_max_retries;
+  read_path_.retry_backoff_ns = options_.rdma_retry_backoff_ns;
+  read_path_.retry_counter = &stat_read_retries_;
 
   if (options_.write_path == WritePath::kWriterQueue) {
     write_mu_ = std::make_unique<Mutex>(env_);
@@ -151,6 +163,7 @@ Status DLsmDB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DLsmDB::Write(const WriteOptions& options, WriteBatch* batch) {
   (void)options;
+  DLSM_RETURN_NOT_OK(BgError());
   if (options_.write_path == WritePath::kWriterQueue) {
     return WriteQueued(batch);
   }
@@ -350,6 +363,7 @@ Status DLsmDB::HandleSwitch(SequenceNumber seq) {
     // time.
     bool stalled = false;
     while (!shutdown_.load() &&
+           !has_bg_error_.load(std::memory_order_acquire) &&
            (static_cast<int>(imms_.size()) >= options_.max_immutables ||
             versions_->NeedsStall())) {
       if (!stalled) {
@@ -362,6 +376,9 @@ Status DLsmDB::HandleSwitch(SequenceNumber seq) {
       stat_stall_ns_.fetch_add(env_->NowNanos() - stall_since_,
                                std::memory_order_relaxed);
     }
+    // Fail closed instead of stalling forever on background work that can
+    // no longer make progress.
+    DLSM_RETURN_NOT_OK(BgError());
     cur = mem_.load(std::memory_order_acquire);
     if (seq < cur->seq_limit()) break;  // Another writer switched for us.
     SwitchMemTableLocked();
@@ -412,46 +429,75 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
     // instead of being waited per table, and the whole wave drains once
     // below, before install (the durability barrier: a table becomes
     // visible only after its bytes are on the memory node).
-    std::unique_ptr<FlushPipeline> pipeline;
-    if (options_.async_write) {
-      pipeline = std::make_unique<FlushPipeline>(mgr_.get());
-    }
-    auto new_output = [this, &pipeline](remote::RemoteChunk* chunk,
-                                        std::unique_ptr<TableSink>* sink)
-        -> Status {
-      remote::RemoteChunk c = flush_alloc_->Allocate();
-      for (int tries = 0; !c.valid() && tries < 10000; tries++) {
-        // Flush region exhausted: give GC and compaction a chance.
-        DrainGc();
-        env_->SleepNanos(1'000'000);
-        c = flush_alloc_->Allocate();
+    //
+    // Transient faults re-run the whole job: a failed wave leaves no record
+    // of which bytes landed, so the failed attempt's chunks are recycled
+    // and the still-pinned MemTable is rebuilt into fresh ones. Only after
+    // flush_max_retries re-runs does the DB fail closed (SetBgError) — the
+    // table is then never installed, so readers see the error, not a hole.
+    const int max_attempts = 1 + std::max(0, options_.flush_max_retries);
+    std::vector<remote::RemoteChunk> attempt_chunks;
+    for (int attempt = 0; attempt < max_attempts; attempt++) {
+      if (attempt > 0) {
+        stat_flush_retries_.fetch_add(1, std::memory_order_relaxed);
+        for (const remote::RemoteChunk& c : attempt_chunks) {
+          flush_alloc_->Free(c);
+        }
+        attempt_chunks.clear();
+        outputs.clear();
+        mgr_->ThreadVq()->Recover();
+        int shift = attempt - 1 < 6 ? attempt - 1 : 6;
+        env_->SleepNanos(options_.rdma_retry_backoff_ns << shift);
       }
-      if (!c.valid()) {
-        return Status::OutOfMemory("flush region exhausted");
-      }
-      *chunk = c;
-      std::unique_ptr<TableSink> base;
+      std::unique_ptr<FlushPipeline> pipeline;
       if (options_.async_write) {
-        base = std::make_unique<AsyncRemoteSink>(
-            mgr_.get(), c, options_.flush_buffer_size,
-            options_.flush_buffers_per_thread, pipeline.get());
-      } else {
-        // Ablation: one blocking WRITE per flush buffer.
-        base = std::make_unique<SyncRemoteSink>(mgr_.get(), c,
-                                                options_.flush_buffer_size);
+        pipeline = std::make_unique<FlushPipeline>(mgr_.get());
       }
-      *sink = options_.extra_io_copy
-                  ? std::make_unique<CopySink>(std::move(base))
-                  : std::move(base);
-      return Status::OK();
-    };
+      auto new_output = [this, &pipeline, &attempt_chunks](
+                            remote::RemoteChunk* chunk,
+                            std::unique_ptr<TableSink>* sink) -> Status {
+        remote::RemoteChunk c = flush_alloc_->Allocate();
+        for (int tries = 0; !c.valid() && tries < 10000; tries++) {
+          // Flush region exhausted: give GC and compaction a chance.
+          DrainGc();
+          env_->SleepNanos(1'000'000);
+          c = flush_alloc_->Allocate();
+        }
+        if (!c.valid()) {
+          return Status::OutOfMemory("flush region exhausted");
+        }
+        *chunk = c;
+        attempt_chunks.push_back(c);
+        std::unique_ptr<TableSink> base;
+        if (options_.async_write) {
+          base = std::make_unique<AsyncRemoteSink>(
+              mgr_.get(), c, options_.flush_buffer_size,
+              options_.flush_buffers_per_thread, pipeline.get());
+        } else {
+          // Ablation: one blocking WRITE per flush buffer.
+          base = std::make_unique<SyncRemoteSink>(
+              mgr_.get(), c, options_.flush_buffer_size);
+        }
+        *sink = options_.extra_io_copy
+                    ? std::make_unique<CopySink>(std::move(base))
+                    : std::move(base);
+        return Status::OK();
+      };
 
-    s = MergeAndBuild(env_, mem->NewIterator(), icmp_, bloom_,
-                      OldestSnapshot(), /*drop_tombstones=*/false,
-                      options_.sstable_size, options_.table_format,
-                      options_.block_size, new_output, &outputs);
-    if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
-    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+      s = MergeAndBuild(env_, mem->NewIterator(), icmp_, bloom_,
+                        OldestSnapshot(), /*drop_tombstones=*/false,
+                        options_.sstable_size, options_.table_format,
+                        options_.block_size, new_output, &outputs);
+      if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
+      if (s.ok() || !s.IsIOError()) break;
+    }
+    if (!s.ok()) {
+      for (const remote::RemoteChunk& c : attempt_chunks) {
+        flush_alloc_->Free(c);
+      }
+      outputs.clear();
+      SetBgError(s);
+    }
   }
 
   // Flushes BUILD in parallel but INSTALL in MemTable age order: if a
@@ -496,6 +542,7 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
 
 Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  DLSM_RETURN_NOT_OK(BgError());
   stat_reads_.fetch_add(1, std::memory_order_relaxed);
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
@@ -568,6 +615,15 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
       TableLookupResult lookup = TableLookupResult::kNotPresent;
       if (s.ok()) {
         s = TableProbeFinish(icmp_, lkey, &probes[i], &lookup, value);
+      } else if (s.IsIOError() && read_path_.max_retries > 0) {
+        // This slot's READ died with the batch QP. Recover the connection
+        // once (no-op if a sibling slot already did) and re-probe the file
+        // serially: TableGet rides MgrRead's retry policy, so only an
+        // exhausted retry budget propagates.
+        stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
+        mgr_->ThreadVq()->Recover();
+        s = TableGet(read_path_, icmp_, bloom_, *order[i], lkey, &lookup,
+                     value);
       }
       DLSM_RETURN_NOT_OK(s);
       if (lookup == TableLookupResult::kFound) return Status::OK();
@@ -601,6 +657,11 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::NotFound(Slice()));
   if (keys.empty()) return;
+  Status bg = BgError();
+  if (!bg.ok()) {
+    statuses->assign(keys.size(), bg);
+    return;
+  }
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
                                 : sequence_.load(std::memory_order_acquire);
@@ -727,6 +788,13 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
       if (s.ok()) {
         s = TableProbeFinish(icmp_, *ks.lkey, &wp.probe, &lookup,
                              &(*values)[ks.idx]);
+      } else if (s.IsIOError() && read_path_.max_retries > 0) {
+        // Same per-slot recovery as Get's L0 wave: recover the shared QP
+        // and fall back to a serial retrying probe of this file.
+        stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
+        mgr_->ThreadVq()->Recover();
+        s = TableGet(read_path_, icmp_, bloom_, *wp.probe.file, *ks.lkey,
+                     &lookup, &(*values)[ks.idx]);
       }
       if (!s.ok()) {
         (*statuses)[ks.idx] = s;
@@ -748,6 +816,8 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
 }
 
 Iterator* DLsmDB::NewIterator(const ReadOptions& options) {
+  Status bg = BgError();
+  if (!bg.ok()) return NewErrorIterator(bg);
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
                                 : sequence_.load(std::memory_order_acquire);
@@ -818,6 +888,11 @@ void DLsmDB::CompactionCoordinatorLoop() {
       }
     }
     if (shutdown_.load()) break;
+    if (has_bg_error_.load(std::memory_order_acquire)) {
+      // Fail-closed: stop churning picks that can no longer install.
+      env_->SleepNanos(1'000'000);
+      continue;
+    }
 
     CompactionPick pick = versions_->PickCompaction();
     if (!pick.valid()) {
@@ -829,7 +904,24 @@ void DLsmDB::CompactionCoordinatorLoop() {
       running_compactions_++;
     }
     Status s = RunCompaction(pick);
-    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    for (int attempt = 0;
+         !s.ok() && s.IsIOError() && attempt < options_.rdma_max_retries &&
+         !shutdown_.load(std::memory_order_acquire);
+         attempt++) {
+      // Transient fault somewhere in the compaction wave (RPC timeout,
+      // flushed READ/WRITE): recover this coordinator's QP and re-run the
+      // pick from scratch — nothing was installed, inputs are still live.
+      mgr_->ThreadVq()->Recover();
+      env_->SleepNanos(options_.rdma_retry_backoff_ns
+                       << (attempt < 6 ? attempt : 6));
+      s = RunCompaction(pick);
+    }
+    if (!s.ok()) {
+      // Retries exhausted or a non-transient failure: fail closed rather
+      // than abort. The LSM shape stops improving but no version ever
+      // references bytes that failed to land.
+      SetBgError(s);
+    }
     versions_->ReleaseCompaction(pick);
     {
       MutexLock l(&comp_mu_);
@@ -851,7 +943,13 @@ Status DLsmDB::RunCompaction(const CompactionPick& pick) {
       options_.compaction_placement == CompactionPlacement::kNearData
           ? RunNearDataCompaction(pick, &outputs)
           : RunComputeSideCompaction(pick, &outputs);
-  DLSM_RETURN_NOT_OK(s);
+  if (!s.ok()) {
+    // A failed compaction installs nothing: recycle whatever outputs did
+    // complete (compute-side builds, successful near-data siblings) so a
+    // retry of the same pick starts from clean chunks.
+    for (const CompactionOutput& out : outputs) FileGone(out.chunk);
+    return s;
+  }
 
   VersionEdit edit;
   for (int which = 0; which < 2; which++) {
@@ -1056,13 +1154,17 @@ Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
     for (ThreadHandle h : helpers) env_->Join(h);
   }
 
+  // Surface the first failure but hand every completed sibling's outputs
+  // to the caller anyway — RunCompaction recycles them on failure, so a
+  // half-finished wave never leaks memory-node chunks.
+  Status first;
   for (size_t i = 0; i < tasks.size(); i++) {
-    DLSM_RETURN_NOT_OK(statuses[i]);
+    if (first.ok() && !statuses[i].ok()) first = statuses[i];
     for (CompactionOutput& out : results[i].outputs) {
       outputs->push_back(std::move(out));
     }
   }
-  return Status::OK();
+  return first;
 }
 
 Status DLsmDB::RunComputeSideCompaction(
@@ -1161,7 +1263,32 @@ void DLsmDB::DrainGc() {
   std::string args, reply;
   remote::EncodeFreeBatch(batch, &args);
   Status s = rpc_->Call(remote::RpcType::kFreeBatch, args, &reply);
-  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+  if (!s.ok()) {
+    // Frees are idempotent bookkeeping: put the batch back and let a later
+    // safe point retry once the fabric recovers. Never worth aborting or
+    // fail-closing the DB over.
+    std::lock_guard<std::mutex> lock(gc_mu_);
+    gc_batch_.insert(gc_batch_.end(), batch.begin(), batch.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fail-closed error state
+// ---------------------------------------------------------------------------
+
+void DLsmDB::SetBgError(const Status& s) {
+  if (s.ok()) return;
+  std::lock_guard<std::mutex> lock(bg_error_mu_);
+  if (bg_error_.ok()) {  // First failure wins; later ones are symptoms.
+    bg_error_ = s;
+    has_bg_error_.store(true, std::memory_order_release);
+  }
+}
+
+Status DLsmDB::BgError() const {
+  if (!has_bg_error_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(bg_error_mu_);
+  return bg_error_;
 }
 
 // ---------------------------------------------------------------------------
@@ -1169,6 +1296,7 @@ void DLsmDB::DrainGc() {
 // ---------------------------------------------------------------------------
 
 Status DLsmDB::Flush() {
+  DLSM_RETURN_NOT_OK(BgError());
   {
     MutexLock l(&mem_mu_);
     MemTable* cur = mem_.load(std::memory_order_acquire);
@@ -1187,11 +1315,16 @@ Status DLsmDB::Flush() {
       backpressure_cv_.Wait();
     }
   }
-  return Status::OK();
+  // A flush job that exhausted its retries "completes" without installing;
+  // report that instead of pretending the data is durable.
+  return BgError();
 }
 
 Status DLsmDB::WaitForBackgroundIdle() {
   for (;;) {
+    // With a sticky background error the LSM shape stops converging;
+    // report the failure instead of polling NeedsCompaction forever.
+    DLSM_RETURN_NOT_OK(BgError());
     {
       MutexLock l(&mem_mu_);
       while (pending_flushes_ > 0 || !imms_.empty()) {
@@ -1232,6 +1365,13 @@ DbStats DLsmDB::GetStats() {
   s.stall_ns = stat_stall_ns_.load();
   s.bloom_useful = stat_bloom_useful_.load();
   s.compaction_rpc_inflight_peak = stat_comp_rpc_peak_.load();
+  s.read_retries = stat_read_retries_.load();
+  s.flush_retries = stat_flush_retries_.load();
+  if (owned_rpc_ != nullptr) {
+    // A shared client's counters are added once by the sharded wrapper.
+    s.rpc_retries = owned_rpc_->rpc_retries();
+    s.rpc_timeouts = owned_rpc_->rpc_timeouts();
+  }
   s.rdma = mgr_->StatsSnapshot();
   return s;
 }

@@ -120,6 +120,16 @@ class DLsmDB : public DB {
   SequenceNumber OldestSnapshot();
   uint64_t SeqRange() const;
 
+  // -- Fail-closed error state -------------------------------------------------
+  /// Records the first unrecoverable background failure (flush retries
+  /// exhausted, compaction aborted). The error is sticky: every subsequent
+  /// user operation returns it instead of serving a view that may be
+  /// missing bytes. A version is never installed over a failed wave.
+  void SetBgError(const Status& s);
+  /// The sticky background error, or OK. Cheap when healthy (one relaxed
+  /// atomic load).
+  Status BgError() const;
+
   // Immutable after Init().
   Options options_;
   DbDeps deps_;
@@ -168,6 +178,11 @@ class DLsmDB : public DB {
   std::mutex gc_mu_;
   std::vector<uint64_t> gc_batch_;
 
+  // Fail-closed state (SetBgError / BgError).
+  mutable std::mutex bg_error_mu_;
+  Status bg_error_;  // Guarded by bg_error_mu_.
+  std::atomic<bool> has_bg_error_{false};
+
   // Stats.
   std::atomic<uint64_t> stat_writes_{0};
   std::atomic<uint64_t> stat_reads_{0};
@@ -179,6 +194,8 @@ class DLsmDB : public DB {
   std::atomic<uint64_t> stat_bloom_useful_{0};
   std::atomic<uint64_t> stat_comp_rpc_inflight_{0};
   std::atomic<uint64_t> stat_comp_rpc_peak_{0};
+  std::atomic<uint64_t> stat_read_retries_{0};
+  std::atomic<uint64_t> stat_flush_retries_{0};
 
   bool closed_ = false;
 };

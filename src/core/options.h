@@ -155,6 +155,36 @@ struct Options {
   /// large chunks of key-value pairs by sequential I/O").
   size_t scan_prefetch_size = 2 << 20;
 
+  // -- Fault handling ---------------------------------------------------------
+  //
+  // Recovery policy for injected fabric faults (rdma::FaultParams). The
+  // defaults keep the fault-free fast paths bit-identical: no deadline
+  // arithmetic on RPCs, and the one-sided retry loops only engage when a
+  // verb actually fails.
+
+  /// Per-attempt RPC reply deadline; 0 waits forever. Forwarded to the
+  /// shared RpcClient at Open (remote::RpcPolicy::timeout_ns).
+  uint64_t rpc_timeout_ns = 0;
+
+  /// Additional RPC attempts after a transient failure (timeout, flushed
+  /// send, QP error). Only honored when rpc_timeout_ns > 0.
+  int rpc_max_retries = 0;
+
+  /// Base backoff between RPC attempts; doubles per attempt.
+  uint64_t rpc_retry_backoff_ns = 100 * 1000;
+
+  /// Additional attempts for one-sided verbs on the read and flush paths
+  /// (table reads, L0 probe waves, scan prefetch, flush waves). Each
+  /// retry first recovers the failed QP (drain + reset + reconnect).
+  int rdma_max_retries = 3;
+
+  /// Base backoff between one-sided retries; doubles per attempt.
+  uint64_t rdma_retry_backoff_ns = 50 * 1000;
+
+  /// Times a failed flush job is re-queued before the DB fail-closes with
+  /// a background error (no version is ever installed over missing bytes).
+  int flush_max_retries = 3;
+
   // -- Baseline modeling ------------------------------------------------------
 
   /// Adds one staging-buffer copy on every remote table read and write,

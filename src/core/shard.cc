@@ -47,6 +47,13 @@ Status ShardedDB::Open(const Options& options, const DbDeps& deps,
       options.env, deps.compute->env_node(), options.flush_threads, "flush");
   db->rpc_ = std::make_unique<remote::RpcClient>(deps.fabric, deps.compute,
                                                  deps.memory->rpc_server());
+  if (options.rpc_timeout_ns > 0) {
+    remote::RpcPolicy policy;
+    policy.timeout_ns = options.rpc_timeout_ns;
+    policy.max_retries = options.rpc_max_retries;
+    policy.retry_backoff_ns = options.rpc_retry_backoff_ns;
+    db->rpc_->set_policy(policy);
+  }
 
   Options shard_options = options;
   shard_options.shards = 1;
@@ -289,7 +296,17 @@ DbStats ShardedDB::GetStats() {
     total.bloom_useful += s.bloom_useful;
     total.compaction_rpc_inflight_peak = std::max(
         total.compaction_rpc_inflight_peak, s.compaction_rpc_inflight_peak);
+    total.read_retries += s.read_retries;
+    total.flush_retries += s.flush_retries;
+    // Per-shard rpc_* counters are zero here: shards share this wrapper's
+    // client, whose counters are folded in once below.
+    total.rpc_retries += s.rpc_retries;
+    total.rpc_timeouts += s.rpc_timeouts;
     total.rdma.MergeFrom(s.rdma);
+  }
+  if (rpc_ != nullptr) {
+    total.rpc_retries += rpc_->rpc_retries();
+    total.rpc_timeouts += rpc_->rpc_timeouts();
   }
   return total;
 }

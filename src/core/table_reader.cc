@@ -21,9 +21,27 @@ Status FetchIndexBlock(const RemoteReadPath& rp, const FileMetaData& file) {
   if (len == 0) return Status::OK();
   thread_local std::string scratch;
   scratch.resize(len);
-  return rp.mgr->Read(scratch.data(), file.chunk.addr, file.chunk.rkey, len);
+  return rp.MgrRead(scratch.data(), file.chunk.addr, file.chunk.rkey, len);
 }
 }  // namespace
+
+Status RemoteReadPath::MgrRead(void* dst, uint64_t addr, uint32_t rkey,
+                               size_t len) const {
+  Status s = mgr->Read(dst, addr, rkey, len);
+  for (int attempt = 0; !s.ok() && s.IsIOError() && attempt < max_retries;
+       attempt++) {
+    if (retry_counter != nullptr) {
+      retry_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    // Recover the errored QP before re-posting. While the memory node is
+    // down this fails and the re-read flush-fails immediately; the loop
+    // still backs off so exhaustion takes ~max_retries * backoff.
+    mgr->ThreadVq()->Recover();
+    mgr->env()->SleepNanos(retry_backoff_ns << (attempt < 6 ? attempt : 6));
+    s = mgr->Read(dst, addr, rkey, len);
+  }
+  return s;
+}
 
 Status RemoteReadPath::Read(void* dst, uint64_t addr, uint32_t rkey,
                             size_t len) const {
@@ -42,13 +60,13 @@ Status RemoteReadPath::Read(void* dst, uint64_t addr, uint32_t rkey,
     return Status::OK();
   }
   if (!extra_copy) {
-    return mgr->Read(dst, addr, rkey, len);
+    return MgrRead(dst, addr, rkey, len);
   }
   // File-system staging copy: the RDMA lands in an FS buffer and is then
   // copied to the caller (the cost the byte-addressable design removes).
   thread_local std::string staging;
   staging.resize(len);
-  DLSM_RETURN_NOT_OK(mgr->Read(staging.data(), addr, rkey, len));
+  DLSM_RETURN_NOT_OK(MgrRead(staging.data(), addr, rkey, len));
   memcpy(dst, staging.data(), len);
   return Status::OK();
 }
@@ -276,17 +294,28 @@ class PrefetchWindow {
       uint64_t got_off = pending_off_;
       size_t got_len = back_.size();
       if (Covers(got_off, got_len, off, len)) {
-        DLSM_RETURN_NOT_OK(WaitPending());
-        std::swap(front_, back_);
-        front_off_ = got_off;
-        PostNext();  // Keep the pipeline primed while the caller parses.
-        *out = front_.data() + (off - front_off_);
-        return Status::OK();
+        Status ps = WaitPending();
+        if (ps.ok()) {
+          std::swap(front_, back_);
+          front_off_ = got_off;
+          PostNext();  // Keep the pipeline primed while the caller parses.
+          *out = front_.data() + (off - front_off_);
+          return Status::OK();
+        }
+        if (!ps.IsIOError() || rp_.max_retries == 0) return ps;
+        // Transient fault on the prefetched chunk: recover the private
+        // queue so later prefetches can flow, then refetch synchronously
+        // below through the retrying read path.
+        if (rp_.retry_counter != nullptr) {
+          rp_.retry_counter->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (vq_ != nullptr) vq_->Recover();
+      } else {
+        // The consumer jumped elsewhere; the prefetched bytes are useless.
+        // Cancel rather than drain: the handle layer discards the
+        // completion, so repositioning pays no stall for the dead READ.
+        pending_.Cancel();
       }
-      // The consumer jumped elsewhere; the prefetched bytes are useless.
-      // Cancel rather than drain: the handle layer discards the
-      // completion, so repositioning pays no stall for the dead READ.
-      pending_.Cancel();
     }
     bool forward = off >= front_off_;
     size_t want = chunk_ > len ? chunk_ : len;

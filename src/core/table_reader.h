@@ -14,6 +14,7 @@
 #ifndef DLSM_CORE_TABLE_READER_H_
 #define DLSM_CORE_TABLE_READER_H_
 
+#include <atomic>
 #include <memory>
 
 #include "src/core/bloom.h"
@@ -40,8 +41,20 @@ struct RemoteReadPath {
   /// index block before touching data (no compute-side index cache).
   bool uncached_index = false;
 
+  /// Transient-fault policy (Options::rdma_max_retries): additional
+  /// attempts after an IOError, each preceded by a QP recovery (drain +
+  /// reset + reconnect) and backoff. 0 fails on the first error.
+  int max_retries = 0;
+  uint64_t retry_backoff_ns = 50 * 1000;
+  /// When set, incremented once per retry attempt (DbStats::read_retries).
+  std::atomic<uint64_t>* retry_counter = nullptr;
+
   /// Reads [addr, addr+len) of the remote table into dst.
   Status Read(void* dst, uint64_t addr, uint32_t rkey, size_t len) const;
+
+  /// One-sided READ with the transient-fault retry policy applied; the
+  /// building block of Read and of index-block fetches.
+  Status MgrRead(void* dst, uint64_t addr, uint32_t rkey, size_t len) const;
 };
 
 /// Outcome of a single-table point lookup.

@@ -149,18 +149,30 @@ Status AsyncRemoteSink::Append(const char* data, size_t n) {
 }
 
 Status AsyncRemoteSink::Finish() {
-  DLSM_RETURN_NOT_OK(FlushCurrent());
   if (pipeline_ != nullptr) {
     // Defer the tail: the pipeline owns the in-flight WRITEs from here and
     // the job drains them once, before installing any output. The buffer
     // memory is arena DRAM and the fabric captures payloads at post time,
-    // so the Buffer structs may die ahead of their completions.
+    // so the Buffer structs may die ahead of their completions. The tail
+    // buffer's WRITE is posted directly — not via FlushCurrent, whose
+    // opportunistic reap could harvest it before adoption — so at least
+    // one handle per sink always reaches the pipeline and its outcome is
+    // checked by Drain(), never dropped.
+    DLSM_RETURN_NOT_OK(status_);
+    if (current_ != nullptr && current_->fill > 0) {
+      uint64_t remote_off = written_ - current_->fill;
+      current_->wr = vq_->Write(current_->data, chunk_.addr + remote_off,
+                                chunk_.rkey, current_->fill);
+      in_flight_.push_back(current_);
+      current_ = nullptr;
+    }
     while (!in_flight_.empty()) {
       pipeline_->Adopt(std::move(in_flight_.front()->wr));
       in_flight_.pop_front();
     }
     return status_;
   }
+  DLSM_RETURN_NOT_OK(FlushCurrent());
   while (!in_flight_.empty()) {
     DLSM_RETURN_NOT_OK(ReapCompletions(true));
   }

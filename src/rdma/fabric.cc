@@ -26,6 +26,13 @@ class DmaScope {
   uint64_t token_;
 };
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -71,6 +78,97 @@ Node* QueuePair::peer_node() const { return peer_->local_; }
 void QueuePair::PushSendCompletion(const Completion& c) {
   std::lock_guard<std::mutex> lock(mu_);
   send_cq_.push_back(c);
+  // A crash/SetError from another thread may have raced this post between
+  // its admission check and here; an errored QP must never surface an OK
+  // completion posted after the transition.
+  if (error_.load(std::memory_order_relaxed) && send_cq_.back().status.ok()) {
+    send_cq_.back().status = FlushErr();
+  }
+}
+
+Status QueuePair::ErrorCause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_cause_;
+}
+
+void QueuePair::SetError(const Status& cause) {
+  uint64_t now = local_->env()->NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_.load(std::memory_order_relaxed)) return;
+  error_cause_ = cause;
+  error_.store(true, std::memory_order_release);
+  FlushSendCqLocked(now);
+}
+
+void QueuePair::FlushSendCqLocked(uint64_t now) {
+  // Entries whose completion time has passed already happened on the wire
+  // and keep their outcome; everything still in flight flushes: status
+  // rewritten, pollable immediately, deque (= post) order preserved.
+  for (Completion& c : send_cq_) {
+    if (c.completion_ns <= now) continue;
+    if (c.status.ok()) c.status = FlushErr();
+    c.completion_ns = now;
+  }
+  if (last_completion_ns_ > now) last_completion_ns_ = now;
+}
+
+Status QueuePair::Reset() {
+  if (local_->crashed() || peer_node()->crashed()) {
+    return Status::IOError("cannot reset QP: node down");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  error_cause_ = Status::OK();
+  error_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+double QueuePair::NextUniform() {
+  if (!rng_seeded_) {
+    rng_ = SplitMix64(fabric_->fault_params().seed ^
+                      (0x9e3779b97f4a7c15ULL * (qp_id_ + 1)));
+    if (rng_ == 0) rng_ = 1;
+    rng_seeded_ = true;
+  }
+  rng_ ^= rng_ >> 12;
+  rng_ ^= rng_ << 25;
+  rng_ ^= rng_ >> 27;
+  uint64_t v = rng_ * 0x2545F4914F6CDD1DULL;
+  return static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool QueuePair::AdmitPost(Completion* c, uint64_t* extra_latency_ns) {
+  if (!error_.load(std::memory_order_acquire)) {
+    // A QP whose endpoint is down errors on first use. This covers QPs
+    // created after the crash, which CrashNode's sweep never saw.
+    Node* peer = peer_node();
+    if (local_->crashed() || peer->crashed()) {
+      Node* down = local_->crashed() ? local_ : peer;
+      SetError(Status::IOError("node crashed: " + down->name()));
+    }
+  }
+  if (error_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    c->status = FlushErr();
+    c->completion_ns = std::max(c->post_ns, last_completion_ns_);
+    last_completion_ns_ = c->completion_ns;
+    return false;
+  }
+  Fabric* f = fabric_;
+  if (f->faults_enabled()) {
+    const FaultParams& fp = f->fault_params();
+    if (fp.wr_error_rate > 0.0 && NextUniform() < fp.wr_error_rate) {
+      c->status = Status::IOError("injected WR error");
+      SetError(c->status);
+      std::lock_guard<std::mutex> lock(mu_);
+      c->completion_ns = std::max(c->post_ns, last_completion_ns_);
+      last_completion_ns_ = c->completion_ns;
+      return false;
+    }
+    if (fp.rnr_delay_rate > 0.0 && NextUniform() < fp.rnr_delay_rate) {
+      *extra_latency_ns += fp.rnr_delay_ns;
+    }
+  }
+  return true;
 }
 
 void QueuePair::DeliverToPeer(Opcode op, const void* payload, size_t len,
@@ -121,9 +219,15 @@ uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
   c.opcode = Opcode::kRead;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
   uint64_t done = f->ReserveLink(peer_node(), local_, len,
-                                 f->params().read_latency_ns, c.post_ns);
+                                 f->params().read_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -133,6 +237,8 @@ uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
   if (c.status.ok()) {
     DmaScope dma(f->env());
     memcpy(dst, reinterpret_cast<const void*>(raddr), len);
+  } else {
+    SetError(c.status);  // A remote access error puts the RC QP in error.
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -146,9 +252,15 @@ uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status = f->CheckRemoteAccess(rkey, raddr, len, peer_node()->id());
-  uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns, c.post_ns);
+  uint64_t done = f->ReserveLink(local_, peer_node(), len,
+                                 f->params().write_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -158,6 +270,8 @@ uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
   if (c.status.ok()) {
     DmaScope dma(f->env());
     memcpy(reinterpret_cast<void*>(raddr), src, len);
+  } else {
+    SetError(c.status);
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -172,11 +286,17 @@ uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
   c.opcode = Opcode::kWriteWithImm;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status = len == 0 ? Status::OK()
                       : f->CheckRemoteAccess(rkey, raddr, len,
                                              peer_node()->id());
-  uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().write_latency_ns, c.post_ns);
+  uint64_t done = f->ReserveLink(local_, peer_node(), len,
+                                 f->params().write_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -189,6 +309,8 @@ uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
   }
   if (c.status.ok()) {
     DeliverToPeer(Opcode::kWriteWithImm, nullptr, len, imm, true, done);
+  } else {
+    SetError(c.status);
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -203,11 +325,17 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status =
       f->CheckRemoteAccess(rkey, raddr, len + sizeof(uint64_t),
                            peer_node()->id());
   uint64_t done = f->ReserveLink(local_, peer_node(), len + sizeof(uint64_t),
-                                 f->params().write_latency_ns, c.post_ns);
+                                 f->params().write_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -223,6 +351,8 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
     uint64_t stamp = done == 0 ? 1 : done;
     __atomic_store(reinterpret_cast<uint64_t*>(raddr + len), &stamp,
                    __ATOMIC_RELEASE);
+  } else {
+    SetError(c.status);
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -235,8 +365,14 @@ uint64_t QueuePair::PostSend(const void* src, size_t len, uint64_t wr_id) {
   c.opcode = Opcode::kSend;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
-  uint64_t done =
-      f->ReserveLink(local_, peer_node(), len, f->params().send_latency_ns, c.post_ns);
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
+  uint64_t done = f->ReserveLink(local_, peer_node(), len,
+                                 f->params().send_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -261,13 +397,19 @@ uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
   c.opcode = Opcode::kFetchAdd;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status = f->CheckRemoteAccess(rkey, raddr, sizeof(uint64_t),
                                   peer_node()->id());
   if (c.status.ok() && (raddr & 7) != 0) {
     c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
   }
   uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
-                                 f->params().atomic_latency_ns, c.post_ns);
+                                 f->params().atomic_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -277,6 +419,8 @@ uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
   if (c.status.ok()) {
     auto* target = reinterpret_cast<std::atomic<uint64_t>*>(raddr);
     *result = target->fetch_add(add, std::memory_order_acq_rel);
+  } else {
+    SetError(c.status);
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -291,13 +435,19 @@ uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
   c.opcode = Opcode::kCmpSwap;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
+  uint64_t fault_ns = 0;
+  if (!AdmitPost(&c, &fault_ns)) {
+    PushSendCompletion(c);
+    return c.wr_id;
+  }
   c.status = f->CheckRemoteAccess(rkey, raddr, sizeof(uint64_t),
                                   peer_node()->id());
   if (c.status.ok() && (raddr & 7) != 0) {
     c.status = Status::InvalidArgument("atomic target not 8-byte aligned");
   }
   uint64_t done = f->ReserveLink(local_, peer_node(), sizeof(uint64_t),
-                                 f->params().atomic_latency_ns, c.post_ns);
+                                 f->params().atomic_latency_ns + fault_ns,
+                                 c.post_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     done = std::max(done, last_completion_ns_);
@@ -309,6 +459,8 @@ uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
     uint64_t exp = expected;
     target->compare_exchange_strong(exp, desired, std::memory_order_acq_rel);
     *result = exp;  // Previous value, as ibverbs returns.
+  } else {
+    SetError(c.status);
   }
   PushSendCompletion(c);
   return c.wr_id;
@@ -419,8 +571,7 @@ Node* Fabric::AddNode(const std::string& name, int cores, size_t dram_bytes) {
 MemoryRegion Fabric::RegisterMemory(Node* node, void* addr, size_t len) {
   auto a = reinterpret_cast<uint64_t>(addr);
   auto base = reinterpret_cast<uint64_t>(node->dram_base());
-  DLSM_CHECK_MSG(a >= base && a + len <= base + node->dram_size(),
-                 "registration outside node DRAM");
+  bool in_arena = a >= base && a + len <= base + node->dram_size();
   std::lock_guard<std::mutex> lock(mu_);
   MemoryRegion mr;
   mr.addr = a;
@@ -428,7 +579,13 @@ MemoryRegion Fabric::RegisterMemory(Node* node, void* addr, size_t len) {
   mr.lkey = next_key_++;
   mr.rkey = next_key_++;
   mr.node_id = node->id();
-  registrations_[mr.rkey] = Registration{a, len, node->id()};
+  if (in_arena) {
+    registrations_[mr.rkey] = Registration{a, len, node->id()};
+  }
+  // A region outside the node's arena gets keys that never enter the
+  // registration table: any remote access through them completes with an
+  // "unknown rkey" error on the issuing QP — the documented invalid-rkey
+  // behavior — rather than aborting the whole process here.
   return mr;
 }
 
@@ -436,11 +593,41 @@ std::pair<QueuePair*, QueuePair*> Fabric::CreateQpPair(Node* a, Node* b) {
   std::lock_guard<std::mutex> lock(mu_);
   qps_.emplace_back(new QueuePair(this, a));
   QueuePair* qa = qps_.back().get();
+  qa->qp_id_ = static_cast<uint32_t>(qps_.size() - 1);
   qps_.emplace_back(new QueuePair(this, b));
   QueuePair* qb = qps_.back().get();
+  qb->qp_id_ = static_cast<uint32_t>(qps_.size() - 1);
   qa->peer_ = qb;
   qb->peer_ = qa;
   return {qa, qb};
+}
+
+void Fabric::set_fault_params(const FaultParams& fp) {
+  fault_params_ = fp;
+  faults_enabled_.store(fp.any(), std::memory_order_relaxed);
+}
+
+void Fabric::CrashNode(Node* node) {
+  node->crashed_.store(true, std::memory_order_release);
+  std::vector<QueuePair*> touched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& qp : qps_) {
+      if (qp->local_ == node || qp->peer_node() == node) {
+        touched.push_back(qp.get());
+      }
+    }
+  }
+  // SetError takes each QP's own lock; doing it outside mu_ keeps the
+  // fabric-lock -> qp-lock order one-way.
+  Status cause = Status::IOError("node crashed: " + node->name());
+  for (QueuePair* qp : touched) qp->SetError(cause);
+}
+
+void Fabric::RestartNode(Node* node) {
+  // QPs stay in the error state until their owners Reset() them — a
+  // restarted machine's connections still need to be re-established.
+  node->crashed_.store(false, std::memory_order_release);
 }
 
 Status Fabric::CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,

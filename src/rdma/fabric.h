@@ -21,6 +21,11 @@
 //    Small transfers are therefore latency-bound and large transfers
 //    bandwidth-bound, reproducing the ~100x 64 B-vs-1 MB throughput gap the
 //    paper cites for the RDMA perf-test suite.
+//  * A deterministic fault model (FaultParams): seeded per-QP injected
+//    error completions, the RC error state machine (a failed WR errors the
+//    QP; outstanding and later WRs complete with a WC_WR_FLUSH_ERR analog
+//    until Reset()), transient RNR-style delays, and fail-stop
+//    crash/restart of whole nodes (CrashNode / RestartNode).
 //
 // Payload bytes are physically copied between the nodes' DRAM arenas at
 // post time; the RDMA contract (do not touch buffers until completion; do
@@ -48,6 +53,25 @@ namespace rdma {
 
 class Fabric;
 class QueuePair;
+
+/// Deterministic fault-injection knobs; everything is off by default. All
+/// rates are per posted send-side WR. Draws come from a per-QP RNG seeded
+/// from `seed` and the QP's creation index, so a given (seed, QP, post
+/// sequence) faults identically regardless of thread interleaving — the
+/// fault sweep relies on this to replay a schedule across environments.
+struct FaultParams {
+  uint64_t seed = 1;
+  /// Probability a posted WR completes with an injected error. The erroring
+  /// WR's payload never moves and its queue pair transitions to the error
+  /// state (recoverable via QueuePair::Reset()).
+  double wr_error_rate = 0.0;
+  /// Probability a WR incurs a transient RNR-style retransmission delay
+  /// (completes successfully, rnr_delay_ns late).
+  double rnr_delay_rate = 0.0;
+  uint64_t rnr_delay_ns = 200 * 1000;
+
+  bool any() const { return wr_error_rate > 0.0 || rnr_delay_rate > 0.0; }
+};
 
 /// Link timing parameters, defaults calibrated to the paper's EDR setup.
 struct LinkParams {
@@ -91,6 +115,9 @@ class Node {
   size_t dram_size() const { return dram_size_; }
   size_t dram_used() const { return dram_used_.load(std::memory_order_relaxed); }
 
+  /// True between Fabric::CrashNode and Fabric::RestartNode.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
  private:
   friend class Fabric;
   Node(Fabric* fabric, Env* env, std::string name, uint32_t id, int env_node,
@@ -104,6 +131,7 @@ class Node {
   char* dram_;
   size_t dram_size_;
   std::atomic<size_t> dram_used_;
+  std::atomic<bool> crashed_{false};
 
   // NIC channel occupancy frontiers (virtual ns), guarded by Fabric::mu_.
   uint64_t tx_free_ = 0;
@@ -205,6 +233,32 @@ class QueuePair {
   /// Blocking receive-side poll.
   Completion WaitRecvCompletion();
 
+  /// True once this queue pair is in the error state: posts complete
+  /// immediately with the flush status and nothing reaches the wire.
+  bool InError() const { return error_.load(std::memory_order_acquire); }
+
+  /// The first error that pushed this QP into the error state (OK when the
+  /// QP is healthy).
+  Status ErrorCause() const;
+
+  /// Transitions to the error state, as an RNIC does on any WR failure:
+  /// every outstanding (not yet wire-complete) send completion is rewritten
+  /// to the WC_WR_FLUSH_ERR analog, made immediately pollable in post
+  /// order, and every WR posted afterwards completes the same way without
+  /// touching the wire or any payload.
+  void SetError(const Status& cause);
+
+  /// Leaves the error state (ibverbs ERR -> RESET -> RTS cycle on the same
+  /// wiring, i.e. a reconnect). Fails and stays errored while either end's
+  /// node is crashed. Completions still queued survive; callers normally
+  /// drain them first.
+  Status Reset();
+
+  /// The status carried by WRs flushed from an errored QP.
+  static Status FlushErr() {
+    return Status::IOError("WR flushed: QP in error state");
+  }
+
   /// True if any send-side completion is pending (ready or not).
   bool HasPendingSends() const;
 
@@ -235,9 +289,21 @@ class QueuePair {
   void DeliverToPeer(Opcode op, const void* payload, size_t len, uint32_t imm,
                      bool has_imm, uint64_t completion_ns);
 
+  /// Post prologue: flush-fails *c if the QP is errored, draws the fault
+  /// lottery otherwise (an injected error fills *c and errors the QP; a
+  /// transient delay adds to *extra_latency_ns). Returns true when the
+  /// post should proceed onto the wire.
+  bool AdmitPost(Completion* c, uint64_t* extra_latency_ns);
+  /// Rewrites every not-yet-complete send CQ entry to the flush status,
+  /// pollable at `now`, preserving post order. Requires mu_.
+  void FlushSendCqLocked(uint64_t now);
+  /// Per-QP deterministic uniform draw in [0,1); owner-thread only.
+  double NextUniform();
+
   Fabric* fabric_;
   Node* local_;
   QueuePair* peer_ = nullptr;
+  uint32_t qp_id_ = 0;  // Creation index; seeds the fault RNG.
 
   mutable std::mutex mu_;  // Guards the queues; never held across Env calls.
   std::deque<Completion> send_cq_;
@@ -245,6 +311,11 @@ class QueuePair {
   std::deque<PendingRecv> recv_queue_;
   uint64_t last_completion_ns_ = 0;  // Enforces per-QP FIFO completion order.
   uint64_t auto_wr_id_ = 1;
+
+  std::atomic<bool> error_{false};
+  Status error_cause_;     // Guarded by mu_.
+  uint64_t rng_ = 0;       // Owner-thread only; seeded lazily from fabric.
+  bool rng_seeded_ = false;
 };
 
 /// The fabric: owns nodes, registrations, link timing and QP wiring.
@@ -276,6 +347,21 @@ class Fabric {
   /// Validates a remote access against the registration table.
   Status CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,
                            uint32_t target_node) const;
+
+  /// Installs fault-injection parameters. Not synchronized against posts
+  /// in flight: set before traffic starts or from a quiesced state.
+  void set_fault_params(const FaultParams& fp);
+  const FaultParams& fault_params() const { return fault_params_; }
+  bool faults_enabled() const {
+    return faults_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Fail-stops a node's NIC: every queue pair touching it (either end)
+  /// enters the error state and cannot Reset() until RestartNode. The DRAM
+  /// arena survives — crash/restart models a fabric-visible outage of the
+  /// machine, not loss of its (assumed durable) memory contents.
+  void CrashNode(Node* node);
+  void RestartNode(Node* node);
 
   /// Total bytes moved over the wire so far (for data-movement reports).
   uint64_t wire_bytes() const {
@@ -309,6 +395,8 @@ class Fabric {
   std::vector<std::unique_ptr<QueuePair>> qps_;
   std::unordered_map<uint32_t, Registration> registrations_;
   uint32_t next_key_ = 0x1000;
+  FaultParams fault_params_;
+  std::atomic<bool> faults_enabled_{false};
   std::atomic<uint64_t> wire_bytes_{0};
   std::atomic<uint64_t> wire_ops_{0};
 };

@@ -1,5 +1,6 @@
 #include "src/rdma/rdma_manager.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "src/util/logging.h"
@@ -182,6 +183,18 @@ Status VerbQueue::DrainAll() {
   return first;
 }
 
+Status VerbQueue::Recover() {
+  // Everything still in flight on an errored QP is already flushed and
+  // pollable, so this drain cannot block on the wire.
+  while (!pending_.empty()) {
+    Admit(qp_->WaitCompletion());
+  }
+  if (!qp_->InError()) return Status::OK();
+  Status s = qp_->Reset();
+  if (s.ok()) RecordReconnect();
+  return s;
+}
+
 void VerbQueue::RecordPost() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   posted_++;
@@ -198,12 +211,18 @@ void VerbQueue::RecordCompletion(VerbClass cls, const Completion& c) {
   VerbClassStats& s = cls_stats_[static_cast<int>(cls)];
   s.ops++;
   s.bytes += c.byte_len;
+  if (!c.status.ok()) s.errors++;
   s.latency_us.Add(static_cast<double>(wire_ns) / 1000.0);
 }
 
 void VerbQueue::RecordAbandoned() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   abandoned_++;
+}
+
+void VerbQueue::RecordReconnect() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  reconnects_++;
 }
 
 void VerbQueue::SnapshotInto(RdmaVerbStats* out) const {
@@ -219,6 +238,7 @@ void VerbQueue::SnapshotInto(RdmaVerbStats* out) const {
   if (max_outstanding_ > out->max_outstanding) {
     out->max_outstanding = max_outstanding_;
   }
+  out->reconnects += reconnects_;
 }
 
 WrHandle VerbQueue::Read(void* dst, uint64_t raddr, uint32_t rkey,
@@ -404,6 +424,25 @@ Status StampFuture::Wait() {
   }
   // The stamp holds the producer's wire completion time; honoring it keeps
   // one-sided delivery causal in virtual time.
+  env_->AdvanceTo(t);
+  completion_ns_ = t;
+  return Status::OK();
+}
+
+Status StampFuture::WaitUntil(uint64_t deadline_ns) {
+  uint64_t t;
+  while ((t = QueuePair::ReadReadyStamp(stamp_)) == 0) {
+    uint64_t before = env_->NowNanos();
+    if (before >= deadline_ns) {
+      return Status::IOError("timed out waiting for ready stamp");
+    }
+    env_->YieldToOthers();
+    if (env_->NowNanos() == before) {
+      // No runnable peer moved the clock; a pure yield loop would never
+      // reach the deadline in virtual time. Sleep one poll quantum.
+      env_->SleepNanos(std::min<uint64_t>(5000, deadline_ns - before));
+    }
+  }
   env_->AdvanceTo(t);
   completion_ns_ = t;
   return Status::OK();

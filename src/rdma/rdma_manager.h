@@ -130,6 +130,15 @@ class VerbQueue {
   /// teardown / barrier helper; individual waits don't need it.
   Status DrainAll();
 
+  /// Error recovery: after any completion reports a failure this queue's
+  /// QP is in the error state and every later post flush-fails. Recover()
+  /// drains whatever is still in flight (the flush statuses stash for
+  /// their live handles as usual), resets the QP back to ready, and counts
+  /// one reconnect. Returns non-OK — and the QP stays errored — while the
+  /// peer node is down. Callers re-post their failed work after a
+  /// successful Recover(). No-op on a healthy QP.
+  Status Recover();
+
  private:
   friend class WrHandle;
   friend class RdmaManager;
@@ -169,6 +178,7 @@ class VerbQueue {
   void RecordPost();
   void RecordCompletion(VerbClass cls, const Completion& c);
   void RecordAbandoned();
+  void RecordReconnect();
   /// Merges this queue's telemetry into *out (thread-safe vs the owner).
   void SnapshotInto(RdmaVerbStats* out) const;
 
@@ -188,6 +198,7 @@ class VerbQueue {
   uint64_t abandoned_ = 0;
   uint64_t outstanding_ = 0;
   uint64_t max_outstanding_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
 /// Per-(local node, remote node) RDMA connection manager. Thread-safe;
@@ -324,6 +335,12 @@ class StampFuture {
   /// Blocks until the stamp is released, then advances to the writer's
   /// completion time. Idempotent.
   Status Wait();
+
+  /// As Wait(), but gives up once the environment clock reaches
+  /// deadline_ns (returning an IOError). A reply abandoned this way may
+  /// still land later — the buffer under the stamp must then be retired,
+  /// not reused (see RpcClient's zombie contexts).
+  Status WaitUntil(uint64_t deadline_ns);
 
   /// The writer's wire completion time; valid after Wait().
   uint64_t completion_ns() const { return completion_ns_; }

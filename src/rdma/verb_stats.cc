@@ -17,6 +17,7 @@ void RdmaVerbStats::MergeFrom(const RdmaVerbStats& o) {
   if (o.max_outstanding > max_outstanding) {
     max_outstanding = o.max_outstanding;
   }
+  reconnects += o.reconnects;
 }
 
 std::string RdmaVerbStats::ToString() const {
@@ -32,6 +33,11 @@ std::string RdmaVerbStats::ToString() const {
              static_cast<double>(s.bytes) / (1024.0 * 1024.0),
              s.latency_us.Percentile(50.0), s.latency_us.Percentile(99.0));
     out += line;
+    if (s.errors > 0) {
+      snprintf(line, sizeof(line), "  %-6s %10llu errors\n", VerbClassName(c),
+               static_cast<unsigned long long>(s.errors));
+      out += line;
+    }
   }
   snprintf(line, sizeof(line),
            "  posted %llu  completed %llu  abandoned %llu  outstanding %llu "
@@ -42,6 +48,11 @@ std::string RdmaVerbStats::ToString() const {
            static_cast<unsigned long long>(outstanding),
            static_cast<unsigned long long>(max_outstanding));
   out += line;
+  if (reconnects > 0) {
+    snprintf(line, sizeof(line), "  qp reconnects %llu\n",
+             static_cast<unsigned long long>(reconnects));
+    out += line;
+  }
   return out;
 }
 

@@ -40,12 +40,16 @@ inline const char* VerbClassName(VerbClass c) {
 struct VerbClassStats {
   uint64_t ops = 0;
   uint64_t bytes = 0;
+  /// Completions harvested with a non-OK status (injected errors, flushed
+  /// WRs, remote access faults). Included in ops.
+  uint64_t errors = 0;
   /// Wire latency (post to completion), microseconds.
   Histogram latency_us;
 
   void MergeFrom(const VerbClassStats& o) {
     ops += o.ops;
     bytes += o.bytes;
+    errors += o.errors;
     latency_us.Merge(o.latency_us);
   }
 };
@@ -62,6 +66,7 @@ struct RdmaVerbStats {
   uint64_t abandoned = 0;  ///< Completions discarded by handle cancel.
   uint64_t outstanding = 0;      ///< In flight at snapshot time.
   uint64_t max_outstanding = 0;  ///< High-water mark of in-flight verbs.
+  uint64_t reconnects = 0;       ///< Successful QP error-state recoveries.
 
   VerbClassStats& cls(VerbClass c) {
     switch (c) {

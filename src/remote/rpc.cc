@@ -34,6 +34,12 @@ constexpr int kRecvSlots = 4096;
 constexpr size_t kReplyBufSize = 8 * 1024 * 1024;
 constexpr size_t kArgsBufSize = 1024 * 1024;
 
+// Server-side bounded retry for argument pulls and reply writes. These
+// verbs are the only way the client's per-call buffers get released, so
+// the server works through transient faults instead of dropping.
+constexpr int kServerRetries = 3;
+constexpr uint64_t kServerRetryBackoffNs = 50 * 1000;
+
 struct Request {
   uint8_t type = 0;
   bool wake = false;
@@ -154,10 +160,13 @@ std::unique_ptr<RpcClient::ThreadBuffers> NewRegisteredBuffers(
     rdma::Fabric* fabric, rdma::Node* node) {
   auto bufs = std::make_unique<RpcClient::ThreadBuffers>();
   bufs->reply = node->AllocDram(kReplyBufSize);
-  DLSM_CHECK_MSG(bufs->reply != nullptr, "client DRAM exhausted");
-  bufs->reply_mr = fabric->RegisterMemory(node, bufs->reply, kReplyBufSize);
   bufs->args = node->AllocDram(kArgsBufSize);
-  DLSM_CHECK_MSG(bufs->args != nullptr, "client DRAM exhausted");
+  if (bufs->reply == nullptr || bufs->args == nullptr) {
+    // DRAM exhausted (e.g. a long fault sweep stranding zombie contexts):
+    // the RPC fails with OutOfMemory instead of aborting the process.
+    return nullptr;
+  }
+  bufs->reply_mr = fabric->RegisterMemory(node, bufs->reply, kReplyBufSize);
   bufs->args_mr = fabric->RegisterMemory(node, bufs->args, kArgsBufSize);
   return bufs;
 }
@@ -167,12 +176,16 @@ std::unique_ptr<RpcClient::ThreadBuffers> NewRegisteredBuffers(
 RpcClient::ThreadBuffers* RpcClient::GetThreadBuffers() {
   auto it = tls_client_bufs.find(instance_id_);
   if (it != tls_client_bufs.end()) return it->second;
-  auto bufs = NewRegisteredBuffers(fabric_, client_node_);
-  ThreadBuffers* raw = bufs.get();
-  tls_client_bufs[instance_id_] = raw;
-  std::lock_guard<std::mutex> lock(bufs_mu_);
-  all_bufs_.push_back(std::move(bufs));
-  return raw;
+  ThreadBuffers* bufs = AcquireContext();
+  if (bufs != nullptr) tls_client_bufs[instance_id_] = bufs;
+  return bufs;
+}
+
+void RpcClient::InvalidateThreadBuffers() {
+  auto it = tls_client_bufs.find(instance_id_);
+  if (it == tls_client_bufs.end()) return;
+  ReleaseContext(it->second, /*completed=*/false);
+  tls_client_bufs.erase(it);
 }
 
 RpcClient::ThreadBuffers* RpcClient::AcquireContext() {
@@ -197,6 +210,7 @@ RpcClient::ThreadBuffers* RpcClient::AcquireContext() {
     }
   }
   auto bufs = NewRegisteredBuffers(fabric_, client_node_);
+  if (bufs == nullptr) return nullptr;
   ThreadBuffers* raw = bufs.get();
   std::lock_guard<std::mutex> lock(ctx_mu_);
   all_ctx_.push_back(std::move(bufs));
@@ -242,9 +256,26 @@ Status RpcClient::SendRequest(uint8_t type, const Slice& args, bool wake,
   size_t n = EncodeRequest(r, req);
   {
     std::lock_guard<std::mutex> lock(send_mu_);
+    if (channel_ep_->InError()) {
+      // The channel QP faulted (injected error or server-node crash).
+      // Reconnect before posting; while the server is down this fails and
+      // the caller sees the error instead of posting into a dead QP.
+      DLSM_RETURN_NOT_OK(send_vq_->Recover());
+    }
     // Fire-and-forget: the cancelled handle's completion is swept (and the
-    // CQ kept bounded) by the verb queue on subsequent posts.
-    send_vq_->Send(req, n).Cancel();
+    // CQ kept bounded) by the verb queue on subsequent posts. A fault at
+    // post time (injected error, errored QP) is pollable immediately —
+    // report it now, while the request provably never reached the server,
+    // so the caller can retry on these same buffers instead of timing out
+    // and stranding them on the zombie list.
+    rdma::WrHandle h = send_vq_->Send(req, n);
+    if (h.Ready()) {
+      Status hs = h.status();
+      h.Cancel();
+      DLSM_RETURN_NOT_OK(hs);
+    } else {
+      h.Cancel();
+    }
   }
   return Status::OK();
 }
@@ -258,21 +289,66 @@ Status RpcClient::ParseReply(ThreadBuffers* bufs, std::string* reply) {
   return Status::OK();
 }
 
+uint64_t RpcClient::BackoffNs(int attempt) const {
+  int shift = attempt < 6 ? attempt : 6;
+  return policy_.retry_backoff_ns << shift;
+}
+
 Status RpcClient::Call(uint8_t type, const Slice& args, std::string* reply) {
+  Status s = CallOnce(type, args, reply);
+  for (int attempt = 0;
+       !s.ok() && s.IsIOError() && attempt < policy_.max_retries; attempt++) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->env()->SleepNanos(BackoffNs(attempt));
+    s = CallOnce(type, args, reply);
+  }
+  return s;
+}
+
+Status RpcClient::CallOnce(uint8_t type, const Slice& args,
+                           std::string* reply) {
   ThreadBuffers* bufs = GetThreadBuffers();
+  if (bufs == nullptr) {
+    return Status::OutOfMemory("client DRAM exhausted for RPC buffers");
+  }
   DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/false, 0, bufs));
   // The reply arrives as a one-sided WRITE; its completion handle is a
   // stamp future over the ready word at the end of the reply buffer.
   rdma::StampFuture reply_ready(
       fabric_->env(), reinterpret_cast<const void*>(bufs->stamp_addr()));
-  DLSM_RETURN_NOT_OK(reply_ready.Wait());
+  if (policy_.timeout_ns == 0) {
+    DLSM_RETURN_NOT_OK(reply_ready.Wait());
+  } else {
+    Status s =
+        reply_ready.WaitUntil(fabric_->env()->NowNanos() + policy_.timeout_ns);
+    if (!s.ok()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      InvalidateThreadBuffers();
+      return s;
+    }
+  }
   return ParseReply(bufs, reply);
 }
 
 Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
                                  std::string* reply) {
+  Status s = CallWithWakeupOnce(type, args, reply);
+  for (int attempt = 0;
+       !s.ok() && s.IsIOError() && attempt < policy_.max_retries; attempt++) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    fabric_->env()->SleepNanos(BackoffNs(attempt));
+    s = CallWithWakeupOnce(type, args, reply);
+  }
+  return s;
+}
+
+Status RpcClient::CallWithWakeupOnce(uint8_t type, const Slice& args,
+                                     std::string* reply) {
   Env* env = fabric_->env();
   ThreadBuffers* bufs = GetThreadBuffers();
+  if (bufs == nullptr) {
+    return Status::OutOfMemory("client DRAM exhausted for RPC buffers");
+  }
   uint32_t id = next_id_.fetch_add(1);
 
   CondVar cv(env, &wait_mu_);
@@ -282,15 +358,36 @@ Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
     MutexLock l(&wait_mu_);
     waiters_[id] = &waiter;
   }
-  DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/true, id, bufs));
+  Status send = SendRequest(type, args, /*wake=*/true, id, bufs);
+  if (!send.ok()) {
+    MutexLock l(&wait_mu_);
+    waiters_.erase(id);
+    return send;
+  }
+  uint64_t deadline =
+      policy_.timeout_ns == 0 ? 0 : env->NowNanos() + policy_.timeout_ns;
+  bool timed_out = false;
   {
     // Sleep until the notifier sees our WRITE_WITH_IMM (paper: "attaches a
     // 4-byte number as the unique ID ... and goes to sleep").
     MutexLock l(&wait_mu_);
     while (!waiter.fired) {
-      cv.Wait();
+      if (deadline == 0) {
+        cv.Wait();
+        continue;
+      }
+      uint64_t now = env->NowNanos();
+      if (now >= deadline || cv.TimedWait(deadline - now)) {
+        timed_out = !waiter.fired;
+        break;
+      }
     }
     waiters_.erase(id);
+  }
+  if (timed_out) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    InvalidateThreadBuffers();
+    return Status::IOError("RPC timed out");
   }
   // The payload write carries the ready stamp; its future must already be
   // ready (the wakeup is posted after the stamped write completes).
@@ -307,6 +404,11 @@ PendingCall RpcClient::CallAsync(uint8_t type, const Slice& args) {
   PendingCall call;
   call.client_ = this;
   ThreadBuffers* ctx = AcquireContext();
+  if (ctx == nullptr) {
+    call.send_status_ =
+        Status::OutOfMemory("client DRAM exhausted for RPC buffers");
+    return call;
+  }
   call.ctx_ = ctx;
   // wake=true routes execution to the server's worker pool (long-running
   // requests must not run inline on the dispatcher) and stages the args
@@ -345,16 +447,20 @@ PendingCall::~PendingCall() { Release(); }
 void PendingCall::Release() {
   if (client_ == nullptr) return;
   auto* ctx = static_cast<RpcClient::ThreadBuffers*>(ctx_);
-  // Abandoned without Wait: the context can be reused immediately only if
-  // the request never left or the reply already landed; otherwise it waits
-  // on the zombie list for its stamp.
-  client_->ReleaseContext(ctx, !send_status_.ok() || Ready());
+  if (ctx != nullptr) {
+    // Abandoned without Wait: the context can be reused immediately only if
+    // the request never left or the reply already landed; otherwise it
+    // waits on the zombie list for its stamp.
+    client_->ReleaseContext(ctx, !send_status_.ok() || Ready());
+  }
   client_ = nullptr;
   ctx_ = nullptr;
 }
 
 bool PendingCall::Ready() const {
-  if (client_ == nullptr || !send_status_.ok()) return false;
+  if (client_ == nullptr || ctx_ == nullptr || !send_status_.ok()) {
+    return false;
+  }
   auto* ctx = static_cast<RpcClient::ThreadBuffers*>(ctx_);
   return rdma::QueuePair::ReadReadyStamp(
              reinterpret_cast<const void*>(ctx->stamp_addr())) != 0;
@@ -367,14 +473,25 @@ Status PendingCall::Wait(std::string* reply) {
   client_ = nullptr;
   ctx_ = nullptr;
   if (!send_status_.ok()) {
-    client->ReleaseContext(ctx, /*completed=*/true);
+    if (ctx != nullptr) client->ReleaseContext(ctx, /*completed=*/true);
     return send_status_;
   }
+  Env* env = client->fabric_->env();
   rdma::StampFuture reply_ready(
-      client->fabric_->env(), reinterpret_cast<const void*>(ctx->stamp_addr()));
-  Status s = reply_ready.Wait();
-  if (s.ok()) s = client->ParseReply(ctx, reply);
-  client->ReleaseContext(ctx, /*completed=*/true);
+      env, reinterpret_cast<const void*>(ctx->stamp_addr()));
+  uint64_t timeout_ns = client->policy_.timeout_ns;
+  Status s = timeout_ns == 0
+                 ? reply_ready.Wait()
+                 : reply_ready.WaitUntil(env->NowNanos() + timeout_ns);
+  if (s.ok()) {
+    s = client->ParseReply(ctx, reply);
+    client->ReleaseContext(ctx, /*completed=*/true);
+  } else {
+    // Timed out: the reply WRITE may still be inbound, so the context goes
+    // to the zombie list. The caller re-issues the whole CallAsync.
+    client->timeouts_.fetch_add(1, std::memory_order_relaxed);
+    client->ReleaseContext(ctx, /*completed=*/false);
+  }
   return s;
 }
 
@@ -477,13 +594,17 @@ void RpcServer::DispatcherLoop() {
       }
       while (ch->server_ep->PollRecvCq(&c, 1) == 1) {
         any = true;
-        if (!c.status.ok()) {
-          DLSM_CHECK_MSG(false, c.status.ToString().c_str());
-        }
         size_t slot = c.wr_id;
-        ProcessRequest(ch, ch->recv_bufs[slot - 1].get(), c.byte_len);
-        ch->server_ep->PostRecv(ch->recv_bufs[slot - 1].get(),
-                                kRequestBufSize, slot);
+        bool valid_slot = slot >= 1 && slot <= ch->recv_bufs.size();
+        if (c.status.ok() && valid_slot) {
+          ProcessRequest(ch, ch->recv_bufs[slot - 1].get(), c.byte_len);
+        }
+        // A faulted delivery is dropped — the requester fails by timeout
+        // and retries. Either way, re-arm the consumed receive slot.
+        if (valid_slot) {
+          ch->server_ep->PostRecv(ch->recv_bufs[slot - 1].get(),
+                                  kRequestBufSize, slot);
+        }
       }
     }
     if (!any) {
@@ -498,7 +619,7 @@ void RpcServer::DispatcherLoop() {
 void RpcServer::ProcessRequest(Channel* ch, const char* req, size_t len) {
   Request r;
   if (!DecodeRequest(req, len, &r)) {
-    DLSM_CHECK_MSG(false, "malformed RPC request");
+    return;  // Malformed request: drop; the requester fails by timeout.
   }
 
   // Fetch the arguments: inline, or pulled from the requester's registered
@@ -509,7 +630,22 @@ void RpcServer::ProcessRequest(Channel* ch, const char* req, size_t len) {
     args.resize(r.args_len);
     Status s = ch->to_client->Read(args.data(), r.args_addr, r.args_rkey,
                                    r.args_len);
-    DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+    // Retry transient faults: a dropped request strands the requester's
+    // reply context until its timeout, so give the pull a few chances
+    // before falling back to drop-and-let-the-client-retry.
+    for (int attempt = 0; !s.ok() && attempt < kServerRetries; attempt++) {
+      ch->to_client->ThreadVq()->Recover();
+      fabric_->env()->SleepNanos(kServerRetryBackoffNs << attempt);
+      s = ch->to_client->Read(args.data(), r.args_addr, r.args_rkey,
+                              r.args_len);
+    }
+    if (!s.ok()) {
+      // The argument pull faulted and errored this thread's QP; reconnect
+      // it so later requests can be served, then drop this one — the
+      // requester times out and retries.
+      ch->to_client->ThreadVq()->Recover();
+      return;
+    }
   } else {
     args = std::move(r.inline_args);
   }
@@ -545,8 +681,9 @@ void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
 
   // Reply: [u32 len][payload], then the ready stamp at reply_cap-8, all via
   // one-sided writes on this thread's own QP (bypassing dispatchers).
-  DLSM_CHECK_MSG(reply.size() + 4 + sizeof(uint64_t) <= reply_cap,
-                 "RPC reply exceeds requester buffer");
+  if (reply.size() + 4 + sizeof(uint64_t) > reply_cap) {
+    return;  // Oversized reply: drop; the requester fails by timeout.
+  }
   std::string framed;
   PutFixed32(&framed, static_cast<uint32_t>(reply.size()));
   framed.append(reply);
@@ -559,15 +696,34 @@ void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
   rdma::WrHandle stamp = vq->WriteStamped(
       nullptr, reply_addr + reply_cap - sizeof(uint64_t), reply_rkey, 0);
   Status s = payload.Wait();
-  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
-  s = stamp.Wait();
-  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+  Status st = stamp.Wait();
+  // The reply must eventually land if at all possible: the client reclaims
+  // its per-call buffers only when the ready stamp fires, so a silently
+  // dropped reply strands them on its zombie list for good. Retry through
+  // transient faults; only a dead peer defeats this.
+  for (int attempt = 0; (!s.ok() || !st.ok()) && attempt < kServerRetries;
+       attempt++) {
+    if (!vq->Recover().ok()) break;
+    env->SleepNanos(kServerRetryBackoffNs << attempt);
+    payload = vq->Write(framed.data(), reply_addr, reply_rkey, framed.size());
+    stamp = vq->WriteStamped(
+        nullptr, reply_addr + reply_cap - sizeof(uint64_t), reply_rkey, 0);
+    s = payload.Wait();
+    st = stamp.Wait();
+  }
+  if (!s.ok() || !st.ok()) {
+    // The reply writes faulted (QP now in error): reconnect this thread's
+    // QP for later replies and drop — the requester times out and retries.
+    vq->Recover();
+    return;
+  }
 
   if (wake) {
     // Wake the sleeping requester through the channel QP so the client's
     // notifier sees the immediate. Fire-and-forget through the channel's
     // verb queue; sweeps on later posts keep the CQ bounded.
     std::lock_guard<std::mutex> lock(ch->wake_mu_);
+    if (ch->server_ep->InError()) ch->wake_vq->Recover();
     ch->wake_vq->WriteWithImm(nullptr, 0, 0, 0, id).Cancel();
   }
 }

@@ -61,6 +61,21 @@ struct RpcType {
 class RpcServer;
 class RpcClient;
 
+/// Client-side failure policy. The default (timeout_ns == 0) preserves the
+/// wait-forever fast path: no deadline arithmetic, no buffer invalidation,
+/// identical behavior to a fault-free fabric. With a timeout set, every
+/// call arms a deadline and transient failures (timeouts, flushed sends,
+/// QP errors) are retried up to max_retries times with exponential backoff
+/// before the last error is returned to the caller.
+struct RpcPolicy {
+  /// Per-attempt reply deadline; 0 waits forever (no retries either).
+  uint64_t timeout_ns = 0;
+  /// Additional attempts after the first failed one.
+  int max_retries = 0;
+  /// Base backoff between attempts; doubles per attempt (capped at 64x).
+  uint64_t retry_backoff_ns = 100 * 1000;
+};
+
 /// An issued CallAsync awaiting its reply; move-only, like a WrHandle for
 /// a whole RPC. Wait() parks on the reply buffer's ready stamp (a
 /// rdma::StampFuture) and recycles the call's buffers. Dropping a live
@@ -131,6 +146,21 @@ class RpcClient {
   /// flight per thread.
   PendingCall CallAsync(uint8_t type, const Slice& args);
 
+  /// Installs the failure policy. Not thread-safe against in-flight calls;
+  /// set it right after construction (DbImpl does, from Options).
+  void set_policy(const RpcPolicy& p) { policy_ = p; }
+  const RpcPolicy& policy() const { return policy_; }
+
+  /// Attempts that hit the reply deadline (each counts once, including the
+  /// final attempt of an exhausted call).
+  uint64_t rpc_timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  /// Re-attempts made after a transient failure.
+  uint64_t rpc_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
   rdma::Node* client_node() const { return client_node_; }
 
   struct ThreadBuffers;  // Internal; public only for thread-local storage.
@@ -138,9 +168,19 @@ class RpcClient {
  private:
   friend class PendingCall;
 
+  /// Returns this thread's cached buffers, drawing from the context pool
+  /// on first use (or after a timeout invalidated them). nullptr when
+  /// client DRAM is exhausted — callers fail the RPC, never abort.
   ThreadBuffers* GetThreadBuffers();
-  /// Call-context pool for CallAsync: reclaims zombies whose reply has
-  /// since landed, reuses a free context, or registers fresh buffers.
+  /// Retires this thread's cached buffers to the zombie list. Called when
+  /// an attempt times out: the server's late reply WRITE may still land in
+  /// them, so they are reused only after their stamp fires. (If the
+  /// request itself was lost the stamp never fires and the context is
+  /// stranded — a leak bounded by the retry budget.)
+  void InvalidateThreadBuffers();
+  /// Call-context pool: reclaims zombies whose reply has since landed,
+  /// reuses a free context, or registers fresh buffers. nullptr when
+  /// client DRAM is exhausted.
   ThreadBuffers* AcquireContext();
   /// completed: the reply landed (or the request was never sent) and the
   /// buffers may be reused immediately; otherwise the context goes to the
@@ -149,6 +189,12 @@ class RpcClient {
   Status SendRequest(uint8_t type, const Slice& args, bool wake, uint32_t id,
                      ThreadBuffers* bufs);
   Status ParseReply(ThreadBuffers* bufs, std::string* reply);
+  /// One attempt of Call / CallWithWakeup; the public wrappers add the
+  /// policy's retry-with-backoff loop around these.
+  Status CallOnce(uint8_t type, const Slice& args, std::string* reply);
+  Status CallWithWakeupOnce(uint8_t type, const Slice& args,
+                            std::string* reply);
+  uint64_t BackoffNs(int attempt) const;
   void NotifierLoop();
 
   rdma::Fabric* fabric_;
@@ -173,12 +219,13 @@ class RpcClient {
   ThreadHandle notifier_;
   std::vector<std::unique_ptr<char[]>> notify_bufs_;
 
-  std::mutex bufs_mu_;
-  std::vector<std::unique_ptr<ThreadBuffers>> all_bufs_;
+  RpcPolicy policy_;
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> retries_{0};
 
-  // CallAsync context pool (guarded by ctx_mu_). Contexts own the same
-  // registered buffer pair as ThreadBuffers; zombies are abandoned calls
-  // whose reply WRITE may still be inbound.
+  // Registered-buffer pool (guarded by ctx_mu_), shared by the per-thread
+  // cached buffers and CallAsync contexts; zombies are abandoned or
+  // timed-out calls whose reply WRITE may still be inbound.
   std::mutex ctx_mu_;
   std::vector<std::unique_ptr<ThreadBuffers>> all_ctx_;
   std::vector<ThreadBuffers*> free_ctx_;

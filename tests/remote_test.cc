@@ -132,7 +132,14 @@ TEST_F(RpcTest, ReplyPathReportsVerbTelemetry) {
       std::string reply;
       ASSERT_TRUE(client.Call(RpcType::kPing, "x", &reply).ok());
     }
+    // The client's stamp future and the server's reply-handle waits fire at
+    // the same wire-completion instant; give the server thread a moment to
+    // harvest its side before snapshotting.
     rdma::RdmaVerbStats stats = server.reply_verb_stats();
+    for (int i = 0; i < 1000 && stats.posted != stats.completed; i++) {
+      f->env()->SleepNanos(10 * 1000);
+      stats = server.reply_verb_stats();
+    }
     EXPECT_GE(stats.write.ops, static_cast<uint64_t>(2 * kCalls));
     EXPECT_EQ(stats.posted, stats.completed);
     EXPECT_EQ(0u, stats.outstanding);
