@@ -4,6 +4,7 @@
 // are annotated with the memory node's CPU utilization, as in the paper.
 //
 // Usage: fig12_compaction [--keys=N] [--writers=1,4,12] [--cores=1,2,4,8,12]
+//                         [--stats_json=FILE]
 
 #include <cstdio>
 #include <sstream>
@@ -36,6 +37,8 @@ int Main(int argc, char** argv) {
   double fault_rate = flags.GetDouble("fault_rate", 0);
   double rnr_rate = flags.GetDouble("rnr_rate", 0);
   uint64_t fault_seed = flags.GetInt("fault_seed", 1);
+  // --stats_json=FILE: machine-readable records (one per cell).
+  StatsJsonWriter stats_json(flags.GetString("stats_json", ""));
 
   std::printf("\n=== Figure 12: near-data compaction, randomfill normal "
               "mode, %llu keys, async_write=%s budget=%llu ===\n",
@@ -65,11 +68,14 @@ int Main(int argc, char** argv) {
       config.fault_seed = fault_seed;
       config.wr_error_rate = fault_rate;
       config.rnr_delay_rate = rnr_rate;
+      config.record_latency = stats_json.enabled();
       auto r = RunBench(config, {Phase::kFillRandom});
       std::printf(" %9s@%3.0f%%",
                   FormatThroughput(r[0].ops_per_sec).c_str(),
                   r[0].memory_cpu_util * 100);
       std::fflush(stdout);
+      stats_json.Add("fig12", "dLSM-" + std::to_string(c) + "core", w,
+                     "fillrandom", config, r[0]);
       verbs = VerbStatsSummary(r[0].stats);
       rpc_peak = r[0].stats.compaction_rpc_inflight_peak;
     }
@@ -84,14 +90,21 @@ int Main(int argc, char** argv) {
     config.fault_seed = fault_seed;
     config.wr_error_rate = fault_rate;
     config.rnr_delay_rate = rnr_rate;
+    config.record_latency = stats_json.enabled();
     auto r = RunBench(config, {Phase::kFillRandom});
     std::printf("   %16s\n", FormatThroughput(r[0].ops_per_sec).c_str());
     std::fflush(stdout);
+    stats_json.Add("fig12", "dLSM-compute-side", w, "fillrandom", config,
+                   r[0]);
     // Telemetry from the widest-core near-data cell of this row.
     if (verb_stats && !verbs.empty()) {
       std::printf("  [%s | rpc inflight peak %llu]\n", verbs.c_str(),
                   static_cast<unsigned long long>(rpc_peak));
     }
+  }
+  if (!stats_json.Write()) {
+    std::fprintf(stderr, "warning: could not write --stats_json file\n");
+    return 1;
   }
   return 0;
 }

@@ -23,7 +23,8 @@ std::vector<int> ParseThreads(const std::string& s) {
 }
 
 void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
-             const std::string& only, bool async_write, bool verb_stats) {
+             const std::string& only, bool async_write, bool verb_stats,
+             StatsJsonWriter* stats_json) {
   std::vector<SystemKind> systems = {
       SystemKind::kDLsm,       SystemKind::kRocks8K, SystemKind::kRocks2K,
       SystemKind::kMemoryRocks, SystemKind::kNovaLsm,
@@ -67,9 +68,12 @@ void RunMode(bool bulkload, uint64_t keys, const std::vector<int>& threads,
       // normal mode must feel flush and L0-compaction pressure.
       config.memtable_size = 1 << 20;
       config.sstable_size = 1 << 20;
+      config.record_latency = stats_json->enabled();
       auto r = RunBench(config, {Phase::kFillRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);
+      stats_json->Add(bulkload ? "fig7b" : "fig7a", SystemName(system), t,
+                      "fillrandom", config, r[0]);
       verbs = VerbStatsSummary(r[0].stats);
       rpc_peak = r[0].stats.compaction_rpc_inflight_peak;
       stall_ms = static_cast<double>(r[0].stats.stall_ns) / 1e6;
@@ -93,11 +97,18 @@ int Main(int argc, char** argv) {
   std::string only = flags.GetString("only", "");
   bool async_write = flags.GetBool("async_write", true);
   bool verb_stats = flags.GetBool("verb_stats", false);
+  // --stats_json=FILE: machine-readable records (one per cell) with
+  // latency percentiles and the full counter/verb dump.
+  StatsJsonWriter stats_json(flags.GetString("stats_json", ""));
   if (mode == "normal" || mode == "both") {
-    RunMode(false, keys, threads, only, async_write, verb_stats);
+    RunMode(false, keys, threads, only, async_write, verb_stats, &stats_json);
   }
   if (mode == "bulkload" || mode == "both") {
-    RunMode(true, keys, threads, only, async_write, verb_stats);
+    RunMode(true, keys, threads, only, async_write, verb_stats, &stats_json);
+  }
+  if (!stats_json.Write()) {
+    std::fprintf(stderr, "warning: could not write --stats_json file\n");
+    return 1;
   }
   return 0;
 }

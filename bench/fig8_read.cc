@@ -1,7 +1,8 @@
 // Figure 8: random-read throughput vs. threads, all systems. The read
 // phase starts after all background compaction finishes, as in the paper.
 //
-// Usage: fig8_read [--keys=N] [--threads=1,2,4,8,16]
+// Usage: fig8_read [--keys=N] [--threads=1,2,4,8,16] [--only=SUBSTR]
+//                  [--memtable_kb=N] [--stats_json=FILE] [--trace_out=FILE]
 
 #include <cstdio>
 #include <sstream>
@@ -67,6 +68,18 @@ int Main(int argc, char** argv) {
       SystemKind::kRocks2K,     SystemKind::kMemoryRocks,
       SystemKind::kNovaLsm,     SystemKind::kSherman,
   };
+  // --only=SUBSTR: run the matching systems only (CI smoke / tracing one
+  // system without paying for the full sweep).
+  std::string only = flags.GetString("only", "");
+  if (!only.empty()) {
+    std::vector<SystemKind> filtered;
+    for (SystemKind sk : systems) {
+      if (std::string(SystemName(sk)).find(only) != std::string::npos) {
+        filtered.push_back(sk);
+      }
+    }
+    systems = filtered;
+  }
 
   std::printf("\n=== Figure 8: randomread after compaction, %llu keys ===\n",
               static_cast<unsigned long long>(keys));
@@ -80,6 +93,15 @@ int Main(int argc, char** argv) {
   double fault_rate = flags.GetDouble("fault_rate", 0);
   double rnr_rate = flags.GetDouble("rnr_rate", 0);
   uint64_t fault_seed = flags.GetInt("fault_seed", 1);
+  // --stats_json=FILE: machine-readable records (one per cell).
+  // --trace_out=FILE: Chrome trace JSON; every traced cell rewrites the
+  // file, so the trace covers the last cell run — narrow the sweep with
+  // --only/--threads to trace one deployment.
+  StatsJsonWriter stats_json(flags.GetString("stats_json", ""));
+  std::string trace_out = flags.GetString("trace_out", "");
+  // --memtable_kb: shrink the engine scale so small smoke runs still hit
+  // flush + L0 compaction (the paper's 64 MB scaled with the dataset).
+  size_t memtable_kb = flags.GetInt("memtable_kb", 4096);
   for (SystemKind system : systems) {
     std::printf("%-22s", SystemName(system));
     std::fflush(stdout);
@@ -92,14 +114,24 @@ int Main(int argc, char** argv) {
       config.fault_seed = fault_seed;
       config.wr_error_rate = fault_rate;
       config.rnr_delay_rate = rnr_rate;
+      config.memtable_size = memtable_kb << 10;
+      config.sstable_size = memtable_kb << 10;
+      config.record_latency = stats_json.enabled();
+      config.trace_out = trace_out;
       auto r = RunBench(config, {Phase::kReadRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);
+      stats_json.Add("fig8", SystemName(system), t, "readrandom", config,
+                     r[0]);
       verbs = VerbStatsSummary(r[0].stats);
     }
     std::printf("\n");
     // Per-verb wire telemetry for the last (widest) thread count.
     if (verb_stats && !verbs.empty()) std::printf("  [%s]\n", verbs.c_str());
+  }
+  if (!stats_json.Write()) {
+    std::fprintf(stderr, "warning: could not write --stats_json file\n");
+    return 1;
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "src/sim/sim_env.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 namespace bench {
@@ -184,6 +185,45 @@ std::string VerbStatsSummary(const DbStats& stats) {
   return out;
 }
 
+void StatsJsonWriter::Add(const std::string& figure, const std::string& system,
+                          int threads, const std::string& phase,
+                          const BenchConfig& config, const PhaseResult& r) {
+  if (!enabled()) return;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"figure\":\"%s\",\"system\":\"%s\",\"threads\":%d,"
+      "\"phase\":\"%s\",\"keys\":%llu,\"value_size\":%zu,"
+      "\"ops\":%llu,\"elapsed_s\":%.6f,\"ops_per_sec\":%.1f,"
+      "\"wire_bytes\":%llu,\"memory_cpu_util\":%.4f,\"l0_files\":%d,",
+      figure.c_str(), system.c_str(), threads, phase.c_str(),
+      static_cast<unsigned long long>(config.num_keys), config.value_size,
+      static_cast<unsigned long long>(r.ops), r.elapsed_s, r.ops_per_sec,
+      static_cast<unsigned long long>(r.wire_bytes), r.memory_cpu_util,
+      r.l0_files);
+  std::string rec = buf;
+  rec.append("\"latency_us\":");
+  rec.append(r.latency_us.ToJson());
+  rec.append(",\"stats\":");
+  rec.append(StatsJson(r.stats));
+  rec.append("}");
+  records_.push_back(std::move(rec));
+}
+
+bool StatsJsonWriter::Write() const {
+  if (!enabled()) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string out = "[\n";
+  for (size_t i = 0; i < records_.size(); i++) {
+    out.append(records_[i]);
+    out.append(i + 1 < records_.size() ? ",\n" : "\n");
+  }
+  out.append("]\n");
+  size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  return std::fclose(f) == 0 && n == out.size();
+}
+
 std::vector<PhaseResult> RunBench(const BenchConfig& config,
                                   const std::vector<Phase>& phases) {
   std::vector<PhaseResult> results(phases.size());
@@ -198,6 +238,10 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       fabric.AddNode("compute", config.compute_cores, 2ull << 30);
   rdma::Node* memory =
       fabric.AddNode("memory", config.memory_cores, mem_dram);
+
+  // Tracing spans virtual time, so enabling before Run and exporting after
+  // it returns captures the whole deployment deterministically.
+  if (!config.trace_out.empty()) trace::EnableWithEnv(&env);
 
   env.Run(0, [&] {
     std::unique_ptr<MemoryNodeService> service;
@@ -256,6 +300,9 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
         -> PhaseResult {
       Barrier start(&env, config.threads + 1);
       Barrier stop(&env, config.threads + 1);
+      // One latency histogram per worker, merged after Join; the gated
+      // branch keeps the default fast path free of extra clock reads.
+      std::vector<Histogram> lat(config.threads);
       std::vector<ThreadHandle> workers;
       for (int t = 0; t < config.threads; t++) {
         uint64_t begin = total * t / config.threads;
@@ -265,7 +312,13 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
               Random rnd(config.seed + 17 * t);
               start.Arrive();
               for (uint64_t i = begin; i < end; i++) {
-                op(i, &rnd);
+                if (config.record_latency) {
+                  uint64_t op0 = env.NowNanos();
+                  op(i, &rnd);
+                  lat[t].Add(static_cast<double>(env.NowNanos() - op0) / 1e3);
+                } else {
+                  op(i, &rnd);
+                }
                 if (((i - begin) & 63) == 0) env.MaybeYield();
               }
               stop.Arrive();
@@ -280,6 +333,7 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       for (ThreadHandle h : workers) env.Join(h);
 
       PhaseResult r;
+      for (const Histogram& h : lat) r.latency_us.Merge(h);
       r.ops = total;
       r.elapsed_s = static_cast<double>(t1 - t0) / 1e9;
       r.ops_per_sec = r.elapsed_s > 0 ? total / r.elapsed_s : 0;
@@ -390,6 +444,14 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
     db.reset();
     if (service != nullptr) service->Stop();
   });
+
+  if (!config.trace_out.empty()) {
+    if (!trace::Tracer::WriteChromeTrace(config.trace_out)) {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   config.trace_out.c_str());
+    }
+    trace::Tracer::Disable();
+  }
 
   return results;
 }

@@ -20,6 +20,7 @@
 
 #include "src/core/db.h"
 #include "src/core/options.h"
+#include "src/util/histogram.h"
 
 namespace dlsm {
 namespace bench {
@@ -73,6 +74,14 @@ struct BenchConfig {
   uint64_t fault_seed = 1;
   double wr_error_rate = 0.0;
   double rnr_delay_rate = 0.0;
+  /// Observability. trace_out: when nonempty, tracing is enabled for this
+  /// run and a Chrome trace-event JSON (Perfetto-loadable; pid = node,
+  /// tid = sim thread) is written there after the run. record_latency:
+  /// record per-op latency into PhaseResult::latency_us (two extra virtual
+  /// clock reads per op; off by default so the measured fast path is
+  /// byte-identical to earlier PRs).
+  std::string trace_out;
+  bool record_latency = false;
 };
 
 /// One phase's outcome.
@@ -84,6 +93,9 @@ struct PhaseResult {
   uint64_t wire_bytes = 0;     ///< Fabric bytes moved during the phase.
   double memory_cpu_util = 0;  ///< Memory-node worker utilization [0,1].
   int l0_files = 0;
+  /// Per-op latency in microseconds, merged across worker threads.
+  /// Populated only when BenchConfig::record_latency is set.
+  Histogram latency_us;
 };
 
 /// Workload phases, named after their db_bench counterparts.
@@ -107,6 +119,31 @@ std::string FormatThroughput(double ops_per_sec);
 /// wire p50/p99, peak outstanding), for the figure binaries' --verb_stats
 /// mode. Empty string when the system posted no verbs.
 std::string VerbStatsSummary(const DbStats& stats);
+
+/// Accumulates one machine-readable record per bench cell and writes them
+/// as a JSON array — the --stats_json output behind the BENCH_*.json perf
+/// trajectory. Each record carries the sweep coordinates (figure, system,
+/// threads, phase), throughput, per-op latency percentiles (when the run
+/// recorded them) and the full StatsJson counter/verb dump.
+class StatsJsonWriter {
+ public:
+  /// An empty path disables the writer (Add/Write become no-ops).
+  explicit StatsJsonWriter(const std::string& path) : path_(path) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& figure, const std::string& system, int threads,
+           const std::string& phase, const BenchConfig& config,
+           const PhaseResult& r);
+
+  /// Writes the accumulated array to the path. Returns false on IO error
+  /// (and true, doing nothing, when disabled).
+  bool Write() const;
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 /// Multi-node deployment knobs (paper Sec. IX / Figs. 14-15).
 struct ClusterBenchConfig {

@@ -19,6 +19,7 @@
 #include "src/rdma/rdma_manager.h"
 #include "src/sim/sim_env.h"
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 namespace bench {
@@ -78,6 +79,53 @@ void VerbLayerSeries(SimEnv* env, rdma::Fabric* fabric,
   (void)fabric;
 }
 
+// A/B guard for the tracing fast path: the disabled check is one relaxed
+// atomic load per span, so the same READ loop with tracing off must stay
+// within noise (±2%) of a build that never heard of tracing; with tracing
+// on, the recorder's per-event cost shows up as the third column.
+void TracingOverheadSeries(SimEnv* env, rdma::RdmaManager* mgr,
+                           const rdma::MemoryRegion& mr) {
+  constexpr uint64_t kOps = 20000;
+  constexpr size_t kPayload = 64;
+  std::vector<char> buf(kPayload);
+  auto series = [&] {
+    uint64_t t0 = env->NowNanos();
+    for (uint64_t i = 0; i < kOps; i++) {
+      DLSM_CHECK(mgr->Read(buf.data(), mr.addr, mr.rkey, kPayload).ok());
+    }
+    return kOps / ((env->NowNanos() - t0) / 1e9);
+  };
+
+  double off1 = series();
+  double off2 = series();  // Tracing-off rerun: the noise floor.
+  trace::EnableWithEnv(env);
+  double on = series();
+  uint64_t events = 0;
+  {
+    // Count "verb" events without parsing: each completion emits one.
+    std::string json = trace::Tracer::ChromeTraceJson();
+    for (size_t p = json.find("\"cat\":\"verb\""); p != std::string::npos;
+         p = json.find("\"cat\":\"verb\"", p + 1)) {
+      events++;
+    }
+  }
+  trace::Tracer::Disable();
+
+  double off_delta = 100.0 * (off2 - off1) / off1;
+  double on_delta = 100.0 * (on - off2) / off2;
+  std::printf("\n=== Tracing overhead (sync READ, %zu B x %llu) ===\n",
+              kPayload, static_cast<unsigned long long>(kOps));
+  std::printf("%14s %14s %14s %10s\n", "off ops/s", "off rerun", "on ops/s",
+              "events");
+  std::printf("%14.0f %14.0f %14.0f %10llu\n", off1, off2, on,
+              static_cast<unsigned long long>(events));
+  std::printf("off-vs-off delta %+.2f%% (guard: |delta| <= 2%%: %s), "
+              "on-vs-off delta %+.2f%%\n",
+              off_delta, off_delta <= 2.0 && off_delta >= -2.0 ? "PASS"
+                                                               : "FAIL",
+              on_delta);
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint64_t total = flags.GetInt("total_mb", 64) << 20;
@@ -132,6 +180,7 @@ int Main(int argc, char** argv) {
                 big_bw / small_bw);
 
     VerbLayerSeries(&env, &fabric, &mgr, mr);
+    TracingOverheadSeries(&env, &mgr, mr);
   });
   return 0;
 }

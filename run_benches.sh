@@ -9,12 +9,14 @@ echo "# dLSM reproduction: full benchmark sweep"
 echo "# $(date)"
 echo "##########################################################"
 timeout 1200 $B/rdma_primitives
-timeout 2400 $B/fig7_write --keys=60000
-timeout 2400 $B/fig8_read --keys=60000
+# --stats_json: machine-readable BENCH_*.json next to bench_output.txt
+# (ops/s, latency percentiles, per-verb-class bytes/ops, fault counters).
+timeout 2400 $B/fig7_write --keys=60000 --stats_json=BENCH_fig7.json
+timeout 2400 $B/fig8_read --keys=60000 --stats_json=BENCH_fig8.json
 timeout 2400 $B/fig9_datasizes --base=30000 --steps=4
 timeout 2400 $B/fig10_mixed --keys=60000
 timeout 1200 $B/fig11_scan --keys=80000
-timeout 2400 $B/fig12_compaction --keys=150000
+timeout 2400 $B/fig12_compaction --keys=150000 --stats_json=BENCH_fig12.json
 timeout 1200 $B/fig13_byteaddr --keys=80000
 timeout 2400 $B/fig14_scalability --base=20000
 timeout 2400 $B/fig15_multinode --base=20000

@@ -50,7 +50,15 @@ struct DbStats {
   /// outstanding-op gauges and error/reconnect counts. Merged exactly
   /// across shards.
   rdma::RdmaVerbStats rdma;
+
+  /// Multi-line human-readable dump of every counter (no histograms).
+  std::string ToString() const;
 };
+
+/// Machine-readable serialization of a DbStats snapshot: every counter
+/// plus the full verb-class telemetry (RdmaVerbStats::ToJson, including
+/// latency histogram percentiles). One JSON object, no trailing newline.
+std::string StatsJson(const DbStats& stats);
 
 /// A key-value store. Thread-safe: any number of concurrent readers and
 /// writers. Iterators and snapshots must be released before Close().
@@ -95,6 +103,16 @@ class DB {
 
   /// Number of SSTables at the given level (diagnostics).
   virtual int NumFilesAtLevel(int level) = 0;
+
+  /// Introspection by property name; fills *value and returns true for:
+  ///   "dlsm.stats"  — human-readable counter dump
+  ///   "dlsm.levels" — per-level file counts (engines that track remote
+  ///                   placement also report per-level byte counts)
+  ///   "dlsm.rdma"   — verb-class wire telemetry summary
+  /// Returns false (leaving *value untouched) for unknown names. The base
+  /// implementation derives everything from GetStats/NumFilesAtLevel, so
+  /// every engine (baselines, sharded wrappers) supports these names.
+  virtual bool GetProperty(const Slice& property, std::string* value);
 
   /// Stops background work and releases resources. Called by the
   /// destructor if needed.

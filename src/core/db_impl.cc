@@ -7,6 +7,7 @@
 #include "src/core/table_reader.h"
 #include "src/util/coding.h"
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 
@@ -163,6 +164,8 @@ Status DLsmDB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DLsmDB::Write(const WriteOptions& options, WriteBatch* batch) {
   (void)options;
+  trace::TraceSpan span("Write", "db");
+  span.arg("entries", WriteBatchInternal::Count(batch));
   DLSM_RETURN_NOT_OK(BgError());
   if (options_.write_path == WritePath::kWriterQueue) {
     return WriteQueued(batch);
@@ -373,8 +376,13 @@ Status DLsmDB::HandleSwitch(SequenceNumber seq) {
       backpressure_cv_.TimedWait(2'000'000);  // 2 ms, re-check triggers.
     }
     if (stalled && --stalled_writers_ == 0) {
-      stat_stall_ns_.fetch_add(env_->NowNanos() - stall_since_,
+      uint64_t stall_end = env_->NowNanos();
+      stat_stall_ns_.fetch_add(stall_end - stall_since_,
                                std::memory_order_relaxed);
+      // One span per union interval (the last leaving writer closes it),
+      // matching how stall_ns is charged.
+      trace::Tracer::EmitComplete("write_stall", "db", stall_since_,
+                                  stall_end - stall_since_);
     }
     // Fail closed instead of stalling forever on background work that can
     // no longer make progress.
@@ -416,6 +424,8 @@ void DLsmDB::ScheduleFlushLocked(MemTable* mem) {
 // ---------------------------------------------------------------------------
 
 void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
+  trace::TraceSpan span("flush", "flush");
+  span.arg("entries", mem->num_entries());
   // Wait out in-flight writers still inserting into this table.
   while (mem->active_writers() > 0) {
     env_->YieldToOthers();
@@ -440,6 +450,8 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
     for (int attempt = 0; attempt < max_attempts; attempt++) {
       if (attempt > 0) {
         stat_flush_retries_.fetch_add(1, std::memory_order_relaxed);
+        trace::Tracer::EmitInstant("flush_retry", "flush", "attempt",
+                                   static_cast<uint64_t>(attempt));
         for (const remote::RemoteChunk& c : attempt_chunks) {
           flush_alloc_->Free(c);
         }
@@ -508,6 +520,7 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
   // pool is FIFO over switch order, so the head's job is always already
   // running — no deadlock.
   {
+    trace::TraceSpan install_wait("flush_install_wait", "flush");
     MutexLock l(&mem_mu_);
     while (!(imms_.front() == mem)) {
       backpressure_cv_.Wait();
@@ -542,6 +555,7 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
 
 Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  trace::TraceSpan span("Get", "db");
   DLSM_RETURN_NOT_OK(BgError());
   stat_reads_.fetch_add(1, std::memory_order_relaxed);
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
@@ -550,6 +564,7 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
   LookupKey lkey(key, snapshot);
 
   // Pin the MemTable chain (current + immutables), newest first.
+  trace::TraceSpan mem_span("mem_probe", "db");
   std::vector<MemTable*> tables;
   {
     MutexLock l(&mem_mu_);
@@ -573,6 +588,7 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     }
   }
   for (MemTable* m : tables) m->Unref();
+  mem_span.End();
   if (done) return result;
 
   // SSTables: pinned via the version reference.
@@ -587,6 +603,8 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     // newest file's hit wins (the age order the serial loop relies on).
     // A definitive probe (per-record index matched the user key) ends the
     // wave early: older files cannot hold a newer visible version.
+    trace::TraceSpan wave_span("l0_wave", "db");
+    wave_span.arg("l0_files", num_l0);
     std::vector<TableProbe> probes(num_l0);
     size_t wave_end = 0;
     for (size_t i = 0; i < num_l0; i++) {
@@ -621,6 +639,8 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
         // serially: TableGet rides MgrRead's retry policy, so only an
         // exhausted retry budget propagates.
         stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
+        trace::Tracer::EmitInstant("read_retry", "db", "file",
+                                   order[i]->number);
         mgr_->ThreadVq()->Recover();
         s = TableGet(read_path_, icmp_, bloom_, *order[i], lkey, &lookup,
                      value);
@@ -637,8 +657,13 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     const FileMetaData* f = order[i];
     TableLookupResult lookup;
     bool bloom_skip = false;
+    // Per-level remote probe: the span covers the one-sided READ wait
+    // inside TableGet (bloom-skipped probes are ~instant).
+    trace::TraceSpan probe_span("table_probe", "db");
+    probe_span.arg("file", f->number);
     Status s = TableGet(read_path_, icmp_, bloom_, *f, lkey, &lookup, value,
                         &bloom_skip);
+    probe_span.End();
     DLSM_RETURN_NOT_OK(s);
     if (bloom_skip) {
       stat_bloom_useful_.fetch_add(1, std::memory_order_relaxed);
@@ -654,6 +679,8 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
 void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
                       std::vector<std::string>* values,
                       std::vector<Status>* statuses) {
+  trace::TraceSpan span("MultiGet", "db");
+  span.arg("keys", keys.size());
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::NotFound(Slice()));
   if (keys.empty()) return;
@@ -738,6 +765,8 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   std::vector<char> resolved(pending.size(), 0);
   size_t unresolved = pending.size();
   while (unresolved > 0) {
+    trace::TraceSpan wave_span("level_wave", "db");
+    wave_span.arg("unresolved", unresolved);
     rdma::ReadBatch batch(mgr_.get());
     std::vector<WaveProbe> wave;
     for (size_t k = 0; k < pending.size(); k++) {
@@ -792,6 +821,8 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
         // Same per-slot recovery as Get's L0 wave: recover the shared QP
         // and fall back to a serial retrying probe of this file.
         stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
+        trace::Tracer::EmitInstant("read_retry", "db", "file",
+                                   wp.probe.file->number);
         mgr_->ThreadVq()->Recover();
         s = TableGet(read_path_, icmp_, bloom_, *wp.probe.file, *ks.lkey,
                      &lookup, &(*values)[ks.idx]);
@@ -816,6 +847,7 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
 }
 
 Iterator* DLsmDB::NewIterator(const ReadOptions& options) {
+  trace::TraceSpan span("NewIterator", "db");
   Status bg = BgError();
   if (!bg.ok()) return NewErrorIterator(bg);
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
@@ -938,6 +970,9 @@ void DLsmDB::CompactionCoordinatorLoop() {
 }
 
 Status DLsmDB::RunCompaction(const CompactionPick& pick) {
+  trace::TraceSpan span("compaction", "compaction");
+  span.arg("level", static_cast<uint64_t>(pick.level));
+  span.arg("input_bytes", pick.InputBytes());
   std::vector<CompactionOutput> outputs;
   Status s =
       options_.compaction_placement == CompactionPlacement::kNearData
@@ -1380,6 +1415,23 @@ int DLsmDB::NumFilesAtLevel(int level) {
   VersionRef v = versions_->current();
   if (level < 0 || level >= v->num_levels()) return 0;
   return v->NumFiles(level);
+}
+
+bool DLsmDB::GetProperty(const Slice& property, std::string* value) {
+  if (property == Slice("dlsm.levels")) {
+    VersionRef v = versions_->current();
+    std::string out;
+    char buf[96];
+    for (int level = 0; level < v->num_levels(); level++) {
+      std::snprintf(buf, sizeof(buf), "L%d: %d files, %llu bytes\n", level,
+                    v->NumFiles(level),
+                    static_cast<unsigned long long>(v->LevelBytes(level)));
+      out.append(buf);
+    }
+    *value = std::move(out);
+    return true;
+  }
+  return DB::GetProperty(property, value);
 }
 
 Status DLsmDB::Close() {

@@ -61,6 +61,9 @@ class DLsmDB : public DB {
   Status WaitForBackgroundIdle() override;
   DbStats GetStats() override;
   int NumFilesAtLevel(int level) override;
+  /// Adds per-level byte counts to "dlsm.levels" (the base implementation
+  /// only sees file counts); other properties defer to DB::GetProperty.
+  bool GetProperty(const Slice& property, std::string* value) override;
   Status Close() override;
 
   /// Smallest key-range boundary helpers used by the sharded wrapper.

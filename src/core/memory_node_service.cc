@@ -3,6 +3,7 @@
 #include "src/core/compaction.h"
 #include "src/util/coding.h"
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 
@@ -112,10 +113,14 @@ void MemoryNodeService::HandleFreeBatch(const Slice& args,
 
 void MemoryNodeService::HandleCompaction(const Slice& args,
                                          std::string* reply) {
+  // Nested inside the server's generic rpc_handle span: the near-data
+  // merge itself, on the memory node's worker track.
+  trace::TraceSpan span("exec_compaction", "compaction");
   CompactionTask task;
   if (!CompactionTask::Deserialize(args, &task)) {
     DLSM_CHECK_MSG(false, "malformed compaction task");
   }
+  span.arg("inputs", task.inputs.size());
   DLSM_CHECK(task.output_chunk_size >= task.target_file_size);
 
   auto alloc_chunk = [this, &task]() {

@@ -1,0 +1,104 @@
+// DbStats serialization and the DB::GetProperty base implementation.
+//
+// Everything here derives from the public DB interface (GetStats,
+// NumFilesAtLevel), so all engines — dLSM, the baselines, and the sharded
+// wrappers — answer the "dlsm.*" property names without per-engine code.
+// DLsmDB overrides "dlsm.levels" to add per-level byte counts, which only
+// it can see (Version tracks the remote chunk sizes).
+
+#include <cstdio>
+
+#include "src/core/db.h"
+
+namespace dlsm {
+
+namespace {
+
+// Matches Options::num_levels' default; GetProperty reports all of them
+// even when empty so output rows are stable across runs.
+constexpr int kReportLevels = 7;
+
+void AppendCounter(std::string* out, const char* name, uint64_t v,
+                   bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", *first ? "" : ",", name,
+                static_cast<unsigned long long>(v));
+  out->append(buf);
+  *first = false;
+}
+
+}  // namespace
+
+std::string DbStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "writes %llu  reads %llu  flushes %llu  compactions %llu\n"
+      "compaction in %llu B  out %llu B  stall %.3f ms  bloom useful %llu\n"
+      "compaction rpc inflight peak %llu\n"
+      "retries: read %llu  flush %llu  rpc %llu  rpc timeouts %llu\n",
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(reads),
+      static_cast<unsigned long long>(flushes),
+      static_cast<unsigned long long>(compactions),
+      static_cast<unsigned long long>(compaction_input_bytes),
+      static_cast<unsigned long long>(compaction_output_bytes),
+      static_cast<double>(stall_ns) / 1e6,
+      static_cast<unsigned long long>(bloom_useful),
+      static_cast<unsigned long long>(compaction_rpc_inflight_peak),
+      static_cast<unsigned long long>(read_retries),
+      static_cast<unsigned long long>(flush_retries),
+      static_cast<unsigned long long>(rpc_retries),
+      static_cast<unsigned long long>(rpc_timeouts));
+  return std::string(buf) + rdma.ToString();
+}
+
+std::string StatsJson(const DbStats& stats) {
+  std::string out = "{";
+  bool first = true;
+  AppendCounter(&out, "writes", stats.writes, &first);
+  AppendCounter(&out, "reads", stats.reads, &first);
+  AppendCounter(&out, "flushes", stats.flushes, &first);
+  AppendCounter(&out, "compactions", stats.compactions, &first);
+  AppendCounter(&out, "compaction_input_bytes", stats.compaction_input_bytes,
+                &first);
+  AppendCounter(&out, "compaction_output_bytes", stats.compaction_output_bytes,
+                &first);
+  AppendCounter(&out, "stall_ns", stats.stall_ns, &first);
+  AppendCounter(&out, "bloom_useful", stats.bloom_useful, &first);
+  AppendCounter(&out, "compaction_rpc_inflight_peak",
+                stats.compaction_rpc_inflight_peak, &first);
+  AppendCounter(&out, "read_retries", stats.read_retries, &first);
+  AppendCounter(&out, "flush_retries", stats.flush_retries, &first);
+  AppendCounter(&out, "rpc_retries", stats.rpc_retries, &first);
+  AppendCounter(&out, "rpc_timeouts", stats.rpc_timeouts, &first);
+  out.append(",\"rdma\":");
+  out.append(stats.rdma.ToJson());
+  out.append("}");
+  return out;
+}
+
+bool DB::GetProperty(const Slice& property, std::string* value) {
+  if (property == Slice("dlsm.stats")) {
+    *value = GetStats().ToString();
+    return true;
+  }
+  if (property == Slice("dlsm.levels")) {
+    std::string out;
+    char buf[64];
+    for (int level = 0; level < kReportLevels; level++) {
+      std::snprintf(buf, sizeof(buf), "L%d: %d files\n", level,
+                    NumFilesAtLevel(level));
+      out.append(buf);
+    }
+    *value = std::move(out);
+    return true;
+  }
+  if (property == Slice("dlsm.rdma")) {
+    *value = GetStats().rdma.ToString();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dlsm

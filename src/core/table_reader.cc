@@ -5,6 +5,7 @@
 
 #include "src/util/coding.h"
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 
@@ -294,7 +295,9 @@ class PrefetchWindow {
       uint64_t got_off = pending_off_;
       size_t got_len = back_.size();
       if (Covers(got_off, got_len, off, len)) {
+        trace::TraceSpan prefetch_span("scan_prefetch_wait", "db");
         Status ps = WaitPending();
+        prefetch_span.End();
         if (ps.ok()) {
           std::swap(front_, back_);
           front_off_ = got_off;

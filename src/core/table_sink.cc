@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 
@@ -30,6 +31,10 @@ FlushPipeline::FlushPipeline(rdma::RdmaManager* mgr)
     : vq_(mgr->CreateExclusiveVq()) {}
 
 Status FlushPipeline::Drain() {
+  // The flush wave's durability barrier: the span is the stall a flush job
+  // pays waiting for its deferred WRITE handles before install.
+  trace::TraceSpan span("flush_drain", "flush");
+  span.arg("deferred", deferred_.size());
   Status first;
   for (rdma::WrHandle& wr : deferred_) {
     Status s = wr.Wait();

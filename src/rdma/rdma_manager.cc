@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 namespace rdma {
@@ -205,6 +206,15 @@ void VerbQueue::RecordPost() {
 void VerbQueue::RecordCompletion(VerbClass cls, const Completion& c) {
   uint64_t wire_ns =
       c.completion_ns >= c.post_ns ? c.completion_ns - c.post_ns : 0;
+  // Post→completion async span, recorded retroactively at harvest time so
+  // the event carries the exact wire interval (both stamps come from the
+  // fabric). Covers every verb class on both waiting paths (WaitFor's
+  // fast path and Sweep).
+  if (trace::Tracer::enabled()) {
+    trace::Tracer::EmitComplete(VerbClassName(cls), "verb", c.post_ns,
+                                wire_ns, 0, "bytes", c.byte_len, "err",
+                                c.status.ok() ? 0 : 1);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   completed_++;
   outstanding_--;

@@ -56,5 +56,34 @@ std::string RdmaVerbStats::ToString() const {
   return out;
 }
 
+std::string RdmaVerbStats::ToJson() const {
+  std::string out = "{";
+  char line[160];
+  for (int i = 0; i < kNumVerbClasses; i++) {
+    auto c = static_cast<VerbClass>(i);
+    const VerbClassStats& s = cls(c);
+    snprintf(line, sizeof(line),
+             "\"%s\":{\"ops\":%llu,\"bytes\":%llu,\"errors\":%llu,"
+             "\"latency_us\":",
+             VerbClassName(c), static_cast<unsigned long long>(s.ops),
+             static_cast<unsigned long long>(s.bytes),
+             static_cast<unsigned long long>(s.errors));
+    out += line;
+    out += s.latency_us.ToJson();
+    out += "},";
+  }
+  snprintf(line, sizeof(line),
+           "\"posted\":%llu,\"completed\":%llu,\"abandoned\":%llu,"
+           "\"outstanding\":%llu,\"max_outstanding\":%llu,\"reconnects\":%llu}",
+           static_cast<unsigned long long>(posted),
+           static_cast<unsigned long long>(completed),
+           static_cast<unsigned long long>(abandoned),
+           static_cast<unsigned long long>(outstanding),
+           static_cast<unsigned long long>(max_outstanding),
+           static_cast<unsigned long long>(reconnects));
+  out += line;
+  return out;
+}
+
 }  // namespace rdma
 }  // namespace dlsm

@@ -90,6 +90,11 @@ struct RdmaVerbStats {
   /// Compact per-class summary ("READ 120 ops 4.2 MB p50 2.1us p99 8.0us")
   /// for bench dumps; empty classes are omitted.
   std::string ToString() const;
+
+  /// JSON object: per-class {ops, bytes, errors, latency_us histogram}
+  /// plus the layer-wide gauges. All classes are present, even empty ones,
+  /// so consumers can index unconditionally.
+  std::string ToJson() const;
 };
 
 }  // namespace rdma

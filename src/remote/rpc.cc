@@ -4,6 +4,7 @@
 
 #include "src/util/coding.h"
 #include "src/util/logging.h"
+#include "src/util/trace.h"
 
 namespace dlsm {
 namespace remote {
@@ -20,10 +21,12 @@ namespace {
 //   u64 args_addr   (0 => args are inline)
 //   u32 args_rkey
 //   u32 args_len
+//   u64 trace_flow  (0 => caller not tracing; flow id stitching the
+//   u64 trace_span   server handler span to the compute-side call span)
 //   u32 inline_len
 //   [inline bytes]
 constexpr size_t kRequestBufSize = 256;
-constexpr size_t kRequestHeader = 1 + 1 + 4 + 8 + 4 + 4 + 8 + 4 + 4 + 4;
+constexpr size_t kRequestHeader = 1 + 1 + 4 + 8 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 4;
 constexpr size_t kMaxInlineArgs = kRequestBufSize - kRequestHeader;
 // Generous receive depth: many shards share one channel, and the
 // dispatcher may be in its idle backoff when a burst of requests lands.
@@ -50,6 +53,11 @@ struct Request {
   uint64_t args_addr = 0;
   uint32_t args_rkey = 0;
   uint32_t args_len = 0;
+  // Trace context (0 when the caller is not tracing): the flow id joining
+  // the client call span to the server handler span, and the client span
+  // id recorded as the handler's parent.
+  uint64_t trace_flow = 0;
+  uint64_t trace_span = 0;
   std::string inline_args;
 };
 
@@ -71,6 +79,10 @@ size_t EncodeRequest(const Request& r, char* dst) {
   p += 4;
   EncodeFixed32(p, r.args_len);
   p += 4;
+  EncodeFixed64(p, r.trace_flow);
+  p += 8;
+  EncodeFixed64(p, r.trace_span);
+  p += 8;
   EncodeFixed32(p, static_cast<uint32_t>(r.inline_args.size()));
   p += 4;
   memcpy(p, r.inline_args.data(), r.inline_args.size());
@@ -97,6 +109,10 @@ bool DecodeRequest(const char* src, size_t len, Request* r) {
   p += 4;
   r->args_len = DecodeFixed32(p);
   p += 4;
+  r->trace_flow = DecodeFixed64(p);
+  p += 8;
+  r->trace_span = DecodeFixed64(p);
+  p += 8;
   uint32_t inline_len = DecodeFixed32(p);
   p += 4;
   if (kRequestHeader + inline_len > len) return false;
@@ -227,11 +243,14 @@ void RpcClient::ReleaseContext(ThreadBuffers* ctx, bool completed) {
 }
 
 Status RpcClient::SendRequest(uint8_t type, const Slice& args, bool wake,
-                              uint32_t id, ThreadBuffers* bufs) {
+                              uint32_t id, ThreadBuffers* bufs,
+                              uint64_t trace_flow, uint64_t trace_span) {
   Request r;
   r.type = type;
   r.wake = wake;
   r.id = id;
+  r.trace_flow = trace_flow;
+  r.trace_span = trace_span;
   r.reply_addr = bufs->reply_mr.addr;
   r.reply_rkey = bufs->reply_mr.rkey;
   r.reply_cap = kReplyBufSize;
@@ -307,11 +326,16 @@ Status RpcClient::Call(uint8_t type, const Slice& args, std::string* reply) {
 
 Status RpcClient::CallOnce(uint8_t type, const Slice& args,
                            std::string* reply) {
+  trace::TraceSpan span("rpc_call", "rpc");
+  span.arg("type", type);
+  uint64_t flow = span.active() ? trace::Tracer::NextId() : 0;
   ThreadBuffers* bufs = GetThreadBuffers();
   if (bufs == nullptr) {
     return Status::OutOfMemory("client DRAM exhausted for RPC buffers");
   }
-  DLSM_RETURN_NOT_OK(SendRequest(type, args, /*wake=*/false, 0, bufs));
+  DLSM_RETURN_NOT_OK(
+      SendRequest(type, args, /*wake=*/false, 0, bufs, flow, span.id()));
+  if (flow != 0) trace::Tracer::EmitFlow('s', "rpc", "rpc", flow);
   // The reply arrives as a one-sided WRITE; its completion handle is a
   // stamp future over the ready word at the end of the reply buffer.
   rdma::StampFuture reply_ready(
@@ -344,6 +368,9 @@ Status RpcClient::CallWithWakeup(uint8_t type, const Slice& args,
 
 Status RpcClient::CallWithWakeupOnce(uint8_t type, const Slice& args,
                                      std::string* reply) {
+  trace::TraceSpan span("rpc_call_wake", "rpc");
+  span.arg("type", type);
+  uint64_t flow = span.active() ? trace::Tracer::NextId() : 0;
   Env* env = fabric_->env();
   ThreadBuffers* bufs = GetThreadBuffers();
   if (bufs == nullptr) {
@@ -358,12 +385,14 @@ Status RpcClient::CallWithWakeupOnce(uint8_t type, const Slice& args,
     MutexLock l(&wait_mu_);
     waiters_[id] = &waiter;
   }
-  Status send = SendRequest(type, args, /*wake=*/true, id, bufs);
+  Status send =
+      SendRequest(type, args, /*wake=*/true, id, bufs, flow, span.id());
   if (!send.ok()) {
     MutexLock l(&wait_mu_);
     waiters_.erase(id);
     return send;
   }
+  if (flow != 0) trace::Tracer::EmitFlow('s', "rpc", "rpc", flow);
   uint64_t deadline =
       policy_.timeout_ns == 0 ? 0 : env->NowNanos() + policy_.timeout_ns;
   bool timed_out = false;
@@ -410,13 +439,19 @@ PendingCall RpcClient::CallAsync(uint8_t type, const Slice& args) {
     return call;
   }
   call.ctx_ = ctx;
+  trace::TraceSpan span("rpc_send", "rpc");
+  span.arg("type", type);
+  uint64_t flow = span.active() ? trace::Tracer::NextId() : 0;
   // wake=true routes execution to the server's worker pool (long-running
   // requests must not run inline on the dispatcher) and stages the args
   // for the server's RDMA READ — but no waiter is registered, so the
   // wakeup immediate is dropped by the notifier and completion is the
   // reply stamp alone.
-  call.send_status_ =
-      SendRequest(type, args, /*wake=*/true, next_id_.fetch_add(1), ctx);
+  call.send_status_ = SendRequest(type, args, /*wake=*/true,
+                                  next_id_.fetch_add(1), ctx, flow, span.id());
+  if (flow != 0 && call.send_status_.ok()) {
+    trace::Tracer::EmitFlow('s', "rpc", "rpc", flow);
+  }
   return call;
 }
 
@@ -477,6 +512,7 @@ Status PendingCall::Wait(std::string* reply) {
     return send_status_;
   }
   Env* env = client->fabric_->env();
+  trace::TraceSpan span("rpc_wait", "rpc");
   rdma::StampFuture reply_ready(
       env, reinterpret_cast<const void*>(ctx->stamp_addr()));
   uint64_t timeout_ns = client->policy_.timeout_ns;
@@ -654,21 +690,31 @@ void RpcServer::ProcessRequest(Channel* ch, const char* req, size_t len) {
     // Long-running request: hand off to the worker pool.
     pool_->Submit([this, ch, type = r.type, args = std::move(args),
                    reply_addr = r.reply_addr, reply_rkey = r.reply_rkey,
-                   reply_cap = r.reply_cap, id = r.id]() mutable {
+                   reply_cap = r.reply_cap, id = r.id,
+                   trace_flow = r.trace_flow,
+                   trace_span = r.trace_span]() mutable {
       ExecuteAndReply(ch, type, std::move(args), reply_addr, reply_rkey,
-                      reply_cap, /*wake=*/true, id);
+                      reply_cap, /*wake=*/true, id, trace_flow, trace_span);
     });
   } else {
     ExecuteAndReply(ch, r.type, std::move(args), r.reply_addr, r.reply_rkey,
-                    r.reply_cap, /*wake=*/false, r.id);
+                    r.reply_cap, /*wake=*/false, r.id, r.trace_flow,
+                    r.trace_span);
   }
 }
 
 void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
                                 uint64_t reply_addr, uint32_t reply_rkey,
-                                uint32_t reply_cap, bool wake, uint32_t id) {
+                                uint32_t reply_cap, bool wake, uint32_t id,
+                                uint64_t trace_flow, uint64_t trace_span) {
   Env* env = fabric_->env();
   uint64_t start = env->NowNanos();
+  // Close the cross-node flow started by the requester: the finish event
+  // binds to the enclosing handler span ("bp":"e"), drawing the arrow from
+  // the compute-side call span onto this memory-node track.
+  if (trace_flow != 0 && trace::Tracer::enabled()) {
+    trace::Tracer::EmitFlow('f', "rpc", "rpc", trace_flow);
+  }
   std::string reply;
   if (type == RpcType::kPing) {
     reply = args;  // Echo.
@@ -676,8 +722,12 @@ void RpcServer::ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
     DLSM_CHECK_MSG(handler_ != nullptr, "no RPC handler installed");
     handler_(type, Slice(args), &reply);
   }
-  worker_busy_ns_.fetch_add(env->NowNanos() - start,
-                            std::memory_order_relaxed);
+  uint64_t end = env->NowNanos();
+  if (trace::Tracer::enabled()) {
+    trace::Tracer::EmitComplete("rpc_handle", "rpc", start, end - start, 0,
+                                "type", type, "parent", trace_span);
+  }
+  worker_busy_ns_.fetch_add(end - start, std::memory_order_relaxed);
 
   // Reply: [u32 len][payload], then the ready stamp at reply_cap-8, all via
   // one-sided writes on this thread's own QP (bypassing dispatchers).

@@ -186,8 +186,12 @@ class RpcClient {
   /// buffers may be reused immediately; otherwise the context goes to the
   /// zombie list until its stamp fires.
   void ReleaseContext(ThreadBuffers* ctx, bool completed);
+  /// trace_flow/trace_span carry the caller's trace context in the wire
+  /// header (0 = not tracing) so the server handler span stitches to the
+  /// compute-side call span.
   Status SendRequest(uint8_t type, const Slice& args, bool wake, uint32_t id,
-                     ThreadBuffers* bufs);
+                     ThreadBuffers* bufs, uint64_t trace_flow = 0,
+                     uint64_t trace_span = 0);
   Status ParseReply(ThreadBuffers* bufs, std::string* reply);
   /// One attempt of Call / CallWithWakeup; the public wrappers add the
   /// policy's retry-with-backoff loop around these.
@@ -289,9 +293,13 @@ class RpcServer {
 
   void DispatcherLoop();
   void ProcessRequest(Channel* ch, const char* req, size_t len);
+  /// trace_flow/trace_span: the requester's wire-header trace context; when
+  /// nonzero the handler emits a span stitched to the client call span via
+  /// a flow-finish event.
   void ExecuteAndReply(Channel* ch, uint8_t type, std::string args,
                        uint64_t reply_addr, uint32_t reply_rkey,
-                       uint32_t reply_cap, bool wake, uint32_t id);
+                       uint32_t reply_cap, bool wake, uint32_t id,
+                       uint64_t trace_flow = 0, uint64_t trace_span = 0);
 
   rdma::Fabric* fabric_;
   rdma::Node* server_node_;

@@ -105,6 +105,28 @@ class Env {
   /// Blocks until the thread identified by h has finished.
   virtual void Join(ThreadHandle h) = 0;
 
+  // Identity of the calling thread, for observability (trace pid/tid
+  // attribution). Defaults cover environments that do not track identity;
+  // threads not started through the Env report id 0 on node 0.
+
+  /// Stable id of the calling thread: creation-order sim thread id under
+  /// SimEnv, StartThread registration id under StdEnv, 0 for foreign
+  /// threads (e.g. the host main thread).
+  virtual uint64_t CurrentThreadId() { return 0; }
+
+  /// Node the calling thread was started on (0 = default node).
+  virtual int CurrentNodeId() { return 0; }
+
+  /// The name passed to StartThread; empty for foreign threads.
+  virtual std::string CurrentThreadName() { return std::string(); }
+
+  /// The name passed to RegisterNode ("default" for node 0 and for ids the
+  /// environment does not know).
+  virtual std::string NodeName(int node_id) {
+    (void)node_id;
+    return "default";
+  }
+
   // Synchronization factories; use the wrappers below.
   virtual MutexImpl* NewMutex() = 0;
   virtual CondVarImpl* NewCondVar(MutexImpl* mu) = 0;

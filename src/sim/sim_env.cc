@@ -522,6 +522,29 @@ void SimEnv::Join(ThreadHandle h) {
   SwitchOutLocked(self, lk);
 }
 
+uint64_t SimEnv::CurrentThreadId() {
+  SimThread* self = tls_current;
+  return self != nullptr ? self->id : 0;
+}
+
+int SimEnv::CurrentNodeId() {
+  SimThread* self = tls_current;
+  return self != nullptr ? self->node : 0;
+}
+
+std::string SimEnv::CurrentThreadName() {
+  SimThread* self = tls_current;
+  return self != nullptr ? self->name : std::string();
+}
+
+std::string SimEnv::NodeName(int node_id) {
+  std::unique_lock<std::mutex> lk(gm_);
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return "default";
+  }
+  return nodes_[node_id]->name;
+}
+
 MutexImpl* SimEnv::NewMutex() { return new SimMutexImpl(this); }
 
 CondVarImpl* SimEnv::NewCondVar(MutexImpl* mu) {

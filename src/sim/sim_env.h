@@ -87,6 +87,10 @@ class SimEnv : public Env {
   ThreadHandle StartThread(int node_id, const std::string& name,
                            std::function<void()> fn) override;
   void Join(ThreadHandle h) override;
+  uint64_t CurrentThreadId() override;
+  int CurrentNodeId() override;
+  std::string CurrentThreadName() override;
+  std::string NodeName(int node_id) override;
   MutexImpl* NewMutex() override;
   CondVarImpl* NewCondVar(MutexImpl* mu) override;
   BarrierImpl* NewBarrier(int parties) override;

@@ -14,6 +14,13 @@ namespace dlsm {
 
 namespace {
 
+// Identity of the calling thread, set by StartThread's wrapper before the
+// user function runs. Foreign threads (the host main thread) keep the
+// defaults: id 0, node 0, no name.
+thread_local uint64_t tls_thread_id = 0;
+thread_local int tls_node_id = 0;
+thread_local std::string* tls_thread_name = nullptr;
+
 uint64_t SteadyNowNanos() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -116,20 +123,28 @@ class StdEnv : public Env {
   void YieldToOthers() override { std::this_thread::yield(); }
 
   int RegisterNode(const std::string& name, int cores) override {
-    (void)name;
     (void)cores;
-    // Real hardware enforces its own core budget; nodes are bookkeeping only.
+    // Real hardware enforces its own core budget; nodes are bookkeeping
+    // only — but names are kept for trace attribution.
     std::lock_guard<std::mutex> lock(mu_);
-    return next_node_id_++;
+    int id = next_node_id_++;
+    node_names_[id] = name;
+    return id;
   }
 
   ThreadHandle StartThread(int node_id, const std::string& name,
                            std::function<void()> fn) override {
-    (void)node_id;
-    (void)name;
     std::lock_guard<std::mutex> lock(mu_);
     uint64_t id = next_thread_id_++;
-    threads_.emplace(id, std::thread(std::move(fn)));
+    threads_.emplace(
+        id, std::thread([id, node_id, name, fn = std::move(fn)]() mutable {
+          std::string thread_name = name;
+          tls_thread_id = id;
+          tls_node_id = node_id;
+          tls_thread_name = &thread_name;
+          fn();
+          tls_thread_name = nullptr;
+        }));
     return ThreadHandle{id};
   }
 
@@ -143,6 +158,20 @@ class StdEnv : public Env {
       threads_.erase(it);
     }
     if (t.joinable()) t.join();
+  }
+
+  uint64_t CurrentThreadId() override { return tls_thread_id; }
+
+  int CurrentNodeId() override { return tls_node_id; }
+
+  std::string CurrentThreadName() override {
+    return tls_thread_name != nullptr ? *tls_thread_name : std::string();
+  }
+
+  std::string NodeName(int node_id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = node_names_.find(node_id);
+    return it != node_names_.end() ? it->second : std::string("default");
   }
 
   MutexImpl* NewMutex() override { return new StdMutex(); }
@@ -159,6 +188,7 @@ class StdEnv : public Env {
   uint64_t origin_;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::thread> threads_;
+  std::unordered_map<int, std::string> node_names_;
   uint64_t next_thread_id_ = 1;
   int next_node_id_ = 1;
 };

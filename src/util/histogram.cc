@@ -70,6 +70,11 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::Percentile(double p) const {
+  // Degenerate cases: the empty histogram has min_/max_ at their sentinel
+  // values (1e200 / 0), so the clamp below would return garbage; a single
+  // sample has an exact answer at every percentile.
+  if (num_ == 0.0) return 0.0;
+  if (num_ == 1.0) return min_;
   double threshold = num_ * (p / 100.0);
   double sum = 0;
   for (int b = 0; b < kNumBuckets; b++) {
@@ -115,6 +120,36 @@ std::string Histogram::ToString() const {
                 "Min: %.4f  Median: %.4f  P99: %.4f  Max: %.4f\n",
                 (num_ == 0.0 ? 0.0 : min_), Median(), Percentile(99), max_);
   r += buf;
+  return r;
+}
+
+std::string Histogram::ToJson() const {
+  char buf[200];
+  std::string r = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"count\":%.0f,\"min\":%.4f,\"max\":%.4f,\"avg\":%.4f,"
+                "\"stddev\":%.4f,",
+                num_, (num_ == 0.0 ? 0.0 : min_), max_, Average(),
+                StandardDeviation());
+  r += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"p50\":%.4f,\"p90\":%.4f,\"p99\":%.4f,\"p999\":%.4f,",
+                Percentile(50), Percentile(90), Percentile(99),
+                Percentile(99.9));
+  r += buf;
+  r += "\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < kNumBuckets; b++) {
+    if (buckets_[b] == 0.0) continue;
+    // The last bucket is the catch-all; report its bound as the observed
+    // max so the JSON stays finite (kBucketLimit ends at 1e200).
+    double le = (b == kNumBuckets - 1) ? max_ : kBucketLimit[b];
+    std::snprintf(buf, sizeof(buf), "%s{\"le\":%.4f,\"n\":%.0f}",
+                  first ? "" : ",", le, buckets_[b]);
+    r += buf;
+    first = false;
+  }
+  r += "]}";
   return r;
 }
 

@@ -28,7 +28,9 @@ class Histogram {
 
   double Median() const { return Percentile(50.0); }
 
-  /// Returns the approximate p-th percentile (p in [0, 100]).
+  /// Returns the approximate p-th percentile (p in [0, 100]). Exact for
+  /// empty (0) and single-sample (the sample) histograms; otherwise
+  /// linearly interpolated within the bucket and clamped to [Min, Max].
   double Percentile(double p) const;
 
   double Average() const;
@@ -39,6 +41,10 @@ class Histogram {
 
   /// Multi-line summary with count/avg/stddev/percentiles.
   std::string ToString() const;
+
+  /// JSON object: count/min/max/avg/stddev, p50/p90/p99/p999, and the
+  /// non-empty buckets as [{"le": upper_bound, "n": count}, ...].
+  std::string ToJson() const;
 
  private:
   static constexpr int kNumBuckets = 154;

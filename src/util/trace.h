@@ -1,0 +1,198 @@
+// Dependency-light span/event tracing with Chrome trace-event JSON export.
+//
+// The recorder is process-global and disabled by default: every emit path
+// starts with one relaxed atomic load and returns immediately when tracing
+// is off, so instrumented hot paths cost a branch and allocate nothing.
+// When enabled, each thread appends fixed-size POD events to its own
+// preallocated buffer (registered once, on first emit), so recording never
+// takes a lock or allocates on the steady-state path either.
+//
+// Timestamps come from an injected clock callback rather than a direct Env
+// dependency (util sits below sim in the layering): under SimEnv the clock
+// is virtual time and two same-seed runs produce byte-identical trace
+// files; under StdEnv it is wall clock. Thread/node identity is likewise
+// injected and captured at registration, mapping onto the Chrome trace
+// model as pid = node, tid = sim thread.
+//
+// Event names and categories must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+//
+// Export is Chrome trace-event JSON ("traceEvents" array) loadable in
+// Perfetto / chrome://tracing. Supported phases:
+//   "X"       complete spans (ts + dur)
+//   "i"       instants
+//   "s"/"f"   flow start/finish, used to stitch a compute-side RPC call
+//             span to the memory-node handler span across nodes
+//   "M"       process_name / thread_name metadata (emitted automatically)
+
+#ifndef DLSM_UTIL_TRACE_H_
+#define DLSM_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dlsm {
+namespace trace {
+
+/// Who the calling thread is, in Chrome trace coordinates. Captured once
+/// per thread when it first emits an event while tracing is enabled.
+struct ThreadIdentity {
+  uint32_t pid = 0;            // Node id.
+  uint64_t tid = 0;            // Env thread id (deterministic under SimEnv).
+  std::string thread_name;     // e.g. "worker", "flush", "rpc_dispatch".
+  std::string process_name;    // e.g. "compute", "memory".
+};
+
+/// One recorded event. POD with literal-string names so appending never
+/// allocates; 'X' events are recorded retroactively at span end.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;   // 'X' only.
+  uint64_t id = 0;       // Flow id ('s'/'f') or span id (exported as arg).
+  const char* arg1_name = nullptr;
+  uint64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  uint64_t arg2 = 0;
+  char phase = 'X';      // 'X', 'i', 's', or 'f'.
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultEventsPerThread = 1 << 16;
+
+  /// Turns tracing on. `clock` supplies timestamps in nanoseconds and
+  /// `identity` names the calling thread; both are invoked only from
+  /// threads that emit events. Any events from a previous enable period
+  /// are discarded. Must not race with in-flight emitters (enable before
+  /// starting the workload).
+  static void Enable(std::function<uint64_t()> clock,
+                     std::function<ThreadIdentity()> identity,
+                     size_t events_per_thread = kDefaultEventsPerThread);
+
+  /// Turns tracing off. Buffers stay readable (ChromeTraceJson) until the
+  /// next Enable. Call only after emitting threads have quiesced.
+  static void Disable();
+
+  /// The once-per-span runtime flag. Relaxed load; when false every emit
+  /// is a no-op that touches nothing else.
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Current trace clock, in ns. 0 when no clock is installed.
+  static uint64_t Now();
+
+  /// Allocates a process-unique id for spans/flows. Deterministic under
+  /// SimEnv (threads interleave deterministically).
+  static uint64_t NextId();
+
+  static void EmitComplete(const char* name, const char* cat, uint64_t ts_ns,
+                           uint64_t dur_ns, uint64_t id = 0,
+                           const char* arg1_name = nullptr, uint64_t arg1 = 0,
+                           const char* arg2_name = nullptr, uint64_t arg2 = 0);
+  static void EmitInstant(const char* name, const char* cat,
+                          const char* arg1_name = nullptr, uint64_t arg1 = 0);
+  /// phase must be 's' (flow start) or 'f' (flow finish, bound to the
+  /// enclosing slice). The same id on both sides draws the cross-node arrow.
+  static void EmitFlow(char phase, const char* name, const char* cat,
+                       uint64_t id);
+
+  /// Serializes everything recorded since Enable as Chrome trace JSON.
+  /// Deterministic: threads appear in registration order with events in
+  /// emission order. Safe to call after Disable.
+  static std::string ChromeTraceJson();
+
+  /// ChromeTraceJson() to a file. Returns false on IO failure.
+  static bool WriteChromeTrace(const std::string& path);
+
+  /// Events discarded because a thread buffer filled up (buffers drop at
+  /// capacity instead of wrapping, so prefixes stay deterministic).
+  static uint64_t dropped_events();
+
+  /// Implementation detail, public only so the .cc-internal state can name
+  /// it; defined in trace.cc.
+  struct ThreadLog;
+
+ private:
+  friend class TraceSpan;
+  static ThreadLog* Log();
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII complete-span. Construction checks the runtime flag once; when
+/// tracing is off the object is inert. End() closes the span early (the
+/// destructor then does nothing), letting a span cover a phase that does
+/// not align with a C++ scope.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (Tracer::enabled()) Begin(name, cat);
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches up to two integer args, exported in the event's "args" map.
+  void arg(const char* name, uint64_t value) {
+    if (!active_) return;
+    if (arg1_name_ == nullptr) {
+      arg1_name_ = name;
+      arg1_ = value;
+    } else {
+      arg2_name_ = name;
+      arg2_ = value;
+    }
+  }
+
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    Tracer::EmitComplete(name_, cat_, start_ns_, Tracer::Now() - start_ns_,
+                         id_, arg1_name_, arg1_, arg2_name_, arg2_);
+  }
+
+  /// Span id usable as a flow/parent reference; 0 when tracing is off.
+  uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name, const char* cat);
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;
+  const char* arg1_name_ = nullptr;
+  uint64_t arg1_ = 0;
+  const char* arg2_name_ = nullptr;
+  uint64_t arg2_ = 0;
+};
+
+/// Wires the tracer to an Env-shaped object (duck-typed so util does not
+/// depend on sim): NowNanos() as the clock, CurrentNodeId/CurrentThreadId/
+/// CurrentThreadName/NodeName as the identity.
+template <typename EnvT>
+inline void EnableWithEnv(EnvT* env, size_t events_per_thread =
+                                         Tracer::kDefaultEventsPerThread) {
+  Tracer::Enable(
+      [env] { return env->NowNanos(); },
+      [env] {
+        ThreadIdentity id;
+        id.pid = static_cast<uint32_t>(env->CurrentNodeId());
+        id.tid = env->CurrentThreadId();
+        id.thread_name = env->CurrentThreadName();
+        id.process_name = env->NodeName(env->CurrentNodeId());
+        return id;
+      },
+      events_per_thread);
+}
+
+}  // namespace trace
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_TRACE_H_

@@ -15,6 +15,7 @@ namespace {
 
 using test::RunDbTest;
 using test::TestKey;
+using test::TestValue;
 
 struct EngineConfig {
   const char* name;
@@ -216,6 +217,59 @@ INSTANTIATE_TEST_SUITE_P(Writers, WriterSweepTest,
                                 info) {
                            return "t" + std::to_string(info.param.threads);
                          });
+
+// GetProperty: the "dlsm.*" names answer on every engine (base
+// implementation derives from GetStats/NumFilesAtLevel); DLsmDB's
+// "dlsm.levels" override adds per-level byte counts.
+TEST(GetPropertyTest, DlsmPropertiesReflectWorkload) {
+  RunDbTest(nullptr, [&](DB* db, Env*) {
+    for (int i = 0; i < 3000; i++) {
+      ASSERT_TRUE(
+          db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+
+    std::string v;
+    ASSERT_TRUE(db->GetProperty("dlsm.stats", &v));
+    EXPECT_NE(std::string::npos, v.find("writes 3000"));
+    EXPECT_NE(std::string::npos, v.find("flushes"));
+
+    ASSERT_TRUE(db->GetProperty("dlsm.levels", &v));
+    EXPECT_NE(std::string::npos, v.find("L0:"));
+    EXPECT_NE(std::string::npos, v.find("L1:"));
+    // The DLsmDB override reports byte counts, not just file counts.
+    EXPECT_NE(std::string::npos, v.find("bytes"));
+
+    ASSERT_TRUE(db->GetProperty("dlsm.rdma", &v));
+    EXPECT_NE(std::string::npos, v.find("WRITE"));
+
+    EXPECT_FALSE(db->GetProperty("dlsm.unknown", &v));
+    EXPECT_FALSE(db->GetProperty("rocksdb.stats", &v));
+  });
+}
+
+TEST(GetPropertyTest, ShardedEngineInheritsBaseProperties) {
+  RunDbTest([](Options* options) { options->shards = 4; },
+            [&](DB* db, Env*) {
+              for (int i = 0; i < 2000; i++) {
+                uint64_t k = static_cast<uint64_t>(i) * 2400000000000ull;
+                ASSERT_TRUE(
+                    db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok());
+              }
+              ASSERT_TRUE(db->Flush().ok());
+              ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+              std::string v;
+              // ShardedDB has no override: the base implementation merges
+              // per-shard stats and sums file counts.
+              ASSERT_TRUE(db->GetProperty("dlsm.stats", &v));
+              EXPECT_NE(std::string::npos, v.find("writes 2000"));
+              ASSERT_TRUE(db->GetProperty("dlsm.levels", &v));
+              EXPECT_NE(std::string::npos, v.find("L0:"));
+              ASSERT_TRUE(db->GetProperty("dlsm.rdma", &v));
+              EXPECT_FALSE(db->GetProperty("nope", &v));
+            });
+}
 
 }  // namespace
 }  // namespace dlsm

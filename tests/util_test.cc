@@ -354,5 +354,91 @@ TEST(LoggingTest, ConsumeDecimalNumber) {
   EXPECT_FALSE(ConsumeDecimalNumber(&overflow, &v));
 }
 
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Percentile(0.0));
+  EXPECT_EQ(0.0, h.Percentile(50.0));
+  EXPECT_EQ(0.0, h.Percentile(99.9));
+  EXPECT_EQ(0.0, h.Median());
+  EXPECT_EQ(0.0, h.Average());
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(1u, h.Count());
+  // One sample: every percentile is that sample, never an interpolated
+  // bucket bound (the pre-hardening behavior returned bucket edges).
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(50.0));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(99.9));
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+}
+
+TEST(HistogramTest, PercentilesClampedAndMonotonic) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) h.Add(static_cast<double>(i));
+  double p50 = h.Percentile(50.0);
+  double p90 = h.Percentile(90.0);
+  double p99 = h.Percentile(99.0);
+  double p999 = h.Percentile(99.9);
+  EXPECT_LE(h.Min(), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, h.Max());
+  // Interpolation keeps the median near the true one (bucket-bounded).
+  EXPECT_NEAR(500.0, p50, 60.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedSamples) {
+  Histogram a, b, both;
+  Random rnd(99);
+  for (int i = 0; i < 500; i++) {
+    double v = static_cast<double>(rnd.Uniform(100000)) / 7.0;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    both.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(both.Count(), a.Count());
+  EXPECT_DOUBLE_EQ(both.Min(), a.Min());
+  EXPECT_DOUBLE_EQ(both.Max(), a.Max());
+  // Summation order differs between the merged and combined histograms,
+  // so the mean is only bit-close, not bit-equal.
+  EXPECT_NEAR(both.Average(), a.Average(), 1e-6 * both.Average());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(both.Percentile(p), a.Percentile(p)) << "p" << p;
+  }
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(both.Count(), a.Count());
+  EXPECT_DOUBLE_EQ(both.Percentile(50.0), a.Percentile(50.0));
+}
+
+TEST(HistogramTest, ToJsonShape) {
+  Histogram empty;
+  std::string j = empty.ToJson();
+  EXPECT_NE(std::string::npos, j.find("\"count\":0"));
+  EXPECT_NE(std::string::npos, j.find("\"buckets\":[]"));
+
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(static_cast<double>(i));
+  j = h.ToJson();
+  EXPECT_EQ('{', j.front());
+  EXPECT_EQ('}', j.back());
+  EXPECT_NE(std::string::npos, j.find("\"count\":100"));
+  for (const char* field : {"\"min\":", "\"max\":", "\"avg\":",
+                            "\"stddev\":", "\"p50\":", "\"p90\":",
+                            "\"p99\":", "\"p999\":", "\"le\":", "\"n\":"}) {
+    EXPECT_NE(std::string::npos, j.find(field)) << field;
+  }
+}
+
 }  // namespace
 }  // namespace dlsm
