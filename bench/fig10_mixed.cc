@@ -2,6 +2,7 @@
 // dLSM-lambda sharding (Sec. VII) against the baselines.
 //
 // Usage: fig10_mixed [--keys=N] [--threads=8] [--ratios=0,5,50,95,100]
+//                    [--zipfian=THETA]
 
 #include <cstdio>
 #include <sstream>
@@ -61,6 +62,7 @@ int Main(int argc, char** argv) {
       // regime where sub-range parallelism pays (Sec. VII).
       config.memtable_size = 1 << 20;
       config.sstable_size = 1 << 20;
+      config.zipfian_theta = flags.GetDouble("zipfian", 0);
       config.mixed_ops = keys;
       auto r = RunBench(config, {Phase::kReadWriteMixed});
       std::printf("%15s", FormatThroughput(r[0].ops_per_sec).c_str());

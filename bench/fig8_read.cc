@@ -3,6 +3,7 @@
 //
 // Usage: fig8_read [--keys=N] [--threads=1,2,4,8,16] [--only=SUBSTR]
 //                  [--memtable_kb=N] [--stats_json=FILE] [--trace_out=FILE]
+//                  [--zipfian=THETA] [--cache_ab [--cache_mb=64]]
 
 #include <cstdio>
 #include <sstream>
@@ -48,9 +49,121 @@ int RunReadSlo(uint64_t keys, int threads, double slo_us, uint64_t budget) {
   return ok ? 0 : 1;
 }
 
+// --cache_ab mode: A/B guard + speedup series for the compute-side block
+// cache under a skewed read workload. Three runs of the same fill+read
+// deployment:
+//   off — cache disabled (the no-cache configuration every earlier PR
+//         measured), run as fill + two identical back-to-back read phases
+//         on one warm deployment. SimEnv folds measured host CPU into
+//         virtual time, so throughput and op latency carry host noise;
+//         the phase-vs-phase guard (PR 5's tracing-guard idea) therefore
+//         checks the wire, which the simulator models deterministically:
+//         the two phases must post the identical number of one-sided
+//         READ verbs and the READ wire p50 must stay within 2%. The
+//         CPU-measured op p50 delta is reported informationally.
+//   on  — --cache_mb (default 64 MiB) with TinyLFU admission, same
+//         shape: read phase 1 fills the cache, read phase 2 is steady
+//         state.
+// At theta=0.99 the hot set fits in 64 MiB, so the steady-state read
+// phase's one-sided READ verbs must drop >= 3x and op p50 must not
+// regress. Returns nonzero on any guard violation (CI-friendly).
+int RunCacheAb(uint64_t keys, const Flags& flags) {
+  BenchConfig base;
+  base.threads = static_cast<int>(flags.GetInt("ab_threads", 8));
+  base.num_keys = keys;
+  base.zipfian_theta = flags.GetDouble("zipfian", 0.99);
+  size_t memtable_kb = flags.GetInt("memtable_kb", 1024);
+  base.memtable_size = memtable_kb << 10;
+  base.sstable_size = memtable_kb << 10;
+  base.record_latency = true;
+  StatsJsonWriter stats_json(flags.GetString("stats_json", ""));
+
+  // One deployment per config: fill, then two identical read phases.
+  // Stats are cumulative, so phase i's READ verbs are the i-to-(i-1)
+  // difference.
+  auto run = [&](size_t cache_bytes, const char* label) {
+    BenchConfig config = base;
+    config.block_cache_size = cache_bytes;
+    auto r = RunBench(config, {Phase::kFillRandom, Phase::kReadRandom,
+                               Phase::kReadRandom});
+    stats_json.Add("cache_ab", label, config.threads, "readrandom", config,
+                   r[2]);
+    return r;
+  };
+  auto phase_reads = [](const std::vector<PhaseResult>& r, size_t i) {
+    return r[i].stats.rdma.cls(rdma::VerbClass::kRead).ops -
+           r[i - 1].stats.rdma.cls(rdma::VerbClass::kRead).ops;
+  };
+
+  auto off = run(0, "dLSM");
+  size_t cache_bytes = flags.GetInt("cache_mb", 64) << 20;
+  auto on = run(cache_bytes, "dLSM+cache");
+
+  double off1_p50 = off[1].latency_us.Percentile(50.0);
+  double p50_off = off[2].latency_us.Percentile(50.0);
+  double op_delta = 100.0 * (p50_off - off1_p50) / off1_p50;
+  // Wire-side statistics (deterministic): stats are cumulative, so if the
+  // two read phases are byte-identical on the wire, the cumulative READ
+  // p50 is unchanged after phase 2.
+  double wire1_p50 =
+      off[1].stats.rdma.cls(rdma::VerbClass::kRead).latency_us.Percentile(
+          50.0);
+  double wire2_p50 =
+      off[2].stats.rdma.cls(rdma::VerbClass::kRead).latency_us.Percentile(
+          50.0);
+  double off_delta = 100.0 * (wire2_p50 - wire1_p50) / wire1_p50;
+  uint64_t reads_off = phase_reads(off, 2), reads_on = phase_reads(on, 2);
+  bool verbs_ok = phase_reads(off, 1) == reads_off;
+  // reads_on == 0 means the steady-state hot set fits entirely — an
+  // infinite reduction, reported as the off count.
+  double verb_ratio = static_cast<double>(reads_off) /
+                      (reads_on > 0 ? reads_on : 1);
+  double p50_on = on[2].latency_us.Percentile(50.0);
+  uint64_t hits = on[2].stats.cache_hits - on[1].stats.cache_hits;
+  uint64_t lookups = hits + on[2].stats.cache_misses -
+                     on[1].stats.cache_misses;
+
+  bool off_ok = off_delta <= 2.0 && off_delta >= -2.0;
+  bool ratio_ok = verb_ratio >= 3.0;
+  bool p50_ok = p50_on <= p50_off;
+  std::printf("\n=== Cache A/B: %llu keys, %d threads, zipfian %.2f, "
+              "%zu MiB cache ===\n",
+              static_cast<unsigned long long>(keys), base.threads,
+              base.zipfian_theta, cache_bytes >> 20);
+  std::printf("%14s %14s %14s %12s %10s\n", "config", "read ops/s",
+              "READ verbs", "op p50 us", "hit rate");
+  std::printf("%14s %14.0f %14llu %12.2f %10s\n", "cache off",
+              off[1].ops_per_sec,
+              static_cast<unsigned long long>(phase_reads(off, 1)),
+              off1_p50, "-");
+  std::printf("%14s %14.0f %14llu %12.2f %10s\n", "off rerun",
+              off[2].ops_per_sec,
+              static_cast<unsigned long long>(reads_off), p50_off, "-");
+  std::printf("%14s %14.0f %14llu %12.2f %9.1f%%\n", "cache on",
+              on[2].ops_per_sec,
+              static_cast<unsigned long long>(reads_on), p50_on,
+              lookups > 0 ? 100.0 * hits / lookups : 0.0);
+  std::printf("off-vs-off wire p50 delta %+.2f%% (guard |delta| <= 2%%: "
+              "%s) | off verb traffic identical: %s | "
+              "READ verb reduction %.1fx (guard >= 3x: %s) | "
+              "p50 %.2f -> %.2f us (guard no regress: %s) | "
+              "off-vs-off op p50 delta %+.2f%% (host CPU noise, "
+              "informational)\n",
+              off_delta, off_ok ? "PASS" : "FAIL",
+              verbs_ok ? "PASS" : "FAIL", verb_ratio,
+              ratio_ok ? "PASS" : "FAIL", p50_off, p50_on,
+              p50_ok ? "PASS" : "FAIL", op_delta);
+  if (!stats_json.Write()) {
+    std::fprintf(stderr, "warning: could not write --stats_json file\n");
+    return 1;
+  }
+  return off_ok && verbs_ok && ratio_ok && p50_ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint64_t keys = flags.GetInt("keys", 100000);
+  if (flags.GetBool("cache_ab", false)) return RunCacheAb(keys, flags);
   std::vector<int> threads;
   {
     std::stringstream ss(flags.GetString("threads", "1,2,4,8,16"));
@@ -116,6 +229,7 @@ int Main(int argc, char** argv) {
       config.rnr_delay_rate = rnr_rate;
       config.memtable_size = memtable_kb << 10;
       config.sstable_size = memtable_kb << 10;
+      config.zipfian_theta = flags.GetDouble("zipfian", 0);
       config.record_latency = stats_json.enabled();
       config.trace_out = trace_out;
       auto r = RunBench(config, {Phase::kReadRandom});

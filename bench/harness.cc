@@ -11,6 +11,7 @@
 #include "src/core/shard.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/sim_env.h"
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/trace.h"
@@ -94,6 +95,9 @@ Options MakeEngineOptions(const BenchConfig& config, Env* env) {
   }
   options.async_write = config.async_write;
   options.compaction_verb_budget = config.compaction_verb_budget;
+  options.block_cache_size = config.block_cache_size;
+  options.cache_shards = config.cache_shards;
+  options.cache_admission = config.cache_admission;
   if (config.wr_error_rate > 0.0) {
     // Injected WR errors surface as fast IOErrors; a bounded RPC retry
     // policy (the one-sided paths already retry by default) keeps the
@@ -247,6 +251,9 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
     std::unique_ptr<MemoryNodeService> service;
     std::unique_ptr<DB> db;
     DB* raw = nullptr;
+    // Uncached-index systems (RocksDB-RDMA) reject async probing with a
+    // Status; read synchronously there (set per engine options below).
+    ReadOptions read_opts;
 
     if (config.system == SystemKind::kSherman) {
       baselines::ShermanOptions sherman;
@@ -260,6 +267,7 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
           &fabric, memory, config.compaction_workers);
       service->Start();
       Options options = MakeEngineOptions(config, &env);
+      read_opts.async_reads = options.cache_index_blocks;
       DbDeps deps;
       deps.fabric = &fabric;
       deps.compute = compute;
@@ -293,11 +301,13 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
     const uint64_t key_range =
         config.key_range != 0 ? config.key_range : config.num_keys;
 
-    // Runs `total` operations across config.threads workers; op(i, rnd)
-    // performs one operation. Returns the phase measurement.
-    auto run_phase = [&](uint64_t total,
-                         const std::function<void(uint64_t, Random*)>& op)
-        -> PhaseResult {
+    // Runs `total` operations across config.threads workers;
+    // op(i, rnd, zipf) performs one operation (zipf is null when
+    // zipfian_theta == 0). Returns the phase measurement.
+    auto run_phase =
+        [&](uint64_t total,
+            const std::function<void(uint64_t, Random*, ZipfianGenerator*)>&
+                op) -> PhaseResult {
       Barrier start(&env, config.threads + 1);
       Barrier stop(&env, config.threads + 1);
       // One latency histogram per worker, merged after Join; the gated
@@ -310,14 +320,21 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
         workers.push_back(env.StartThread(
             compute->env_node(), "worker", [&, t, begin, end] {
               Random rnd(config.seed + 17 * t);
+              // The O(key_range) zeta precompute happens before the start
+              // barrier, outside the measured interval.
+              std::unique_ptr<ZipfianGenerator> zipf;
+              if (config.zipfian_theta > 0) {
+                zipf = std::make_unique<ZipfianGenerator>(
+                    key_range, config.zipfian_theta, config.seed + 977 * t);
+              }
               start.Arrive();
               for (uint64_t i = begin; i < end; i++) {
                 if (config.record_latency) {
                   uint64_t op0 = env.NowNanos();
-                  op(i, &rnd);
+                  op(i, &rnd, zipf.get());
                   lat[t].Add(static_cast<double>(env.NowNanos() - op0) / 1e3);
                 } else {
-                  op(i, &rnd);
+                  op(i, &rnd, zipf.get());
                 }
                 if (((i - begin) & 63) == 0) env.MaybeYield();
               }
@@ -349,26 +366,34 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       return r;
     };
 
-    auto fill_op = [&](uint64_t i, Random* rnd) {
+    // Skewed reads draw a Zipfian popularity rank and scramble it through
+    // a 64-bit mix so the hot set spreads across the sorted key space
+    // (otherwise every hot key lands in one SSTable).
+    auto choose_key = [&](Random* rnd, ZipfianGenerator* zipf) -> uint64_t {
+      if (zipf == nullptr) return rnd->Uniform(key_range);
+      return Hash64(zipf->Next()) % key_range;
+    };
+    auto fill_op = [&](uint64_t i, Random* rnd, ZipfianGenerator*) {
       (void)i;
+      // Loads stay uniform even under --zipfian so the dataset always
+      // covers the key range; skew shapes the read traffic.
       uint64_t k = rnd->Uniform(key_range);
       Status s = db->Put(WriteOptions(), MakeKey(k, config.key_width),
                          MakeValue(k, config.value_size, rnd));
       DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
     };
-    auto read_op = [&](uint64_t i, Random* rnd) {
+    auto read_op = [&](uint64_t i, Random* rnd, ZipfianGenerator* zipf) {
       (void)i;
-      uint64_t k = rnd->Uniform(key_range);
+      uint64_t k = choose_key(rnd, zipf);
       std::string value;
-      Status s =
-          db->Get(ReadOptions(), MakeKey(k, config.key_width), &value);
+      Status s = db->Get(read_opts, MakeKey(k, config.key_width), &value);
       DLSM_CHECK_MSG(s.ok() || s.IsNotFound(), s.ToString().c_str());
     };
-    auto mixed_op = [&](uint64_t i, Random* rnd) {
+    auto mixed_op = [&](uint64_t i, Random* rnd, ZipfianGenerator* zipf) {
       if (rnd->NextDouble() < config.read_ratio) {
-        read_op(i, rnd);
+        read_op(i, rnd, zipf);
       } else {
-        fill_op(i, rnd);
+        fill_op(i, rnd, zipf);
       }
     };
 
@@ -412,7 +437,7 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
           ThreadHandle h = env.StartThread(compute->env_node(), "scanner",
                                            [&] {
               b0.Arrive();
-              std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+              std::unique_ptr<Iterator> it(db->NewIterator(read_opts));
               uint64_t count = 0;
               for (it->SeekToFirst(); it->Valid(); it->Next()) {
                 count++;

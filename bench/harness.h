@@ -59,6 +59,16 @@ struct BenchConfig {
   size_t memtable_size = 4 << 20;
   size_t sstable_size = 4 << 20;
   uint64_t seed = 301;
+  /// Skewed key choice for the read / mixed phases: Zipfian theta
+  /// (YCSB-style; 0.99 = heavy skew). 0 keeps the uniform default. Each
+  /// worker scrambles the Zipfian rank through a 64-bit mix so the hot
+  /// keys spread across the key space instead of clustering in one table.
+  double zipfian_theta = 0.0;
+  /// Compute-side block cache (Options passthrough). Zero size = off,
+  /// matching the paper's cache-less dLSM.
+  size_t block_cache_size = 0;
+  int cache_shards = 16;
+  bool cache_admission = true;
   /// Ablation overrides (applied after the system preset).
   bool override_switch_policy = false;
   MemTableSwitchPolicy switch_policy = MemTableSwitchPolicy::kSeqRange;

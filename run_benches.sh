@@ -13,6 +13,9 @@ timeout 1200 $B/rdma_primitives
 # (ops/s, latency percentiles, per-verb-class bytes/ops, fault counters).
 timeout 2400 $B/fig7_write --keys=60000 --stats_json=BENCH_fig7.json
 timeout 2400 $B/fig8_read --keys=60000 --stats_json=BENCH_fig8.json
+# Compute-side cache A/B: cache off (x2, determinism guard) vs 64 MiB
+# TinyLFU cache at zipfian 0.99; asserts >= 3x READ-verb reduction.
+timeout 2400 $B/fig8_read --cache_ab --keys=60000 --stats_json=BENCH_cache_ab.json
 timeout 2400 $B/fig9_datasizes --base=30000 --steps=4
 timeout 2400 $B/fig10_mixed --keys=60000
 timeout 1200 $B/fig11_scan --keys=80000

@@ -1,0 +1,29 @@
+#include "src/core/block_cache.h"
+
+#include <cstdio>
+
+namespace dlsm {
+
+std::string BlockCache::PropertyString() const {
+  CacheStats s = stats();
+  uint64_t accesses = s.hits + s.misses;
+  double hit_rate =
+      accesses == 0 ? 0.0 : 100.0 * static_cast<double>(s.hits) / accesses;
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "block-cache: capacity=%llu usage=%llu%s\n"
+      "hits=%llu misses=%llu hit-rate=%.2f%%\n"
+      "inserts=%llu evictions=%llu admission-rejects=%llu\n",
+      static_cast<unsigned long long>(capacity()),
+      static_cast<unsigned long long>(usage()),
+      offline() ? " (offline)" : "",
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses), hit_rate,
+      static_cast<unsigned long long>(s.inserts),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.admission_rejects));
+  return std::string(buf);
+}
+
+}  // namespace dlsm

@@ -45,6 +45,13 @@ struct DbStats {
   uint64_t rpc_retries = 0;    ///< RPC attempts re-issued after a failure.
   uint64_t rpc_timeouts = 0;   ///< RPC attempts that hit the reply deadline.
 
+  // Compute-side block cache (all zero when block_cache_size == 0).
+  uint64_t cache_hits = 0;              ///< Reads served without the fabric.
+  uint64_t cache_misses = 0;            ///< Cache probes that went remote.
+  uint64_t cache_inserts = 0;           ///< Fills admitted into the cache.
+  uint64_t cache_evictions = 0;         ///< Entries displaced by CLOCK.
+  uint64_t cache_admission_rejects = 0; ///< Fills the TinyLFU sketch refused.
+
   /// Verb-layer telemetry of this engine's compute->memory connection:
   /// per-verb-class ops/bytes and wire-latency histograms, plus
   /// outstanding-op gauges and error/reconnect counts. Merged exactly
@@ -109,6 +116,8 @@ class DB {
   ///   "dlsm.levels" — per-level file counts (engines that track remote
   ///                   placement also report per-level byte counts)
   ///   "dlsm.rdma"   — verb-class wire telemetry summary
+  ///   "dlsm.cache"  — compute-side block cache summary (capacity, usage,
+  ///                   hit rate; all-zero counters when the cache is off)
   /// Returns false (leaving *value untouched) for unknown names. The base
   /// implementation derives everything from GetStats/NumFilesAtLevel, so
   /// every engine (baselines, sharded wrappers) supports these names.

@@ -111,6 +111,22 @@ Status DLsmDB::Init() {
   read_path_.retry_backoff_ns = options_.rdma_retry_backoff_ns;
   read_path_.retry_counter = &stat_read_retries_;
 
+  if (options_.block_cache_size > 0) {
+    block_cache_ = std::make_unique<BlockCache>(options_.block_cache_size,
+                                                options_.cache_shards,
+                                                options_.cache_admission);
+    read_path_.cache = block_cache_.get();
+    read_path_.cache_scans = options_.cache_scans;
+    // Fail closed across memory-node faults: while our memory node is
+    // crashed the cache refuses to serve (and drops its contents), so a
+    // cached read can never succeed where the fabric read would fail.
+    rdma::Node* memory_node = deps_.memory->node();
+    crash_listener_id_ = deps_.fabric->AddCrashListener(
+        [this, memory_node](rdma::Node* node, bool crashed) {
+          if (node == memory_node) block_cache_->set_offline(crashed);
+        });
+  }
+
   if (options_.write_path == WritePath::kWriterQueue) {
     write_mu_ = std::make_unique<Mutex>(env_);
   }
@@ -557,6 +573,15 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   trace::TraceSpan span("Get", "db");
   DLSM_RETURN_NOT_OK(BgError());
+  if (options.async_reads && read_path_.uncached_index) {
+    // An uncached-index probe must fetch the index before it can size the
+    // data read, so it can never join a doorbell wave. Reject instead of
+    // silently degrading to synchronous probes (see table_reader.h).
+    return Status::InvalidArgument(
+        "async_reads requires compute-side index caching; pass "
+        "ReadOptions::async_reads = false when Options::cache_index_blocks "
+        "is off");
+  }
   stat_reads_.fetch_add(1, std::memory_order_relaxed);
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
@@ -620,8 +645,18 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     }
     rdma::ReadBatch batch(mgr_.get());
     std::vector<size_t> slots(wave_end, 0);
+    std::vector<char> cached(wave_end, 0);
     for (size_t i = 0; i < wave_end; i++) {
       if (!probes[i].need_read) continue;
+      // Compute-side cache: a hit joins the wave as an already-complete
+      // slot (no verb posted) and is still resolved at its age-order
+      // position below, so newest-wins semantics are untouched.
+      if (block_cache_ != nullptr &&
+          block_cache_->Lookup(order[i]->number, probes[i].read_off,
+                               probes[i].buf.data(), probes[i].buf.size())) {
+        cached[i] = 1;
+        continue;
+      }
       slots[i] = batch.Add(probes[i].buf.data(),
                            order[i]->chunk.addr + probes[i].read_off,
                            order[i]->chunk.rkey, probes[i].buf.size());
@@ -629,9 +664,13 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     batch.WaitAll();  // Per-slot outcomes checked below, post drain.
     for (size_t i = 0; i < wave_end; i++) {
       if (!probes[i].need_read) continue;
-      Status s = batch.status(slots[i]);
+      Status s = cached[i] ? Status::OK() : batch.status(slots[i]);
       TableLookupResult lookup = TableLookupResult::kNotPresent;
       if (s.ok()) {
+        if (!cached[i] && block_cache_ != nullptr) {
+          block_cache_->Insert(order[i]->number, probes[i].read_off,
+                               probes[i].buf.data(), probes[i].buf.size());
+        }
         s = TableProbeFinish(icmp_, lkey, &probes[i], &lookup, value);
       } else if (s.IsIOError() && read_path_.max_retries > 0) {
         // This slot's READ died with the batch QP. Recover the connection
@@ -689,12 +728,22 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
     statuses->assign(keys.size(), bg);
     return;
   }
+  if (options.async_reads && read_path_.uncached_index) {
+    // Same contract as Get: async probing cannot model per-probe index
+    // fetches, and silently degrading hid misconfiguration.
+    statuses->assign(keys.size(),
+                     Status::InvalidArgument(
+                         "async_reads requires compute-side index caching; "
+                         "pass ReadOptions::async_reads = false when "
+                         "Options::cache_index_blocks is off"));
+    return;
+  }
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
                                 : sequence_.load(std::memory_order_acquire);
   if (!options.async_reads || !SupportsAsyncProbe(read_path_)) {
-    // Baseline read paths (RPC reads, staging copies, uncached indexes)
-    // keep their modeled per-read costs: serial lookups at one snapshot.
+    // Baseline read paths (RPC reads, staging copies) keep their modeled
+    // per-read costs: serial lookups at one snapshot.
     ReadOptions ro = options;
     ro.snapshot_sequence = snapshot;
     for (size_t i = 0; i < keys.size(); i++) {
@@ -759,7 +808,8 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   // and resolved per key in age order (newest wins).
   struct WaveProbe {
     size_t key;   // Index into pending.
-    size_t slot;  // Batch slot for the posted READ.
+    size_t slot;  // Batch slot for the posted READ (unused when cached).
+    bool cached;  // Bytes came from the block cache; no verb posted.
     TableProbe probe;
   };
   std::vector<char> resolved(pending.size(), 0);
@@ -793,10 +843,19 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
         ks.cursor++;
         if (!probe.need_read) continue;  // Not in this table; no wire cost.
         bool definitive = probe.definitive;
-        size_t slot = batch.Add(probe.buf.data(),
-                                f->chunk.addr + probe.read_off,
-                                f->chunk.rkey, probe.buf.size());
-        wave.push_back(WaveProbe{k, slot, std::move(probe)});
+        // Cache hits still enter the wave (as pre-completed probes) so
+        // they resolve at their age-order position during harvest; only
+        // the verb is elided.
+        bool cached =
+            block_cache_ != nullptr &&
+            block_cache_->Lookup(f->number, probe.read_off,
+                                 probe.buf.data(), probe.buf.size());
+        size_t slot = 0;
+        if (!cached) {
+          slot = batch.Add(probe.buf.data(), f->chunk.addr + probe.read_off,
+                           f->chunk.rkey, probe.buf.size());
+        }
+        wave.push_back(WaveProbe{k, slot, cached, std::move(probe)});
         reads_this_wave++;
         if (definitive || !in_l0) break;
       }
@@ -812,9 +871,13 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
       size_t k = wp.key;
       if (resolved[k]) continue;  // A newer probe already decided this key.
       KeyState& ks = pending[k];
-      Status s = batch.status(wp.slot);
+      Status s = wp.cached ? Status::OK() : batch.status(wp.slot);
       TableLookupResult lookup = TableLookupResult::kNotPresent;
       if (s.ok()) {
+        if (!wp.cached && block_cache_ != nullptr) {
+          block_cache_->Insert(wp.probe.file->number, wp.probe.read_off,
+                               wp.probe.buf.data(), wp.probe.buf.size());
+        }
         s = TableProbeFinish(icmp_, *ks.lkey, &wp.probe, &lookup,
                              &(*values)[ks.idx]);
       } else if (s.IsIOError() && read_path_.max_retries > 0) {
@@ -997,6 +1060,19 @@ Status DLsmDB::RunCompaction(const CompactionPick& pick) {
     stat_comp_out_.fetch_add(out.data_len, std::memory_order_relaxed);
   }
   versions_->Apply(edit);
+  // Version-install invalidation: the inputs left the live set, so drop
+  // their cached bytes now rather than waiting for the last reader to
+  // release them (file numbers are never reused, so this is hygiene — a
+  // stale entry could never alias a new table — but it frees budget and
+  // keeps the cache honest about the installed version). Readers that
+  // still pin the old version re-fetch over the fabric.
+  if (block_cache_ != nullptr) {
+    for (int which = 0; which < 2; which++) {
+      for (const FileRef& f : pick.inputs[which]) {
+        block_cache_->InvalidateTable(f->number);
+      }
+    }
+  }
   stat_compactions_.fetch_add(1, std::memory_order_relaxed);
   stat_comp_in_.fetch_add(pick.InputBytes(), std::memory_order_relaxed);
   return Status::OK();
@@ -1269,7 +1345,13 @@ FileRef DLsmDB::InstallOutput(const CompactionOutput& out,
   file->largest = out.largest;
   file->index = TableIndex::Parse(out.index_blob);
   DLSM_CHECK_MSG(file->index != nullptr, "unparseable table index");
-  file->gc = [this](const remote::RemoteChunk& chunk) { FileGone(chunk); };
+  uint64_t number = file->number;
+  file->gc = [this, number](const remote::RemoteChunk& chunk) {
+    // Last reference dropped: the table is gone for good, so its cached
+    // bytes must go with it (cheap shard sweeps; never blocks).
+    if (block_cache_ != nullptr) block_cache_->InvalidateTable(number);
+    FileGone(chunk);
+  };
   return file;
 }
 
@@ -1407,6 +1489,14 @@ DbStats DLsmDB::GetStats() {
     s.rpc_retries = owned_rpc_->rpc_retries();
     s.rpc_timeouts = owned_rpc_->rpc_timeouts();
   }
+  if (block_cache_ != nullptr) {
+    CacheStats cs = block_cache_->stats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_inserts = cs.inserts;
+    s.cache_evictions = cs.evictions;
+    s.cache_admission_rejects = cs.admission_rejects;
+  }
   s.rdma = mgr_->StatsSnapshot();
   return s;
 }
@@ -1431,11 +1521,24 @@ bool DLsmDB::GetProperty(const Slice& property, std::string* value) {
     *value = std::move(out);
     return true;
   }
+  if (property == Slice("dlsm.cache") && block_cache_ != nullptr) {
+    // Engine view adds capacity/usage/offline state to the base
+    // counter-only report.
+    *value = block_cache_->PropertyString();
+    return true;
+  }
   return DB::GetProperty(property, value);
 }
 
 Status DLsmDB::Close() {
   if (closed_) return Status::OK();
+
+  // Unhook from the fabric before any state is torn down: the listener
+  // captures `this` and may fire from another thread's CrashNode call.
+  if (crash_listener_id_ != 0) {
+    deps_.fabric->RemoveCrashListener(crash_listener_id_);
+    crash_listener_id_ = 0;
+  }
 
   // Stop coordinators first: no new compactions.
   shutdown_.store(true, std::memory_order_release);

@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "src/core/block_cache.h"
 #include "src/core/compaction.h"
 #include "src/core/db.h"
 #include "src/core/dbformat.h"
@@ -144,6 +145,10 @@ class DLsmDB : public DB {
   remote::RpcClient* rpc_ = nullptr;
   std::unique_ptr<remote::SlabAllocator> flush_alloc_;
   RemoteReadPath read_path_;
+  // Compute-side hot-data cache (null when block_cache_size == 0).
+  // Declared before read_path_ users run; read_path_.cache points here.
+  std::unique_ptr<BlockCache> block_cache_;
+  uint64_t crash_listener_id_ = 0;  // Fabric crash-listener registration.
   std::unique_ptr<ThreadPool> owned_flush_pool_;
   ThreadPool* flush_pool_ = nullptr;
   std::unique_ptr<VersionSet> versions_;

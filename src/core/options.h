@@ -201,6 +201,27 @@ struct Options {
   /// the paper caches indexes only for Memory-RocksDB-RDMA and dLSM).
   bool cache_index_blocks = true;
 
+  // -- Compute-side cache -----------------------------------------------------
+  //
+  // A sharded CLOCK+TinyLFU cache of remote bytes keyed by (table id,
+  // offset). Hits elide the one-sided READ (or read RPC) entirely. Off by
+  // default: the paper's dLSM keeps no compute-side data cache, so the
+  // measured baselines stay faithful unless explicitly enabled.
+
+  /// Total cache budget in payload bytes; 0 disables the cache.
+  size_t block_cache_size = 0;
+
+  /// Cache shard count (rounded up to a power of two).
+  int cache_shards = 16;
+
+  /// TinyLFU admission: a newcomer must beat the CLOCK victim's estimated
+  /// access frequency to displace it. Disable for pure-LRU-like behavior.
+  bool cache_admission = true;
+
+  /// Let scan prefetch fills enter the cache. Off by default so one-shot
+  /// sequential traffic cannot pollute the point-read hot set.
+  bool cache_scans = false;
+
   // -- Sharding (Sec. VII) ----------------------------------------------------
 
   /// Number of range shards (lambda); each shard is an independent LSM.
@@ -215,9 +236,14 @@ struct ReadOptions {
 
   /// Allow doorbell-batched asynchronous READs on the point-lookup path
   /// (concurrent L0 probes, MultiGet waves). Only honored on read paths
-  /// that go through plain one-sided READs; baselines with RPC reads,
-  /// staging copies or uncached indexes always probe synchronously.
-  /// Exposed mainly for the read-batching ablation bench.
+  /// that go through plain one-sided READs; baselines with RPC reads or
+  /// staging copies always probe synchronously (a transport detail, not a
+  /// semantic one). Combining async_reads with an uncached-index config
+  /// (Options::cache_index_blocks == false) is rejected with
+  /// Status::InvalidArgument — the per-probe index fetch cannot be folded
+  /// into a doorbell wave, and silently degrading to synchronous probes
+  /// used to hide real misconfiguration (see table_reader.h). Exposed
+  /// mainly for the read-batching ablation bench.
   bool async_reads = true;
 };
 

@@ -30,13 +30,15 @@ void AppendCounter(std::string* out, const char* name, uint64_t v,
 }  // namespace
 
 std::string DbStats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "writes %llu  reads %llu  flushes %llu  compactions %llu\n"
       "compaction in %llu B  out %llu B  stall %.3f ms  bloom useful %llu\n"
       "compaction rpc inflight peak %llu\n"
-      "retries: read %llu  flush %llu  rpc %llu  rpc timeouts %llu\n",
+      "retries: read %llu  flush %llu  rpc %llu  rpc timeouts %llu\n"
+      "cache: hits %llu  misses %llu  inserts %llu  evictions %llu  "
+      "admission rejects %llu\n",
       static_cast<unsigned long long>(writes),
       static_cast<unsigned long long>(reads),
       static_cast<unsigned long long>(flushes),
@@ -49,7 +51,12 @@ std::string DbStats::ToString() const {
       static_cast<unsigned long long>(read_retries),
       static_cast<unsigned long long>(flush_retries),
       static_cast<unsigned long long>(rpc_retries),
-      static_cast<unsigned long long>(rpc_timeouts));
+      static_cast<unsigned long long>(rpc_timeouts),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_inserts),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_admission_rejects));
   return std::string(buf) + rdma.ToString();
 }
 
@@ -72,6 +79,12 @@ std::string StatsJson(const DbStats& stats) {
   AppendCounter(&out, "flush_retries", stats.flush_retries, &first);
   AppendCounter(&out, "rpc_retries", stats.rpc_retries, &first);
   AppendCounter(&out, "rpc_timeouts", stats.rpc_timeouts, &first);
+  AppendCounter(&out, "cache_hits", stats.cache_hits, &first);
+  AppendCounter(&out, "cache_misses", stats.cache_misses, &first);
+  AppendCounter(&out, "cache_inserts", stats.cache_inserts, &first);
+  AppendCounter(&out, "cache_evictions", stats.cache_evictions, &first);
+  AppendCounter(&out, "cache_admission_rejects",
+                stats.cache_admission_rejects, &first);
   out.append(",\"rdma\":");
   out.append(stats.rdma.ToJson());
   out.append("}");
@@ -96,6 +109,27 @@ bool DB::GetProperty(const Slice& property, std::string* value) {
   }
   if (property == Slice("dlsm.rdma")) {
     *value = GetStats().rdma.ToString();
+    return true;
+  }
+  if (property == Slice("dlsm.cache")) {
+    // Counter-only view; DLsmDB overrides this to add capacity/usage,
+    // which only the engine owning the BlockCache can see.
+    DbStats s = GetStats();
+    uint64_t accesses = s.cache_hits + s.cache_misses;
+    double hit_rate = accesses == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(s.cache_hits) /
+                                static_cast<double>(accesses);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "block-cache: hits=%llu misses=%llu hit-rate=%.2f%%\n"
+                  "inserts=%llu evictions=%llu admission-rejects=%llu\n",
+                  static_cast<unsigned long long>(s.cache_hits),
+                  static_cast<unsigned long long>(s.cache_misses), hit_rate,
+                  static_cast<unsigned long long>(s.cache_inserts),
+                  static_cast<unsigned long long>(s.cache_evictions),
+                  static_cast<unsigned long long>(s.cache_admission_rejects));
+    *value = buf;
     return true;
   }
   return false;

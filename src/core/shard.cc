@@ -302,6 +302,11 @@ DbStats ShardedDB::GetStats() {
     // client, whose counters are folded in once below.
     total.rpc_retries += s.rpc_retries;
     total.rpc_timeouts += s.rpc_timeouts;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_inserts += s.cache_inserts;
+    total.cache_evictions += s.cache_evictions;
+    total.cache_admission_rejects += s.cache_admission_rejects;
     total.rdma.MergeFrom(s.rdma);
   }
   if (rpc_ != nullptr) {

@@ -324,7 +324,18 @@ class PrefetchWindow {
     size_t want = chunk_ > len ? chunk_ : len;
     if (off + want > data_len_) want = static_cast<size_t>(data_len_ - off);
     front_.resize(want);
-    DLSM_RETURN_NOT_OK(rp_.Read(front_.data(), base_ + off, rkey_, want));
+    // Scan fills only touch the cache when Options::cache_scans opted in;
+    // by default sequential traffic never competes with the point-read
+    // hot set. Keys use the chunk geometry (table, chunk offset).
+    BlockCache* cache =
+        rp_.cache_scans && rp_.cache_table != 0 ? rp_.cache : nullptr;
+    if (cache == nullptr ||
+        !cache->Lookup(rp_.cache_table, off, front_.data(), want)) {
+      DLSM_RETURN_NOT_OK(rp_.Read(front_.data(), base_ + off, rkey_, want));
+      if (cache != nullptr) {
+        cache->Insert(rp_.cache_table, off, front_.data(), want);
+      }
+    }
     front_off_ = off;
     if (forward) PostNext();
     *out = front_.data() + (off - front_off_);
@@ -816,11 +827,33 @@ Status TableGet(const RemoteReadPath& read_path,
   if (!probe.need_read) {
     return Status::OK();
   }
+  // Compute-side cache: a hit hands back the exact bytes the READ below
+  // would fetch, eliding the fabric round trip (and, for baselines, the
+  // RPC / staging copy as well).
+  BlockCache* cache = read_path.cache;
+  if (cache != nullptr && file.number != 0 &&
+      cache->Lookup(file.number, probe.read_off, probe.buf.data(),
+                    probe.buf.size())) {
+    return TableProbeFinish(icmp, lkey, &probe, result, value);
+  }
   // One RDMA READ of exactly the record (byte-addressability payoff), or
   // of the whole enclosing block under the block layout.
-  DLSM_RETURN_NOT_OK(read_path.Read(probe.buf.data(),
-                                    file.chunk.addr + probe.read_off,
-                                    file.chunk.rkey, probe.buf.size()));
+  if (cache != nullptr) {
+    trace::TraceSpan fill_span("cache_miss_fill", "db");
+    Status rs = read_path.Read(probe.buf.data(),
+                               file.chunk.addr + probe.read_off,
+                               file.chunk.rkey, probe.buf.size());
+    fill_span.End();
+    DLSM_RETURN_NOT_OK(rs);
+    if (file.number != 0) {
+      cache->Insert(file.number, probe.read_off, probe.buf.data(),
+                    probe.buf.size());
+    }
+  } else {
+    DLSM_RETURN_NOT_OK(read_path.Read(probe.buf.data(),
+                                      file.chunk.addr + probe.read_off,
+                                      file.chunk.rkey, probe.buf.size()));
+  }
   return TableProbeFinish(icmp, lkey, &probe, result, value);
 }
 
@@ -830,11 +863,15 @@ Iterator* NewRemoteTableIterator(const RemoteReadPath& read_path,
   if (file->index == nullptr) {
     return NewErrorIterator(Status::Corruption("table has no cached index"));
   }
+  // Stamp the owning table onto the iterator's private read-path copy so
+  // scan-fill cache entries (when cache_scans is on) carry the right key.
+  RemoteReadPath rp = read_path;
+  rp.cache_table = file->number;
   if (file->index->kind() == TableIndex::kPerRecord) {
-    return new RemoteByteTableIterator(read_path, icmp, std::move(file),
+    return new RemoteByteTableIterator(rp, icmp, std::move(file),
                                        prefetch_bytes);
   }
-  return new RemoteBlockTableIterator(read_path, icmp, std::move(file),
+  return new RemoteBlockTableIterator(rp, icmp, std::move(file),
                                       prefetch_bytes);
 }
 

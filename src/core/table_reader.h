@@ -17,6 +17,7 @@
 #include <atomic>
 #include <memory>
 
+#include "src/core/block_cache.h"
 #include "src/core/bloom.h"
 #include "src/core/dbformat.h"
 #include "src/core/file_meta.h"
@@ -39,7 +40,27 @@ struct RemoteReadPath {
   bool extra_copy = false;
   /// When set, table probes pay an extra remote fetch of the table's
   /// index block before touching data (no compute-side index cache).
+  ///
+  /// Interaction with ReadOptions::async_reads: an uncached-index path
+  /// cannot probe asynchronously — the index fetch must complete before
+  /// the data read can even be sized, so it can never join a doorbell
+  /// wave. Earlier revisions silently fell back to synchronous probing,
+  /// which masked misconfigured baselines; DLsmDB::Get/MultiGet now
+  /// reject the combination with Status::InvalidArgument. Callers must
+  /// pass async_reads = false (see Options::cache_index_blocks).
   bool uncached_index = false;
+
+  /// Optional compute-side cache of remote bytes (may be null). Read()
+  /// and MgrRead() stay cache-oblivious; consult/insert decisions live
+  /// with the callers (TableGet, probe harvest, scan prefetch) keyed by
+  /// cache_table, the owning table's file number.
+  BlockCache* cache = nullptr;
+  /// Scan prefetch fills may enter the cache (Options::cache_scans).
+  bool cache_scans = false;
+  /// File number of the table this path instance is currently reading;
+  /// threaded through by the per-table helpers. 0 = caching disabled for
+  /// this read.
+  uint64_t cache_table = 0;
 
   /// Transient-fault policy (Options::rdma_max_retries): additional
   /// attempts after an IOError, each preceded by a QP recovery (drain +

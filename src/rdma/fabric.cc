@@ -622,12 +622,44 @@ void Fabric::CrashNode(Node* node) {
   // fabric-lock -> qp-lock order one-way.
   Status cause = Status::IOError("node crashed: " + node->name());
   for (QueuePair* qp : touched) qp->SetError(cause);
+  NotifyCrashListeners(node, true);
 }
 
 void Fabric::RestartNode(Node* node) {
   // QPs stay in the error state until their owners Reset() them — a
   // restarted machine's connections still need to be re-established.
   node->crashed_.store(false, std::memory_order_release);
+  NotifyCrashListeners(node, false);
+}
+
+uint64_t Fabric::AddCrashListener(std::function<void(Node*, bool)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_crash_listener_id_++;
+  crash_listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Fabric::RemoveCrashListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = crash_listeners_.begin(); it != crash_listeners_.end();
+       ++it) {
+    if (it->first == id) {
+      crash_listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Fabric::NotifyCrashListeners(Node* node, bool crashed) {
+  // Copy under mu_, invoke outside it: listeners may touch DB state that
+  // itself issues fabric calls.
+  std::vector<std::function<void(Node*, bool)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners.reserve(crash_listeners_.size());
+    for (const auto& entry : crash_listeners_) listeners.push_back(entry.second);
+  }
+  for (const auto& listener : listeners) listener(node, crashed);
 }
 
 Status Fabric::CheckRemoteAccess(uint32_t rkey, uint64_t addr, size_t len,

@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -363,6 +364,14 @@ class Fabric {
   void CrashNode(Node* node);
   void RestartNode(Node* node);
 
+  /// Registers a callback fired by CrashNode (crashed = true) and
+  /// RestartNode (crashed = false), outside fabric locks, on the
+  /// crashing/restarting caller's thread. Compute-side state that must
+  /// fail closed across a fault (e.g. the block cache) hooks in here.
+  /// Returns an id for RemoveCrashListener.
+  uint64_t AddCrashListener(std::function<void(Node*, bool)> listener);
+  void RemoveCrashListener(uint64_t id);
+
   /// Total bytes moved over the wire so far (for data-movement reports).
   uint64_t wire_bytes() const {
     return wire_bytes_.load(std::memory_order_relaxed);
@@ -388,6 +397,8 @@ class Fabric {
   uint64_t ReserveLink(Node* src, Node* dst, size_t len, uint64_t latency_ns,
                        uint64_t now);
 
+  void NotifyCrashListeners(Node* node, bool crashed);
+
   Env* env_;
   LinkParams params_;
   mutable std::mutex mu_;  // Guards nodes' link state and registrations.
@@ -397,6 +408,9 @@ class Fabric {
   uint32_t next_key_ = 0x1000;
   FaultParams fault_params_;
   std::atomic<bool> faults_enabled_{false};
+  std::vector<std::pair<uint64_t, std::function<void(Node*, bool)>>>
+      crash_listeners_;  // Guarded by mu_; invoked outside it.
+  uint64_t next_crash_listener_id_ = 1;
   std::atomic<uint64_t> wire_bytes_{0};
   std::atomic<uint64_t> wire_ops_{0};
 };

@@ -1,0 +1,120 @@
+// Sharded CLOCK cache with TinyLFU admission.
+//
+// The cache maps a 128-bit key to an immutable byte payload. It is built
+// for a read-mostly hot set: lookups are lock-free (slot states carry a
+// ready bit, an 8-bit key-hash tag and a reader refcount in one atomic
+// word), while inserts, evictions and invalidation serialize on a
+// per-shard mutex. Each shard is an open-addressed slot array doubling as
+// the CLOCK ring; admission is guarded by a 4-bit count-min frequency
+// sketch with periodic halving, so a flood of one-shot keys (scan
+// traffic) cannot displace entries that are actually hot.
+//
+// This layer is generic bytes-in/bytes-out; the typed block/chunk view
+// keyed by (table id, block offset) lives in src/core/block_cache.h.
+
+#ifndef DLSM_UTIL_CACHE_H_
+#define DLSM_UTIL_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dlsm {
+
+/// Monotonic cache counters (snapshot; aggregated across shards).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;          ///< Entries displaced by CLOCK.
+  uint64_t admission_rejects = 0;  ///< Inserts the TinyLFU sketch refused.
+};
+
+/// TinyLFU frequency sketch: a count-min sketch of 4-bit saturating
+/// counters (two per byte, CAS-updated), estimating how often a key hash
+/// has been accessed recently. Every kSamplePeriodFactor * num_counters
+/// recorded accesses, all counters are halved ("aging"), so the estimate
+/// tracks recent popularity rather than all-time counts.
+class FrequencySketch {
+ public:
+  /// Rounds num_counters up to a power of two (min 1024).
+  explicit FrequencySketch(size_t num_counters);
+
+  /// Records one access; triggers aging at the sample period.
+  void Increment(uint64_t hash);
+
+  /// Estimated access count in [0, 15] (min over the hash rows).
+  uint32_t Estimate(uint64_t hash) const;
+
+  /// Number of halvings performed so far (test observability).
+  uint64_t halvings() const {
+    return halvings_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr int kRows = 4;
+  static constexpr uint64_t kSamplePeriodFactor = 8;
+
+ private:
+  void Age();
+  size_t RowIndex(uint64_t hash, int row) const;
+
+  // Two 4-bit counters per byte; counter i lives in nibble (i & 1) of
+  // byte (i >> 1). CAS loops keep concurrent increments and the halving
+  // sweep torn-write free (sketch estimates tolerate counting races).
+  std::vector<std::atomic<uint8_t>> table_;
+  size_t mask_;             // num_counters - 1 (per row, shared array).
+  uint64_t sample_period_;  // Accesses between halvings.
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> halvings_{0};
+};
+
+/// The sharded cache. Capacity is accounted in payload bytes and split
+/// evenly across shards (shard count rounded up to a power of two). An
+/// entry larger than a quarter of one shard's budget is never admitted.
+class ShardedClockCache {
+ public:
+  ShardedClockCache(size_t capacity_bytes, int num_shards, bool admission);
+  ~ShardedClockCache();
+
+  ShardedClockCache(const ShardedClockCache&) = delete;
+  ShardedClockCache& operator=(const ShardedClockCache&) = delete;
+
+  /// On hit copies exactly len bytes into dst and returns true. A stored
+  /// entry with the same key but a different length counts as a miss (the
+  /// caller's geometry changed; the stale entry ages out via CLOCK).
+  /// Records the access in the admission sketch either way.
+  bool Lookup(uint64_t k1, uint64_t k2, char* dst, size_t len);
+
+  /// Copies src into the cache. May be dropped by the admission sketch
+  /// (unless bypass_admission), by the oversize guard, or when every
+  /// candidate slot is pinned by concurrent readers. Re-inserting a
+  /// present key refreshes its CLOCK bit and keeps the existing payload.
+  void Insert(uint64_t k1, uint64_t k2, const char* src, size_t len,
+              bool bypass_admission = false);
+
+  /// Drops every entry whose first key word equals k1 (table
+  /// invalidation). Returns the number of entries dropped.
+  size_t EraseKey1(uint64_t k1);
+
+  /// Drops everything.
+  void Clear();
+
+  CacheStats stats() const;
+  size_t usage() const;
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard;
+
+  size_t capacity_;
+  bool admission_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  FrequencySketch sketch_;
+};
+
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_CACHE_H_

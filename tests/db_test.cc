@@ -871,6 +871,155 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) ? "AsyncReads" : "SyncReads");
     });
 
+// --- Cache equivalence ------------------------------------------------------
+
+// The compute-side block cache may only elide fabric READs — never change
+// a result. This sweep replays the read-path equivalence workload with the
+// cache on (small, so eviction and admission churn) and off, across both
+// environments, and demands byte-identical answers. Scan caching is
+// enabled too so the prefetch-window fill path is covered.
+
+// Param: (use_std_env, cache_on).
+class CacheEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(CacheEquivalenceTest, RandomizedWorkloadIsByteIdentical) {
+  const bool use_std_env = std::get<0>(GetParam());
+  const bool cache_on = std::get<1>(GetParam());
+  auto tune = [cache_on](Options* options) {
+    options->block_cache_size = cache_on ? 1 << 20 : 0;
+    options->cache_shards = 4;
+    options->cache_scans = cache_on;
+  };
+
+  if (!use_std_env) {
+    RunDbTest(tune, [cache_on](DB* db, Env*) {
+      EquivalenceWorkload(db, /*async_reads=*/true, 6000);
+      if (cache_on) {
+        // The workload's point-read volume must actually exercise the
+        // cache, or this sweep proves nothing.
+        DbStats stats = db->GetStats();
+        EXPECT_GT(stats.cache_hits, 0u);
+        EXPECT_GT(stats.cache_inserts, 0u);
+      }
+    });
+    return;
+  }
+
+  // Real-time deployment: cache hits race real reader/writer threads.
+  Env* env = Env::Std();
+  rdma::Fabric fabric(env);
+  rdma::Node* compute = fabric.AddNode("compute", 0, 1ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 0, 2ull << 30);
+  MemoryNodeService service(&fabric, memory, 2);
+  service.Start();
+
+  Options options = test::SmallOptions(env);
+  tune(&options);
+  DbDeps deps;
+  deps.fabric = &fabric;
+  deps.compute = compute;
+  deps.memory = &service;
+  DB* raw = nullptr;
+  ASSERT_TRUE(DLsmDB::Open(options, deps, &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  EquivalenceWorkload(db.get(), /*async_reads=*/true, 2500);
+
+  ASSERT_TRUE(db->Close().ok());
+  db.reset();
+  service.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnvAndCache, CacheEquivalenceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      return std::string(std::get<0>(info.param) ? "StdEnv" : "SimEnv") +
+             (std::get<1>(info.param) ? "CacheOn" : "CacheOff");
+    });
+
+// Compactions rewrite cached tables into new file numbers; reads after the
+// rewrite must see the new values. (File numbers are never reused, so a
+// stale hit would need the old table's entries to alias the new one — this
+// pins the invalidation hook that drops them anyway.)
+TEST(CacheInvalidationTest, NoStaleReadsAcrossCompaction) {
+  RunDbTest(
+      [](Options* options) {
+        options->block_cache_size = 8 << 20;
+        options->cache_shards = 4;
+      },
+      [](DB* db, Env*) {
+        const int kN = 1500;
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i)).ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        // Populate the cache from the current tables.
+        for (int i = 0; i < kN; i++) {
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok());
+          EXPECT_EQ(TestValue(i), value);
+        }
+        DbStats before = db->GetStats();
+        EXPECT_GT(before.cache_inserts, 0u);
+        // Rewrite everything; flush + compaction replace the cached
+        // tables and fire the invalidation hooks.
+        for (int i = 0; i < kN; i++) {
+          ASSERT_TRUE(
+              db->Put(WriteOptions(), TestKey(i), TestValue(i + 900000))
+                  .ok());
+        }
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+        for (int i = 0; i < kN; i++) {
+          std::string value;
+          ASSERT_TRUE(db->Get(ReadOptions(), TestKey(i), &value).ok());
+          EXPECT_EQ(TestValue(i + 900000), value) << "stale read, key " << i;
+        }
+        // The "dlsm.cache" property is live when the cache is configured.
+        std::string prop;
+        ASSERT_TRUE(db->GetProperty("dlsm.cache", &prop));
+        EXPECT_NE(std::string::npos, prop.find("block-cache:"));
+      });
+}
+
+// Pins the uncached-index x async-reads contract (see table_reader.h):
+// the combination is rejected with InvalidArgument up front instead of
+// silently probing synchronously.
+TEST(CacheInvalidationTest, AsyncReadsWithUncachedIndexIsRejected) {
+  RunDbTest(
+      [](Options* options) { options->cache_index_blocks = false; },
+      [](DB* db, Env*) {
+        ASSERT_TRUE(db->Put(WriteOptions(), TestKey(1), TestValue(1)).ok());
+        ASSERT_TRUE(db->Flush().ok());
+        ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+
+        ReadOptions async;
+        async.async_reads = true;
+        std::string value;
+        EXPECT_TRUE(db->Get(async, TestKey(1), &value).IsInvalidArgument());
+
+        std::vector<Slice> keys;
+        std::vector<std::string> key_storage = {TestKey(1), TestKey(2)};
+        for (const auto& k : key_storage) keys.emplace_back(k);
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        db->MultiGet(async, keys, &values, &statuses);
+        for (const Status& s : statuses) {
+          EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+        }
+
+        // The synchronous path still works.
+        ReadOptions sync;
+        sync.async_reads = false;
+        ASSERT_TRUE(db->Get(sync, TestKey(1), &value).ok());
+        EXPECT_EQ(TestValue(1), value);
+      });
+}
+
 // --- Async/sync write-path equivalence --------------------------------------
 
 // The async_write toggle may only change how flush bytes and compaction

@@ -177,6 +177,10 @@ struct SweepConfig {
   uint64_t seed;
   double wr_error_rate;
   double rnr_delay_rate;
+  // Compute-side block cache on: hits elide fabric READs, so the sweep
+  // checks the cache never converts a fault into wrong bytes (it must be
+  // byte-identical when healthy and fail closed with the fabric when not).
+  bool cache_enabled = false;
 };
 
 std::string SweepName(const ::testing::TestParamInfo<SweepConfig>& info) {
@@ -185,6 +189,7 @@ std::string SweepName(const ::testing::TestParamInfo<SweepConfig>& info) {
   name += "Seed" + std::to_string(c.seed);
   name += "Wr" + std::to_string(static_cast<int>(c.wr_error_rate * 10000));
   name += "Rnr" + std::to_string(static_cast<int>(c.rnr_delay_rate * 10000));
+  if (c.cache_enabled) name += "Cache";
   return name;
 }
 
@@ -230,6 +235,7 @@ TEST_P(FaultSweepTest, WorkloadIsByteIdenticalOrFailsClosed) {
     MemoryNodeService service(&fabric, memory, 2);
     service.Start();
     Options options = FaultTolerantOptions(env);
+    if (cfg.cache_enabled) options.block_cache_size = 4 << 20;
     DbDeps deps;
     deps.fabric = &fabric;
     deps.compute = compute;
@@ -251,6 +257,7 @@ TEST_P(FaultSweepTest, WorkloadIsByteIdenticalOrFailsClosed) {
     MemoryNodeService service(&fabric, memory, 4);
     service.Start();
     Options options = FaultTolerantOptions(&env);
+    if (cfg.cache_enabled) options.block_cache_size = 4 << 20;
     DbDeps deps;
     deps.fabric = &fabric;
     deps.compute = compute;
@@ -274,7 +281,13 @@ INSTANTIATE_TEST_SUITE_P(
         // Transient error sweeps across seeds and rates.
         SweepConfig{false, 1, 0.001, 0.005}, SweepConfig{false, 2, 0.001, 0.0},
         SweepConfig{false, 3, 0.005, 0.005}, SweepConfig{false, 4, 0.02, 0.0},
-        SweepConfig{true, 2, 0.001, 0.005}),
+        SweepConfig{true, 2, 0.001, 0.005},
+        // Cache-enabled legs: zero-fault (must stay fully healthy) and a
+        // transient-error mix in each environment.
+        SweepConfig{false, 1, 0.0, 0.0, true},
+        SweepConfig{false, 3, 0.005, 0.005, true},
+        SweepConfig{false, 4, 0.02, 0.0, true},
+        SweepConfig{true, 2, 0.001, 0.005, true}),
     SweepName);
 
 TEST(FaultCrashTest, MemoryNodeCrashFailsClosedWithinTimeout) {
@@ -286,6 +299,9 @@ TEST(FaultCrashTest, MemoryNodeCrashFailsClosedWithinTimeout) {
     MemoryNodeService service(&fabric, memory, 4);
     service.Start();
     Options options = FaultTolerantOptions(&env);
+    // Cache on: a crash must take it offline (fail closed) — a cached hit
+    // may never succeed where the fabric read would have failed.
+    options.block_cache_size = 4 << 20;
     DbDeps deps;
     deps.fabric = &fabric;
     deps.compute = compute;
@@ -300,12 +316,18 @@ TEST(FaultCrashTest, MemoryNodeCrashFailsClosedWithinTimeout) {
     }
     ASSERT_TRUE(db->Flush().ok());
     ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    // Warm the cache so TestKey(1) would be a hit if the cache ignored
+    // the crash.
+    std::string value;
+    ASSERT_TRUE(db->Get(ReadOptions(), TestKey(1), &value).ok());
 
     fabric.CrashNode(memory);
+    std::string prop;
+    ASSERT_TRUE(db->GetProperty("dlsm.cache", &prop));
+    EXPECT_NE(std::string::npos, prop.find("offline")) << prop;
 
     // Remote reads fail closed: retries and reconnects cannot succeed
     // against a crashed peer, so the error surfaces instead of hanging.
-    std::string value;
     Status rs = db->Get(ReadOptions(), TestKey(1), &value);
     EXPECT_FALSE(rs.ok()) << "read of flushed key must fail while crashed";
 
