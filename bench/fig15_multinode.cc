@@ -1,10 +1,18 @@
 // Figure 15: multi-node design — x compute nodes and x memory nodes scale
 // together (xCxM), lambda = 8, data grows with the cluster; dLSM vs
-// Sherman vs Nova-LSM.
+// Sherman vs Nova-LSM. Multi-memory-node rows also report the per-node
+// READ-verb distribution and its max/mean imbalance ratio.
 //
-// Usage: fig15_multinode [--base=N]
+// --placement_ab runs the placement A/B instead: a Zipfian-0.99 read
+// phase on 4C4M with the heat rebalancer off vs on (imbalance ratio must
+// drop), then a uniform leg off vs on (p50 must not regress). --stats_json
+// writes one record per leg (BENCH_placement.json).
+//
+// Usage: fig15_multinode [--base=N] [--placement_ab] [--zipfian=T]
+//                        [--stats_json=PATH]
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
@@ -13,13 +21,125 @@ namespace dlsm {
 namespace bench {
 namespace {
 
+std::string NodeDistribution(const ClusterBenchResult& r) {
+  std::string out = "[";
+  for (size_t i = 0; i < r.node_read_verbs.size(); i++) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : " ",
+                  static_cast<unsigned long long>(r.node_read_verbs[i]));
+    out.append(buf);
+  }
+  out.append("]");
+  return out;
+}
+
+// One leg of the placement A/B; returns the result and logs a record.
+ClusterBenchResult PlacementLeg(uint64_t base, double theta, bool rebalance,
+                                StatsJsonWriter* json, const char* phase) {
+  ClusterBenchConfig config;
+  config.system = SystemKind::kDLsm;
+  config.compute_nodes = 4;
+  config.memory_nodes = 4;
+  config.shards_per_compute = 8;
+  config.threads_per_compute = 8;
+  config.num_keys = base * 4;
+  // Smaller tables than the default scale-down: the hot shard then spans
+  // ~20 tables, giving the rebalancer migratable units to spread.
+  config.memtable_size = 1 << 20;
+  config.sstable_size = 1 << 20;
+  config.zipfian_theta = theta;
+  config.placement_rebalance = rebalance;
+  // The scaled-down read phase lasts tens of virtual milliseconds; a 2 ms
+  // pass period gives the rebalancer several rounds within it.
+  config.placement_rebalance_interval_ns = 2'000'000;
+  // First pass settles the layout (heat accrues, tables migrate); the
+  // measured second pass sees the rebalanced placement.
+  config.read_passes = rebalance ? 2 : 1;
+  config.record_latency = true;
+  ClusterBenchResult r = RunClusterBench(config);
+  if (json != nullptr && json->enabled()) {
+    BenchConfig meta;
+    meta.system = config.system;
+    meta.num_keys = config.num_keys;
+    meta.zipfian_theta = theta;
+    PhaseResult pr;
+    pr.ops = config.num_keys;
+    pr.ops_per_sec = r.read_ops_per_sec;
+    pr.elapsed_s = r.read_ops_per_sec > 0
+                       ? static_cast<double>(config.num_keys) /
+                             r.read_ops_per_sec
+                       : 0;
+    pr.stats = r.stats;
+    pr.latency_us = r.read_latency_us;
+    json->Add("fig15_placement_ab", SystemName(config.system),
+              config.compute_nodes * config.threads_per_compute, phase, meta,
+              pr);
+  }
+  return r;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint64_t base = flags.GetInt("base", 50000);
+  double theta = flags.GetDouble("zipfian", 0.99);
+  StatsJsonWriter json(flags.GetString("stats_json", ""));
+
+  if (flags.GetBool("placement_ab", false)) {
+    std::printf("\n=== Placement A/B: 4C4M, lambda=8, heat rebalancer ===\n");
+    std::printf("%-22s %12s %10s %10s %10s\n", "leg", "read", "imbalance",
+                "migrated", "p50(us)");
+    auto row = [&](const char* leg, const ClusterBenchResult& r) {
+      std::printf("%-22s %12s %9.2fx %10llu %10.1f\n", leg,
+                  FormatThroughput(r.read_ops_per_sec).c_str(),
+                  r.read_imbalance,
+                  static_cast<unsigned long long>(r.tables_migrated),
+                  r.read_p50_us);
+      std::printf("  per-node read verbs %s\n", NodeDistribution(r).c_str());
+      std::fflush(stdout);
+    };
+    ClusterBenchResult zoff =
+        PlacementLeg(base, theta, false, &json, "zipf_static");
+    row("zipf static", zoff);
+    ClusterBenchResult zon =
+        PlacementLeg(base, theta, true, &json, "zipf_rebalance");
+    row("zipf rebalance", zon);
+    ClusterBenchResult uoff =
+        PlacementLeg(base, 0.0, false, &json, "uniform_static");
+    row("uniform static", uoff);
+    ClusterBenchResult uon =
+        PlacementLeg(base, 0.0, true, &json, "uniform_rebalance");
+    row("uniform rebalance", uon);
+    double cut = zon.read_imbalance > 0
+                     ? zoff.read_imbalance / zon.read_imbalance
+                     : 0;
+    double p50_delta = uoff.read_p50_us > 0
+                           ? (uon.read_p50_us - uoff.read_p50_us) /
+                                 uoff.read_p50_us * 100.0
+                           : 0;
+    std::printf("imbalance cut %.2fx  uniform p50 delta %+.2f%%\n", cut,
+                p50_delta);
+    if (!json.Write()) {
+      std::fprintf(stderr, "warning: could not write stats json\n");
+      return 1;
+    }
+    // CI guard thresholds: the rebalancer must halve the skew and must
+    // not tax the balanced workload.
+    bool ok = true;
+    if (cut < 2.0) {
+      std::fprintf(stderr, "FAIL: imbalance cut %.2fx < 2x\n", cut);
+      ok = false;
+    }
+    if (p50_delta > 2.0) {
+      std::fprintf(stderr, "FAIL: uniform p50 regression %+.2f%% > 2%%\n",
+                   p50_delta);
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  }
 
   std::printf("\n=== Figure 15: xCxM scaling, lambda=8 ===\n");
-  std::printf("%-10s %8s %10s %16s %16s\n", "system", "nodes", "keys",
-              "write", "read");
+  std::printf("%-10s %8s %10s %16s %16s %10s\n", "system", "nodes", "keys",
+              "write", "read", "imbalance");
   for (SystemKind system :
        {SystemKind::kDLsm, SystemKind::kNovaLsm, SystemKind::kSherman}) {
     for (int x : {1, 2, 4, 8}) {
@@ -31,10 +151,18 @@ int Main(int argc, char** argv) {
       config.threads_per_compute = 8;
       config.num_keys = base * x;
       ClusterBenchResult r = RunClusterBench(config);
-      std::printf("%-10s %dC%dM %12llu %16s %16s\n", SystemName(system), x,
-                  x, static_cast<unsigned long long>(config.num_keys),
+      char imb[24] = "-";
+      if (r.read_imbalance > 0) {
+        std::snprintf(imb, sizeof(imb), "%.2fx", r.read_imbalance);
+      }
+      std::printf("%-10s %dC%dM %12llu %16s %16s %10s\n", SystemName(system),
+                  x, x, static_cast<unsigned long long>(config.num_keys),
                   FormatThroughput(r.fill_ops_per_sec).c_str(),
-                  FormatThroughput(r.read_ops_per_sec).c_str());
+                  FormatThroughput(r.read_ops_per_sec).c_str(), imb);
+      if (r.node_read_verbs.size() > 1) {
+        std::printf("  per-node read verbs %s\n",
+                    NodeDistribution(r).c_str());
+      }
       std::fflush(stdout);
     }
   }

@@ -274,9 +274,13 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       deps.memory = service.get();
       Status s;
       if (options.shards > 1) {
+        // Range-aware boundaries: bench keys live in [0, key_range), so
+        // full-decimal-space boundaries would funnel them into shard 0.
         s = ShardedDB::Open(options, deps,
-                            ShardedDB::UniformDecimalBoundaries(
-                                options.shards, config.key_width),
+                            ShardedDB::RangeDecimalBoundaries(
+                                options.shards, config.key_width,
+                                config.key_range != 0 ? config.key_range
+                                                      : config.num_keys),
                             &raw);
       } else {
         s = DLsmDB::Open(options, deps, &raw);
@@ -601,16 +605,66 @@ ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config) {
         config.num_keys * entry * 4 / total_shards + (64ull << 20);
     options.compaction_scheduler_threads = 2;
     options.max_subcompactions = 4;
+    options.placement_policy = config.placement_policy;
+    options.placement_rebalance = config.placement_rebalance;
+    if (config.placement_rebalance_interval_ns > 0) {
+      options.placement_rebalance_interval_ns =
+          config.placement_rebalance_interval_ns;
+    }
 
     std::unique_ptr<Cluster> cluster;
     Status s = Cluster::Create(
         &env, options, topology,
-        ShardedDB::UniformDecimalBoundaries(total_shards, config.key_width),
+        ShardedDB::RangeDecimalBoundaries(total_shards, config.key_width,
+                                          key_range),
         &cluster);
     DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
 
+    // Cluster-wide counter view: every shard sees all memory nodes, so the
+    // per-node verb breakdown merges slot-wise across shards.
+    auto merged_stats = [&]() {
+      DbStats m;
+      for (int s = 0; s < cluster->num_shards(); s++) {
+        DbStats d = cluster->shard_db(s)->GetStats();
+        m.writes += d.writes;
+        m.reads += d.reads;
+        m.flushes += d.flushes;
+        m.compactions += d.compactions;
+        m.compaction_input_bytes += d.compaction_input_bytes;
+        m.compaction_output_bytes += d.compaction_output_bytes;
+        m.stall_ns += d.stall_ns;
+        m.bloom_useful += d.bloom_useful;
+        m.compaction_rpc_inflight_peak = std::max(
+            m.compaction_rpc_inflight_peak, d.compaction_rpc_inflight_peak);
+        m.read_retries += d.read_retries;
+        m.flush_retries += d.flush_retries;
+        m.rpc_retries += d.rpc_retries;
+        m.rpc_timeouts += d.rpc_timeouts;
+        m.tables_migrated += d.tables_migrated;
+        m.migration_bytes += d.migration_bytes;
+        m.cache_hits += d.cache_hits;
+        m.cache_misses += d.cache_misses;
+        m.cache_inserts += d.cache_inserts;
+        m.cache_evictions += d.cache_evictions;
+        m.cache_admission_rejects += d.cache_admission_rejects;
+        if (m.per_node.size() < d.per_node.size()) {
+          m.per_node.resize(d.per_node.size());
+        }
+        for (size_t i = 0; i < d.per_node.size(); i++) {
+          m.per_node[i].read_verbs += d.per_node[i].read_verbs;
+          m.per_node[i].read_bytes += d.per_node[i].read_bytes;
+          m.per_node[i].write_verbs += d.per_node[i].write_verbs;
+          m.per_node[i].write_bytes += d.per_node[i].write_bytes;
+        }
+        m.rdma.MergeFrom(d.rdma);
+      }
+      return m;
+    };
+
+    int workers_total = config.compute_nodes * config.threads_per_compute;
+    std::vector<Histogram> latencies(workers_total);
     auto run = [&](bool reads) {
-      int workers_total = config.compute_nodes * config.threads_per_compute;
+      for (Histogram& h : latencies) h.Clear();
       Barrier start(&env, workers_total + 1), stop(&env, workers_total + 1);
       std::vector<ThreadHandle> hs;
       for (int c = 0; c < config.compute_nodes; c++) {
@@ -618,18 +672,47 @@ ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config) {
         uint64_t hi = key_range * (c + 1) / config.compute_nodes;
         for (int t = 0; t < config.threads_per_compute; t++) {
           uint64_t ops = (hi - lo) / config.threads_per_compute;
+          int w = c * config.threads_per_compute + t;
           hs.push_back(env.StartThread(
               cluster->compute_node(c)->env_node(), "worker",
-              [&, c, t, lo, hi, ops, reads] {
+              [&, c, t, w, lo, hi, ops, reads] {
                 Random rnd(config.seed + c * 131 + t);
+                // Skewed reads draw an UNSCRAMBLED Zipfian rank over this
+                // compute's slice: the popular ranks land in the slice's
+                // first shard, whose tables all sit on one memory node
+                // under static round-robin. The popular ranks are strided
+                // across that shard's key range so the heat covers many
+                // tables (a migratable unit each), not one.
+                std::unique_ptr<ZipfianGenerator> zipf;
+                if (reads && config.zipfian_theta > 0) {
+                  zipf = std::make_unique<ZipfianGenerator>(
+                      hi - lo, config.zipfian_theta,
+                      config.seed + 977 * w + 13);
+                }
+                uint64_t hot_span = std::max<uint64_t>(
+                    (hi - lo) / config.shards_per_compute, 1);
                 start.Arrive();
                 for (uint64_t i = 0; i < ops; i++) {
-                  uint64_t k = lo + rnd.Uniform(hi - lo);
+                  uint64_t k;
+                  if (zipf != nullptr) {
+                    uint64_t r = zipf->Next();
+                    k = r < hot_span
+                            ? lo + (r * 2654435761ull) % hot_span
+                            : lo + r;
+                  } else {
+                    k = lo + rnd.Uniform(hi - lo);
+                  }
                   std::string key = MakeKey(k, config.key_width);
                   if (reads) {
                     std::string value;
+                    uint64_t rt0 =
+                        config.record_latency ? env.NowNanos() : 0;
                     Status st = cluster->Get(key, &value);
                     DLSM_CHECK(st.ok() || st.IsNotFound());
+                    if (config.record_latency) {
+                      latencies[w].Add(
+                          static_cast<double>(env.NowNanos() - rt0) / 1e3);
+                    }
                   } else {
                     Random vr(k);
                     DLSM_CHECK(cluster
@@ -655,7 +738,36 @@ ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config) {
     result.fill_ops_per_sec = run(false);
     DLSM_CHECK(cluster->Flush().ok());
     DLSM_CHECK(cluster->WaitForBackgroundIdle().ok());
+    // Warm-up passes let the heat rebalancer settle the layout; only the
+    // last pass is measured (and only its per-node verb delta counted).
+    for (int p = 1; p < config.read_passes; p++) run(true);
+    DbStats before = merged_stats();
     result.read_ops_per_sec = run(true);
+    DbStats after = merged_stats();
+    for (Histogram& h : latencies) result.read_latency_us.Merge(h);
+    result.read_p50_us = result.read_latency_us.Median();
+    result.tables_migrated = after.tables_migrated;
+    result.migration_bytes = after.migration_bytes;
+    result.stats = after;
+    uint64_t sum = 0, mx = 0;
+    for (size_t i = 0; i < after.per_node.size(); i++) {
+      uint64_t b = i < before.per_node.size()
+                       ? before.per_node[i].read_verbs
+                       : 0;
+      uint64_t bw = i < before.per_node.size()
+                        ? before.per_node[i].write_bytes
+                        : 0;
+      uint64_t rd = after.per_node[i].read_verbs - b;
+      result.node_read_verbs.push_back(rd);
+      result.node_write_bytes.push_back(after.per_node[i].write_bytes - bw);
+      sum += rd;
+      mx = std::max(mx, rd);
+    }
+    if (!result.node_read_verbs.empty() && sum > 0) {
+      double mean = static_cast<double>(sum) /
+                    static_cast<double>(result.node_read_verbs.size());
+      result.read_imbalance = static_cast<double>(mx) / mean;
+    }
     DLSM_CHECK(cluster->Close().ok());
   });
   return result;

@@ -172,11 +172,42 @@ struct ClusterBenchConfig {
   int memory_cores = 4;
   int compaction_workers = 8;
   uint64_t seed = 301;
+  /// Skewed key choice for the read phase: Zipfian theta over each
+  /// compute node's key slice (0 = uniform). Unlike BenchConfig, the rank
+  /// is NOT scrambled: the popular keys cluster at the bottom of each
+  /// compute's range, so under static placement their shards' tables pile
+  /// onto one memory node — the hotspot the heat rebalancer must fix.
+  double zipfian_theta = 0.0;
+  /// Table-to-memory-node placement (Options passthrough; LSM systems).
+  PlacementPolicyKind placement_policy = PlacementPolicyKind::kRoundRobin;
+  bool placement_rebalance = false;
+  /// Rebalance pass period override; 0 keeps the Options default. The
+  /// placement A/B leg drops this to ~2 ms virtual so the rebalancer gets
+  /// several rounds within the scaled-down read phase.
+  uint64_t placement_rebalance_interval_ns = 0;
+  /// Read phase repetitions; passes before the last are warm-up (the heat
+  /// rebalancer settles the layout) and only the last is measured.
+  int read_passes = 1;
+  /// Record per-op read latency (read_p50_us in the result).
+  bool record_latency = false;
 };
 
 struct ClusterBenchResult {
   double fill_ops_per_sec = 0;
   double read_ops_per_sec = 0;
+  /// Read-phase per-op latency p50 in microseconds (record_latency only).
+  double read_p50_us = 0;
+  Histogram read_latency_us;
+  /// Read-phase READ-verb / WRITE-byte deltas per memory node, summed
+  /// slot-wise across every shard (LSM systems only; empty for Sherman).
+  std::vector<uint64_t> node_read_verbs;
+  std::vector<uint64_t> node_write_bytes;
+  /// max/mean over node_read_verbs: 1.0 = perfectly balanced, 0 = unknown.
+  double read_imbalance = 0;
+  uint64_t tables_migrated = 0;
+  uint64_t migration_bytes = 0;
+  /// Cluster-merged engine counters at end of run (LSM systems only).
+  DbStats stats;
 };
 
 /// Fills then reads across the whole cluster; client threads run on their

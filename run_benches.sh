@@ -23,6 +23,9 @@ timeout 2400 $B/fig12_compaction --keys=150000 --stats_json=BENCH_fig12.json
 timeout 1200 $B/fig13_byteaddr --keys=80000
 timeout 2400 $B/fig14_scalability --base=20000
 timeout 2400 $B/fig15_multinode --base=20000
+# Placement A/B: zipfian 0.99 on 4C4M, heat rebalancer off vs on; asserts
+# >= 2x per-node READ-verb imbalance cut and <= 2% uniform p50 regression.
+timeout 2400 $B/fig15_multinode --placement_ab --base=50000 --stats_json=BENCH_placement.json
 timeout 1200 $B/ablations --keys=60000
 timeout 1200 $B/ablation_readbatch --keys=20000
 echo; echo "=== micro benchmarks (wall clock, google-benchmark) ==="

@@ -45,23 +45,30 @@ Status Cluster::Create(Env* env, const Options& options,
   shard_options.shards = 1;
   shard_options.env = env;
 
-  // Shard s lives on compute s/lambda; its SSTables on memory s%m
-  // (round-robin, Fig. 5).
+  // Tables, not shards, are the unit of memory-node placement: every
+  // shard sees every memory node and routes each new SSTable by
+  // Options::placement_policy, seeded with the global shard index. The
+  // default round-robin policy degenerates to the fixed shard->memory
+  // assignment of Fig. 5 (shard s's tables all land on memory s%m).
+  // Wiring is all-pairs: one RPC client per (compute, memory) pair,
+  // shared by that compute node's shards.
   for (int s = 0; s < total_shards; s++) {
     int c = s / topology.shards_per_compute;
-    int m = s % topology.memory_nodes;
-    auto key = std::make_pair(c, m);
-    if (cluster->rpcs_.find(key) == cluster->rpcs_.end()) {
-      cluster->rpcs_[key] = std::make_unique<remote::RpcClient>(
-          cluster->fabric_.get(), cluster->computes_[c],
-          cluster->memories_[m]->rpc_server());
-    }
     DbDeps deps;
     deps.fabric = cluster->fabric_.get();
     deps.compute = cluster->computes_[c];
-    deps.memory = cluster->memories_[m].get();
     deps.shared_flush_pool = cluster->flush_pools_[c].get();
-    deps.shared_rpc = cluster->rpcs_[key].get();
+    for (int m = 0; m < topology.memory_nodes; m++) {
+      auto key = std::make_pair(c, m);
+      if (cluster->rpcs_.find(key) == cluster->rpcs_.end()) {
+        cluster->rpcs_[key] = std::make_unique<remote::RpcClient>(
+            cluster->fabric_.get(), cluster->computes_[c],
+            cluster->memories_[m]->rpc_server());
+      }
+      deps.memories.push_back(cluster->memories_[m].get());
+      deps.shared_rpcs.push_back(cluster->rpcs_[key].get());
+    }
+    shard_options.placement_shard = s;
     DB* db = nullptr;
     DLSM_RETURN_NOT_OK(DLsmDB::Open(shard_options, deps, &db));
     cluster->shards_.emplace_back(db);
@@ -122,15 +129,22 @@ Status Cluster::WaitForBackgroundIdle() {
 Status Cluster::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  // Best-effort teardown: an early return on the first failing shard used
+  // to leave the remaining shards' coordinator threads and every memory
+  // service running with closed_ already set — a second Close() was then
+  // a silent no-op and the deployment leaked live threads. Remember the
+  // first error, still stop every shard and service.
+  Status first;
   for (auto& shard : shards_) {
-    DLSM_RETURN_NOT_OK(shard->Close());
+    Status s = shard->Close();
+    if (first.ok() && !s.ok()) first = s;
   }
   shards_.clear();
   flush_pools_.clear();
   rpcs_.clear();
   for (auto& m : memories_) m->Stop();
   memories_.clear();
-  return Status::OK();
+  return first;
 }
 
 }  // namespace dlsm

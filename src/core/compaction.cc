@@ -80,6 +80,7 @@ std::string CompactionResult::Serialize() const {
     PutFixed64(&out, o.chunk.size);
     PutFixed32(&out, o.chunk.rkey);
     PutFixed32(&out, o.chunk.owner_node);
+    PutFixed32(&out, o.chunk.home_node);
     PutVarint64(&out, o.data_len);
     PutVarint64(&out, o.num_entries);
     PutLengthPrefixedSlice(&out, o.smallest.Encode());
@@ -97,12 +98,13 @@ bool CompactionResult::Deserialize(const Slice& in, CompactionResult* result) {
   result->outputs.reserve(n);
   for (uint32_t i = 0; i < n; i++) {
     CompactionOutput o;
-    if (input.size() < 24) return false;
+    if (input.size() < 28) return false;
     o.chunk.addr = DecodeFixed64(input.data());
     o.chunk.size = DecodeFixed64(input.data() + 8);
     o.chunk.rkey = DecodeFixed32(input.data() + 16);
     o.chunk.owner_node = DecodeFixed32(input.data() + 20);
-    input.remove_prefix(24);
+    o.chunk.home_node = DecodeFixed32(input.data() + 24);
+    input.remove_prefix(28);
     Slice smallest, largest, blob;
     if (!GetVarint64(&input, &o.data_len) ||
         !GetVarint64(&input, &o.num_entries) ||
@@ -142,7 +144,8 @@ Status MergeAndBuild(
     const BloomFilterPolicy& bloom, uint64_t smallest_snapshot,
     bool drop_tombstones, uint64_t target_file_size, TableFormat format,
     size_t block_size,
-    const std::function<Status(remote::RemoteChunk* chunk,
+    const std::function<Status(const Slice& first_key,
+                               remote::RemoteChunk* chunk,
                                std::unique_ptr<TableSink>* sink)>& new_output,
     std::vector<CompactionOutput>* outputs) {
   std::unique_ptr<Iterator> input(merged);
@@ -152,8 +155,8 @@ Status MergeAndBuild(
   std::unique_ptr<TableBuilder> builder;
   remote::RemoteChunk chunk;
 
-  auto open_builder = [&]() -> Status {
-    DLSM_RETURN_NOT_OK(new_output(&chunk, &sink));
+  auto open_builder = [&](const Slice& first_key) -> Status {
+    DLSM_RETURN_NOT_OK(new_output(first_key, &chunk, &sink));
     builder = format == TableFormat::kByteAddressable
                   ? NewByteTableBuilder(&bloom, sink.get())
                   : NewBlockTableBuilder(&bloom, sink.get(), block_size);
@@ -222,7 +225,7 @@ Status MergeAndBuild(
       DLSM_RETURN_NOT_OK(close_builder());
     }
     if (builder == nullptr) {
-      DLSM_RETURN_NOT_OK(open_builder());
+      DLSM_RETURN_NOT_OK(open_builder(ikey.user_key));
     }
     DLSM_RETURN_NOT_OK(builder->Add(key, input->value()));
   }
@@ -276,13 +279,14 @@ Status ExecuteCompactionTask(
 
   BloomFilterPolicy bloom(task.bloom_bits_per_key);
   std::vector<remote::RemoteChunk> allocated;
-  auto new_output = [&](remote::RemoteChunk* chunk,
+  auto new_output = [&](const Slice&, remote::RemoteChunk* chunk,
                         std::unique_ptr<TableSink>* sink) -> Status {
     remote::RemoteChunk c = alloc_chunk();
     if (!c.valid()) {
       return Status::OutOfMemory("memory-node compaction region exhausted");
     }
     c.owner_node = self_node_id;
+    c.home_node = self_node_id;
     allocated.push_back(c);
     *chunk = c;
     *sink = std::make_unique<LocalMemorySink>(

@@ -85,13 +85,16 @@ Status ParseCompactionReply(const std::string& reply,
 
 /// Shared merge/drop/build loop. Consumes `merged` (takes ownership).
 /// new_output is called to provision each output chunk + sink; it must fill
-/// both out-params. Outputs are appended to *outputs.
+/// both out-params. first_key is the user key the output will open with
+/// (the merge iterator is positioned on it) so range-based placement can
+/// pick the output's memory node. Outputs are appended to *outputs.
 Status MergeAndBuild(
     Env* env, Iterator* merged, const InternalKeyComparator& icmp,
     const BloomFilterPolicy& bloom, uint64_t smallest_snapshot,
     bool drop_tombstones, uint64_t target_file_size, TableFormat format,
     size_t block_size,
-    const std::function<Status(remote::RemoteChunk* chunk,
+    const std::function<Status(const Slice& first_key,
+                               remote::RemoteChunk* chunk,
                                std::unique_ptr<TableSink>* sink)>& new_output,
     std::vector<CompactionOutput>* outputs);
 

@@ -45,6 +45,21 @@ struct DbStats {
   uint64_t rpc_retries = 0;    ///< RPC attempts re-issued after a failure.
   uint64_t rpc_timeouts = 0;   ///< RPC attempts that hit the reply deadline.
 
+  // Multi-memory-node placement (zero / empty on single-node engines).
+  uint64_t tables_migrated = 0;  ///< Heat-rebalancer version-install swaps.
+  uint64_t migration_bytes = 0;  ///< Table bytes copied node-to-node.
+  /// Per-memory-node verb/byte distribution of this engine's traffic,
+  /// indexed by memory-node slot; the imbalance input for the heat
+  /// rebalancer and the fig15 per-node report. Sharded wrappers merge
+  /// slot-wise across shards.
+  struct NodeIoStats {
+    uint64_t read_verbs = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_verbs = 0;
+    uint64_t write_bytes = 0;
+  };
+  std::vector<NodeIoStats> per_node;
+
   // Compute-side block cache (all zero when block_cache_size == 0).
   uint64_t cache_hits = 0;              ///< Reads served without the fabric.
   uint64_t cache_misses = 0;            ///< Cache probes that went remote.
@@ -118,6 +133,9 @@ class DB {
   ///   "dlsm.rdma"   — verb-class wire telemetry summary
   ///   "dlsm.cache"  — compute-side block cache summary (capacity, usage,
   ///                   hit rate; all-zero counters when the cache is off)
+  ///   "dlsm.placement" — table placement / migration summary (policy,
+  ///                   per-node distribution, migration counters; engines
+  ///                   with one memory node report the degenerate layout)
   /// Returns false (leaving *value untouched) for unknown names. The base
   /// implementation derives everything from GetStats/NumFilesAtLevel, so
   /// every engine (baselines, sharded wrappers) supports these names.

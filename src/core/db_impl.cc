@@ -33,8 +33,19 @@ class SnapshotImpl : public Snapshot {
 Status DLsmDB::Open(const Options& options, const DbDeps& deps, DB** dbptr) {
   *dbptr = nullptr;
   if (options.env == nullptr || deps.fabric == nullptr ||
-      deps.compute == nullptr || deps.memory == nullptr) {
+      deps.compute == nullptr ||
+      (deps.memory == nullptr && deps.memories.empty())) {
     return Status::InvalidArgument("missing env/fabric/node wiring");
+  }
+  for (MemoryNodeService* m : deps.memories) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("null memory node in deps.memories");
+    }
+  }
+  if (!deps.shared_rpcs.empty() &&
+      deps.shared_rpcs.size() != deps.memories.size()) {
+    return Status::InvalidArgument(
+        "deps.shared_rpcs must parallel deps.memories");
   }
   auto db = std::unique_ptr<DLsmDB>(new DLsmDB(options, deps));
   DLSM_RETURN_NOT_OK(db->Init());
@@ -48,6 +59,8 @@ DLsmDB::DLsmDB(const Options& options, const DbDeps& deps)
       env_(options.env),
       icmp_(options.comparator),
       bloom_(options.bloom_bits_per_key),
+      mig_mu_(options.env),
+      mig_cv_(options.env, &mig_mu_),
       mem_mu_(options.env),
       backpressure_cv_(options.env, &mem_mu_),
       comp_mu_(options.env),
@@ -61,69 +74,138 @@ uint64_t DLsmDB::SeqRange() const {
 }
 
 Status DLsmDB::Init() {
-  mgr_ = std::make_unique<rdma::RdmaManager>(deps_.fabric, deps_.compute,
-                                             deps_.memory->node());
-  if (deps_.shared_rpc != nullptr) {
-    rpc_ = deps_.shared_rpc;
-  } else {
-    owned_rpc_ = std::make_unique<remote::RpcClient>(
-        deps_.fabric, deps_.compute, deps_.memory->rpc_server());
-    rpc_ = owned_rpc_.get();
-  }
-  if (options_.rpc_timeout_ns > 0) {
-    // Shared clients get the same policy from every shard (same Options),
-    // so the redundant installs are harmless.
-    remote::RpcPolicy policy;
-    policy.timeout_ns = options_.rpc_timeout_ns;
-    policy.max_retries = options_.rpc_max_retries;
-    policy.retry_backoff_ns = options_.rpc_retry_backoff_ns;
-    rpc_->set_policy(policy);
+  // Normalize the one-node and many-node deps forms into nodes_: slot i of
+  // this vector is what FileMetaData::memory_node indexes.
+  std::vector<MemoryNodeService*> services = deps_.memories;
+  if (services.empty()) services.push_back(deps_.memory);
+  std::vector<remote::RpcClient*> shared(services.size(), nullptr);
+  if (!deps_.shared_rpcs.empty()) {
+    shared = deps_.shared_rpcs;
+  } else if (deps_.shared_rpc != nullptr) {
+    shared[0] = deps_.shared_rpc;
   }
 
-  // Acquire the compute-controlled flush region from the memory node via
-  // the general-purpose RPC (paper Sec. V-A).
-  std::string args, reply;
-  PutFixed64(&args, options_.flush_region_size);
-  DLSM_RETURN_NOT_OK(
-      rpc_->Call(remote::RpcType::kAllocFlushRegion, args, &reply));
-  if (reply.size() < 12) return Status::Corruption("bad alloc-region reply");
-  uint64_t region_addr = DecodeFixed64(reply.data());
-  uint32_t region_rkey = DecodeFixed32(reply.data() + 8);
-  if (region_addr == 0) {
-    return Status::OutOfMemory("memory node cannot provision flush region");
-  }
-  rdma::MemoryRegion region;
-  region.addr = region_addr;
-  region.rkey = region_rkey;
-  region.length = options_.flush_region_size;
-  region.node_id = deps_.memory->node()->id();
-  size_t slab = options_.sstable_slab_size != 0
-                    ? options_.sstable_slab_size
-                    : options_.sstable_size + options_.sstable_size / 2;
-  flush_alloc_ = std::make_unique<remote::SlabAllocator>(
-      region, slab, deps_.compute->id());
-
-  read_path_.mgr = mgr_.get();
-  read_path_.rpc = options_.reads_via_rpc ? rpc_ : nullptr;
-  read_path_.extra_copy = options_.extra_io_copy;
-  read_path_.uncached_index = !options_.cache_index_blocks;
-  read_path_.max_retries = options_.rdma_max_retries;
-  read_path_.retry_backoff_ns = options_.rdma_retry_backoff_ns;
-  read_path_.retry_counter = &stat_read_retries_;
+  placement_ = NewPlacementPolicy(options_);
+  home_ = services.size() > 1
+              ? static_cast<size_t>(options_.placement_shard) % services.size()
+              : 0;
+  slab_size_ = options_.sstable_slab_size != 0
+                   ? options_.sstable_slab_size
+                   : options_.sstable_size + options_.sstable_size / 2;
+  const size_t growth = options_.flush_region_growth != 0
+                            ? options_.flush_region_growth
+                            : options_.flush_region_size;
 
   if (options_.block_cache_size > 0) {
     block_cache_ = std::make_unique<BlockCache>(options_.block_cache_size,
                                                 options_.cache_shards,
                                                 options_.cache_admission);
-    read_path_.cache = block_cache_.get();
-    read_path_.cache_scans = options_.cache_scans;
-    // Fail closed across memory-node faults: while our memory node is
-    // crashed the cache refuses to serve (and drops its contents), so a
-    // cached read can never succeed where the fabric read would fail.
-    rdma::Node* memory_node = deps_.memory->node();
+  }
+
+  nodes_.resize(services.size());
+  read_paths_.resize(services.size());
+  gc_batches_.resize(services.size());
+  for (size_t i = 0; i < services.size(); i++) {
+    MemoryNodeState& n = nodes_[i];
+    n.service = services[i];
+    n.mgr = std::make_unique<rdma::RdmaManager>(deps_.fabric, deps_.compute,
+                                                n.service->node());
+    if (shared[i] != nullptr) {
+      n.rpc = shared[i];
+    } else {
+      n.owned_rpc = std::make_unique<remote::RpcClient>(
+          deps_.fabric, deps_.compute, n.service->rpc_server());
+      n.rpc = n.owned_rpc.get();
+    }
+    if (options_.rpc_timeout_ns > 0) {
+      // Shared clients get the same policy from every shard (same Options),
+      // so the redundant installs are harmless.
+      remote::RpcPolicy policy;
+      policy.timeout_ns = options_.rpc_timeout_ns;
+      policy.max_retries = options_.rpc_max_retries;
+      policy.retry_backoff_ns = options_.rpc_retry_backoff_ns;
+      n.rpc->set_policy(policy);
+    }
+
+    // Growable per-node arena (paper Sec. V-A): each grow call acquires a
+    // compute-controlled region from that node via the general-purpose
+    // RPC. Regions beyond the first are provisioned lazily, when
+    // placement first routes a table (or growth) there.
+    remote::RpcClient* rpc = n.rpc;
+    const uint32_t fabric_id = n.service->node()->id();
+    n.arena = std::make_unique<remote::RemoteArena>(
+        slab_size_, deps_.compute->id(), growth,
+        [rpc, fabric_id](size_t bytes, rdma::MemoryRegion* region) -> Status {
+          std::string args, reply;
+          PutFixed64(&args, bytes);
+          DLSM_RETURN_NOT_OK(
+              rpc->Call(remote::RpcType::kAllocFlushRegion, args, &reply));
+          if (reply.size() < 12) {
+            return Status::Corruption("bad alloc-region reply");
+          }
+          region->addr = DecodeFixed64(reply.data());
+          region->rkey = DecodeFixed32(reply.data() + 8);
+          region->length = bytes;
+          region->node_id = fabric_id;
+          return Status::OK();  // addr == 0: node out of memory (no grow).
+        });
+
+    RemoteReadPath& rp = read_paths_[i];
+    rp.mgr = n.mgr.get();
+    rp.rpc = options_.reads_via_rpc ? n.rpc : nullptr;
+    rp.extra_copy = options_.extra_io_copy;
+    rp.uncached_index = !options_.cache_index_blocks;
+    rp.max_retries = options_.rdma_max_retries;
+    rp.retry_backoff_ns = options_.rdma_retry_backoff_ns;
+    rp.retry_counter = &stat_read_retries_;
+    if (block_cache_ != nullptr) {
+      rp.cache = block_cache_.get();
+      rp.cache_scans = options_.cache_scans;
+    }
+  }
+  router_ = ReadRouter{read_paths_.data(), read_paths_.size()};
+  mgr_ = nodes_[home_].mgr.get();
+  rpc_ = nodes_[home_].rpc;
+
+  // Seed the home node's arena eagerly so Open fails fast (and loudly)
+  // when the memory node cannot provision even one flush region.
+  {
+    std::string args, reply;
+    PutFixed64(&args, options_.flush_region_size);
+    DLSM_RETURN_NOT_OK(
+        rpc_->Call(remote::RpcType::kAllocFlushRegion, args, &reply));
+    if (reply.size() < 12) return Status::Corruption("bad alloc-region reply");
+    uint64_t region_addr = DecodeFixed64(reply.data());
+    if (region_addr == 0) {
+      return Status::OutOfMemory("memory node cannot provision flush region");
+    }
+    rdma::MemoryRegion region;
+    region.addr = region_addr;
+    region.rkey = DecodeFixed32(reply.data() + 8);
+    region.length = options_.flush_region_size;
+    region.node_id = nodes_[home_].service->node()->id();
+    nodes_[home_].arena->AddRegion(region);
+  }
+
+  if (block_cache_ != nullptr) {
+    // Fail closed across memory-node faults: while any of our memory
+    // nodes is crashed the cache refuses to serve (and drops its
+    // contents), so a cached read can never succeed where the fabric
+    // read would fail. Refcounted: the cache comes back online only when
+    // every crashed node has restarted.
+    std::vector<rdma::Node*> memory_nodes;
+    for (const MemoryNodeState& n : nodes_) {
+      memory_nodes.push_back(n.service->node());
+    }
     crash_listener_id_ = deps_.fabric->AddCrashListener(
-        [this, memory_node](rdma::Node* node, bool crashed) {
-          if (node == memory_node) block_cache_->set_offline(crashed);
+        [this, memory_nodes](rdma::Node* node, bool crashed) {
+          for (rdma::Node* m : memory_nodes) {
+            if (node != m) continue;
+            int before = crashed_memory_nodes_.fetch_add(crashed ? 1 : -1,
+                                                         std::memory_order_acq_rel);
+            block_cache_->set_offline(crashed ? true : before > 1);
+            break;
+          }
         });
   }
 
@@ -155,6 +237,12 @@ Status DLsmDB::Init() {
     coordinators_.push_back(env_->StartThread(
         deps_.compute->env_node(), "compaction-coordinator",
         [this] { CompactionCoordinatorLoop(); }));
+  }
+
+  if (options_.placement_rebalance && nodes_.size() > 1) {
+    migrator_ = env_->StartThread(deps_.compute->env_node(), "rebalancer",
+                                  [this] { RebalanceLoop(); });
+    has_migrator_ = true;
   }
   return Status::OK();
 }
@@ -463,33 +551,39 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
     // table is then never installed, so readers see the error, not a hole.
     const int max_attempts = 1 + std::max(0, options_.flush_max_retries);
     std::vector<remote::RemoteChunk> attempt_chunks;
+    auto recycle_attempt = [this, &attempt_chunks] {
+      for (const remote::RemoteChunk& c : attempt_chunks) {
+        nodes_[SlotForNode(c.home_node)].arena->Free(c);
+      }
+      attempt_chunks.clear();
+    };
     for (int attempt = 0; attempt < max_attempts; attempt++) {
       if (attempt > 0) {
         stat_flush_retries_.fetch_add(1, std::memory_order_relaxed);
         trace::Tracer::EmitInstant("flush_retry", "flush", "attempt",
                                    static_cast<uint64_t>(attempt));
-        for (const remote::RemoteChunk& c : attempt_chunks) {
-          flush_alloc_->Free(c);
-        }
-        attempt_chunks.clear();
+        recycle_attempt();
         outputs.clear();
-        mgr_->ThreadVq()->Recover();
+        RecoverAllVqs();
         int shift = attempt - 1 < 6 ? attempt - 1 : 6;
         env_->SleepNanos(options_.rdma_retry_backoff_ns << shift);
       }
-      std::unique_ptr<FlushPipeline> pipeline;
-      if (options_.async_write) {
-        pipeline = std::make_unique<FlushPipeline>(mgr_.get());
-      }
-      auto new_output = [this, &pipeline, &attempt_chunks](
-                            remote::RemoteChunk* chunk,
+      // One pipeline per memory node touched by this job: a table's WRITE
+      // wave rides its destination node's connection; all waves drain
+      // below before install (the durability barrier).
+      std::vector<std::unique_ptr<FlushPipeline>> pipelines(nodes_.size());
+      auto new_output = [this, &pipelines, &attempt_chunks](
+                            const Slice& first_key, remote::RemoteChunk* chunk,
                             std::unique_ptr<TableSink>* sink) -> Status {
-        remote::RemoteChunk c = flush_alloc_->Allocate();
+        const size_t slot = static_cast<size_t>(PlaceTable(0, first_key));
+        MemoryNodeState& node = nodes_[slot];
+        remote::RemoteChunk c = node.arena->Allocate();
         for (int tries = 0; !c.valid() && tries < 10000; tries++) {
-          // Flush region exhausted: give GC and compaction a chance.
+          // Flush region exhausted and the node refused to grow: give GC
+          // and compaction a chance to recycle chunks.
           DrainGc();
           env_->SleepNanos(1'000'000);
-          c = flush_alloc_->Allocate();
+          c = node.arena->Allocate();
         }
         if (!c.valid()) {
           return Status::OutOfMemory("flush region exhausted");
@@ -498,13 +592,16 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
         attempt_chunks.push_back(c);
         std::unique_ptr<TableSink> base;
         if (options_.async_write) {
+          if (pipelines[slot] == nullptr) {
+            pipelines[slot] = std::make_unique<FlushPipeline>(node.mgr.get());
+          }
           base = std::make_unique<AsyncRemoteSink>(
-              mgr_.get(), c, options_.flush_buffer_size,
-              options_.flush_buffers_per_thread, pipeline.get());
+              node.mgr.get(), c, options_.flush_buffer_size,
+              options_.flush_buffers_per_thread, pipelines[slot].get());
         } else {
           // Ablation: one blocking WRITE per flush buffer.
-          base = std::make_unique<SyncRemoteSink>(
-              mgr_.get(), c, options_.flush_buffer_size);
+          base = std::make_unique<SyncRemoteSink>(node.mgr.get(), c,
+                                                  options_.flush_buffer_size);
         }
         *sink = options_.extra_io_copy
                     ? std::make_unique<CopySink>(std::move(base))
@@ -516,13 +613,18 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
                         OldestSnapshot(), /*drop_tombstones=*/false,
                         options_.sstable_size, options_.table_format,
                         options_.block_size, new_output, &outputs);
-      if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
+      if (s.ok()) {
+        // First drain failure wins; destruction cancels the rest safely.
+        for (auto& p : pipelines) {
+          if (p == nullptr) continue;
+          Status d = p->Drain();
+          if (s.ok()) s = d;
+        }
+      }
       if (s.ok() || !s.IsIOError()) break;
     }
     if (!s.ok()) {
-      for (const remote::RemoteChunk& c : attempt_chunks) {
-        flush_alloc_->Free(c);
-      }
+      recycle_attempt();
       outputs.clear();
       SetBgError(s);
     }
@@ -573,7 +675,7 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   trace::TraceSpan span("Get", "db");
   DLSM_RETURN_NOT_OK(BgError());
-  if (options.async_reads && read_path_.uncached_index) {
+  if (options.async_reads && read_paths_[0].uncached_index) {
     // An uncached-index probe must fetch the index before it can size the
     // data read, so it can never join a doorbell wave. Reject instead of
     // silently degrading to synchronous probes (see table_reader.h).
@@ -622,12 +724,14 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
   std::vector<const FileMetaData*> order;
   version->CollectSearchOrder(icmp_, key, &order, &num_l0);
   size_t start = 0;
-  if (options.async_reads && num_l0 > 1 && SupportsAsyncProbe(read_path_)) {
+  if (options.async_reads && num_l0 > 1 &&
+      SupportsAsyncProbe(read_paths_[0])) {
     // Async L0 wave: post the data READs for every may-match L0 file in
-    // one doorbell batch, then harvest completions newest-first so the
-    // newest file's hit wins (the age order the serial loop relies on).
-    // A definitive probe (per-record index matched the user key) ends the
-    // wave early: older files cannot hold a newer visible version.
+    // one doorbell batch per memory node, then harvest completions
+    // newest-first so the newest file's hit wins (the age order the
+    // serial loop relies on). A definitive probe (per-record index
+    // matched the user key) ends the wave early: older files cannot hold
+    // a newer visible version.
     trace::TraceSpan wave_span("l0_wave", "db");
     wave_span.arg("l0_files", num_l0);
     std::vector<TableProbe> probes(num_l0);
@@ -643,8 +747,12 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
       wave_end = i + 1;
       if (probes[i].need_read && probes[i].definitive) break;
     }
-    rdma::ReadBatch batch(mgr_.get());
+    // One ReadBatch per memory node the wave touches (ReadBatch rides a
+    // single connection); still one doorbell ring each, harvested in one
+    // pass.
+    std::vector<std::unique_ptr<rdma::ReadBatch>> batches(nodes_.size());
     std::vector<size_t> slots(wave_end, 0);
+    std::vector<uint32_t> pnode(wave_end, 0);
     std::vector<char> cached(wave_end, 0);
     for (size_t i = 0; i < wave_end; i++) {
       if (!probes[i].need_read) continue;
@@ -657,14 +765,26 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
         cached[i] = 1;
         continue;
       }
-      slots[i] = batch.Add(probes[i].buf.data(),
-                           order[i]->chunk.addr + probes[i].read_off,
-                           order[i]->chunk.rkey, probes[i].buf.size());
+      uint32_t node = order[i]->memory_node < nodes_.size()
+                          ? order[i]->memory_node
+                          : 0;
+      pnode[i] = node;
+      if (batches[node] == nullptr) {
+        batches[node] =
+            std::make_unique<rdma::ReadBatch>(nodes_[node].mgr.get());
+      }
+      order[i]->heat.fetch_add(1, std::memory_order_relaxed);
+      slots[i] = batches[node]->Add(probes[i].buf.data(),
+                                    order[i]->chunk.addr + probes[i].read_off,
+                                    order[i]->chunk.rkey,
+                                    probes[i].buf.size());
     }
-    batch.WaitAll();  // Per-slot outcomes checked below, post drain.
+    for (auto& b : batches) {
+      if (b != nullptr) b->WaitAll();  // Per-slot outcomes checked below.
+    }
     for (size_t i = 0; i < wave_end; i++) {
       if (!probes[i].need_read) continue;
-      Status s = cached[i] ? Status::OK() : batch.status(slots[i]);
+      Status s = cached[i] ? Status::OK() : batches[pnode[i]]->status(slots[i]);
       TableLookupResult lookup = TableLookupResult::kNotPresent;
       if (s.ok()) {
         if (!cached[i] && block_cache_ != nullptr) {
@@ -672,17 +792,17 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                                probes[i].buf.data(), probes[i].buf.size());
         }
         s = TableProbeFinish(icmp_, lkey, &probes[i], &lookup, value);
-      } else if (s.IsIOError() && read_path_.max_retries > 0) {
-        // This slot's READ died with the batch QP. Recover the connection
-        // once (no-op if a sibling slot already did) and re-probe the file
-        // serially: TableGet rides MgrRead's retry policy, so only an
-        // exhausted retry budget propagates.
+      } else if (s.IsIOError() && read_paths_[0].max_retries > 0) {
+        // This slot's READ died with its batch QP. Recover that node's
+        // connection once (no-op if a sibling slot already did) and
+        // re-probe the file serially: TableGet rides MgrRead's retry
+        // policy, so only an exhausted retry budget propagates.
         stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
         trace::Tracer::EmitInstant("read_retry", "db", "file",
                                    order[i]->number);
-        mgr_->ThreadVq()->Recover();
-        s = TableGet(read_path_, icmp_, bloom_, *order[i], lkey, &lookup,
-                     value);
+        nodes_[pnode[i]].mgr->ThreadVq()->Recover();
+        s = TableGet(router_.route(*order[i]), icmp_, bloom_, *order[i],
+                     lkey, &lookup, value);
       }
       DLSM_RETURN_NOT_OK(s);
       if (lookup == TableLookupResult::kFound) return Status::OK();
@@ -700,8 +820,9 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
     // inside TableGet (bloom-skipped probes are ~instant).
     trace::TraceSpan probe_span("table_probe", "db");
     probe_span.arg("file", f->number);
-    Status s = TableGet(read_path_, icmp_, bloom_, *f, lkey, &lookup, value,
-                        &bloom_skip);
+    f->heat.fetch_add(1, std::memory_order_relaxed);
+    Status s = TableGet(router_.route(*f), icmp_, bloom_, *f, lkey, &lookup,
+                        value, &bloom_skip);
     probe_span.End();
     DLSM_RETURN_NOT_OK(s);
     if (bloom_skip) {
@@ -728,7 +849,7 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
     statuses->assign(keys.size(), bg);
     return;
   }
-  if (options.async_reads && read_path_.uncached_index) {
+  if (options.async_reads && read_paths_[0].uncached_index) {
     // Same contract as Get: async probing cannot model per-probe index
     // fetches, and silently degrading hid misconfiguration.
     statuses->assign(keys.size(),
@@ -741,7 +862,7 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   SequenceNumber snapshot = options.snapshot_sequence != ~0ull
                                 ? options.snapshot_sequence
                                 : sequence_.load(std::memory_order_acquire);
-  if (!options.async_reads || !SupportsAsyncProbe(read_path_)) {
+  if (!options.async_reads || !SupportsAsyncProbe(read_paths_[0])) {
     // Baseline read paths (RPC reads, staging copies) keep their modeled
     // per-read costs: serial lookups at one snapshot.
     ReadOptions ro = options;
@@ -807,9 +928,10 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   // to a single doorbell batch. Completions are harvested in one drain
   // and resolved per key in age order (newest wins).
   struct WaveProbe {
-    size_t key;   // Index into pending.
-    size_t slot;  // Batch slot for the posted READ (unused when cached).
-    bool cached;  // Bytes came from the block cache; no verb posted.
+    size_t key;     // Index into pending.
+    size_t slot;    // Batch slot for the posted READ (unused when cached).
+    uint32_t node;  // Memory-node slot whose batch holds the READ.
+    bool cached;    // Bytes came from the block cache; no verb posted.
     TableProbe probe;
   };
   std::vector<char> resolved(pending.size(), 0);
@@ -817,7 +939,9 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
   while (unresolved > 0) {
     trace::TraceSpan wave_span("level_wave", "db");
     wave_span.arg("unresolved", unresolved);
-    rdma::ReadBatch batch(mgr_.get());
+    // One ReadBatch per memory node the wave touches; all are posted
+    // before any is drained, so the wave is still one round trip wide.
+    std::vector<std::unique_ptr<rdma::ReadBatch>> batches(nodes_.size());
     std::vector<WaveProbe> wave;
     for (size_t k = 0; k < pending.size(); k++) {
       if (resolved[k]) continue;
@@ -851,11 +975,18 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
             block_cache_->Lookup(f->number, probe.read_off,
                                  probe.buf.data(), probe.buf.size());
         size_t slot = 0;
+        uint32_t node = f->memory_node < nodes_.size() ? f->memory_node : 0;
         if (!cached) {
-          slot = batch.Add(probe.buf.data(), f->chunk.addr + probe.read_off,
-                           f->chunk.rkey, probe.buf.size());
+          if (batches[node] == nullptr) {
+            batches[node] =
+                std::make_unique<rdma::ReadBatch>(nodes_[node].mgr.get());
+          }
+          f->heat.fetch_add(1, std::memory_order_relaxed);
+          slot = batches[node]->Add(probe.buf.data(),
+                                    f->chunk.addr + probe.read_off,
+                                    f->chunk.rkey, probe.buf.size());
         }
-        wave.push_back(WaveProbe{k, slot, cached, std::move(probe)});
+        wave.push_back(WaveProbe{k, slot, node, cached, std::move(probe)});
         reads_this_wave++;
         if (definitive || !in_l0) break;
       }
@@ -866,12 +997,14 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
       }
     }
     if (wave.empty()) break;
-    batch.WaitAll();  // One CQ drain for the whole wave.
+    for (auto& b : batches) {
+      if (b != nullptr) b->WaitAll();  // One CQ drain per touched node.
+    }
     for (WaveProbe& wp : wave) {
       size_t k = wp.key;
       if (resolved[k]) continue;  // A newer probe already decided this key.
       KeyState& ks = pending[k];
-      Status s = wp.cached ? Status::OK() : batch.status(wp.slot);
+      Status s = wp.cached ? Status::OK() : batches[wp.node]->status(wp.slot);
       TableLookupResult lookup = TableLookupResult::kNotPresent;
       if (s.ok()) {
         if (!wp.cached && block_cache_ != nullptr) {
@@ -880,15 +1013,15 @@ void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
         }
         s = TableProbeFinish(icmp_, *ks.lkey, &wp.probe, &lookup,
                              &(*values)[ks.idx]);
-      } else if (s.IsIOError() && read_path_.max_retries > 0) {
-        // Same per-slot recovery as Get's L0 wave: recover the shared QP
+      } else if (s.IsIOError() && read_paths_[0].max_retries > 0) {
+        // Same per-slot recovery as Get's L0 wave: recover that node's QP
         // and fall back to a serial retrying probe of this file.
         stat_read_retries_.fetch_add(1, std::memory_order_relaxed);
         trace::Tracer::EmitInstant("read_retry", "db", "file",
                                    wp.probe.file->number);
-        mgr_->ThreadVq()->Recover();
-        s = TableGet(read_path_, icmp_, bloom_, *wp.probe.file, *ks.lkey,
-                     &lookup, &(*values)[ks.idx]);
+        nodes_[wp.node].mgr->ThreadVq()->Recover();
+        s = TableGet(router_.route(*wp.probe.file), icmp_, bloom_,
+                     *wp.probe.file, *ks.lkey, &lookup, &(*values)[ks.idx]);
       }
       if (!s.ok()) {
         (*statuses)[ks.idx] = s;
@@ -932,7 +1065,7 @@ Iterator* DLsmDB::NewIterator(const ReadOptions& options) {
     }
   }
   VersionRef version = versions_->current();
-  version->AddIterators(read_path_, icmp_, options_.scan_prefetch_size,
+  version->AddIterators(router_, icmp_, options_.scan_prefetch_size,
                         &children);
 
   Iterator* merged = NewMergingIterator(&icmp_, children.data(),
@@ -1004,9 +1137,9 @@ void DLsmDB::CompactionCoordinatorLoop() {
          !shutdown_.load(std::memory_order_acquire);
          attempt++) {
       // Transient fault somewhere in the compaction wave (RPC timeout,
-      // flushed READ/WRITE): recover this coordinator's QP and re-run the
+      // flushed READ/WRITE): recover this coordinator's QPs and re-run the
       // pick from scratch — nothing was installed, inputs are still live.
-      mgr_->ThreadVq()->Recover();
+      RecoverAllVqs();
       env_->SleepNanos(options_.rdma_retry_backoff_ns
                        << (attempt < 6 ? attempt : 6));
       s = RunCompaction(pick);
@@ -1036,10 +1169,30 @@ Status DLsmDB::RunCompaction(const CompactionPick& pick) {
   trace::TraceSpan span("compaction", "compaction");
   span.arg("level", static_cast<uint64_t>(pick.level));
   span.arg("input_bytes", pick.InputBytes());
+  // Near-data compaction merges in one memory node's DRAM, so it applies
+  // only when every input lives on the same node; a pick whose inputs
+  // placement spread across nodes falls back to the compute-side merge
+  // (which reads from and writes to any mix of nodes).
+  bool one_node = true;
+  uint32_t input_slot = 0;
+  bool first_input = true;
+  for (int which = 0; which < 2 && one_node; which++) {
+    for (const FileRef& f : pick.inputs[which]) {
+      if (first_input) {
+        input_slot = f->memory_node;
+        first_input = false;
+      } else if (f->memory_node != input_slot) {
+        one_node = false;
+        break;
+      }
+    }
+  }
   std::vector<CompactionOutput> outputs;
   Status s =
-      options_.compaction_placement == CompactionPlacement::kNearData
-          ? RunNearDataCompaction(pick, &outputs)
+      options_.compaction_placement == CompactionPlacement::kNearData &&
+              one_node
+          ? RunNearDataCompaction(
+                pick, input_slot < nodes_.size() ? input_slot : 0, &outputs)
           : RunComputeSideCompaction(pick, &outputs);
   if (!s.ok()) {
     // A failed compaction installs nothing: recycle whatever outputs did
@@ -1101,12 +1254,13 @@ CompactionInput DLsmDB::MakeInput(const FileRef& f, const Slice* lo,
   return in;
 }
 
-Status DLsmDB::IssueCompactionRpc(const CompactionTask& task,
+Status DLsmDB::IssueCompactionRpc(remote::RpcClient* rpc,
+                                  const CompactionTask& task,
                                   CompactionResult* result) {
   NoteCompactionRpcIssued();
   std::string reply;
-  Status s = rpc_->CallWithWakeup(remote::RpcType::kCompaction,
-                                  task.Serialize(), &reply);
+  Status s = rpc->CallWithWakeup(remote::RpcType::kCompaction,
+                                 task.Serialize(), &reply);
   if (s.ok()) s = ParseCompactionReply(reply, result);
   stat_comp_rpc_inflight_.fetch_sub(1, std::memory_order_relaxed);
   return s;
@@ -1121,9 +1275,11 @@ void DLsmDB::NoteCompactionRpcIssued() {
   }
 }
 
-Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
+Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick, size_t slot,
                                      std::vector<CompactionOutput>* outputs) {
-  const uint64_t slab = flush_alloc_->chunk_size();
+  rdma::RdmaManager* mgr = nodes_[slot].mgr.get();
+  remote::RpcClient* rpc = nodes_[slot].rpc;
+  const uint64_t slab = slab_size_;
   auto make_task = [&](std::vector<CompactionInput> inputs) {
     CompactionTask task;
     task.inputs = std::move(inputs);
@@ -1241,13 +1397,13 @@ Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
     };
     for (size_t i = 0; i < tasks.size(); i++) {
       while (!window.empty() && budget != 0 &&
-             window.size() + mgr_->outstanding_ops() >= budget) {
+             window.size() + mgr->outstanding_ops() >= budget) {
         wait_oldest();
       }
       NoteCompactionRpcIssued();
       window.push_back(InFlightRpc{
-          i, rpc_->CallAsync(remote::RpcType::kCompaction,
-                             tasks[i].Serialize())});
+          i, rpc->CallAsync(remote::RpcType::kCompaction,
+                            tasks[i].Serialize())});
     }
     while (!window.empty()) wait_oldest();
   } else {
@@ -1256,12 +1412,12 @@ Status DLsmDB::RunNearDataCompaction(const CompactionPick& pick,
     std::vector<ThreadHandle> helpers;
     for (size_t i = 1; i < tasks.size(); i++) {
       helpers.push_back(env_->StartThread(
-          deps_.compute->env_node(), "subcompaction", [this, &tasks, &results,
-                                                       &statuses, i] {
-            statuses[i] = IssueCompactionRpc(tasks[i], &results[i]);
+          deps_.compute->env_node(), "subcompaction",
+          [this, rpc, &tasks, &results, &statuses, i] {
+            statuses[i] = IssueCompactionRpc(rpc, tasks[i], &results[i]);
           }));
     }
-    statuses[0] = IssueCompactionRpc(tasks[0], &results[0]);
+    statuses[0] = IssueCompactionRpc(rpc, tasks[0], &results[0]);
     for (ThreadHandle h : helpers) env_->Join(h);
   }
 
@@ -1286,31 +1442,36 @@ Status DLsmDB::RunComputeSideCompaction(
   for (int which = 0; which < 2; which++) {
     for (const FileRef& f : pick.inputs[which]) {
       children.push_back(NewRemoteTableIterator(
-          read_path_, icmp_, f, options_.scan_prefetch_size));
+          router_.route(*f), icmp_, f, options_.scan_prefetch_size));
     }
   }
   Iterator* merged = NewMergingIterator(&icmp_, children.data(),
                                         static_cast<int>(children.size()));
 
-  std::unique_ptr<FlushPipeline> pipeline;
-  if (options_.async_write) {
-    pipeline = std::make_unique<FlushPipeline>(mgr_.get());
-  }
-  auto new_output = [this, &pipeline](remote::RemoteChunk* chunk,
-                                      std::unique_ptr<TableSink>* sink)
-      -> Status {
-    remote::RemoteChunk c = flush_alloc_->Allocate();
+  // Outputs are placed per table, so each destination node gets its own
+  // WRITE pipeline; all drain below before the caller installs.
+  std::vector<std::unique_ptr<FlushPipeline>> pipelines(nodes_.size());
+  const int out_level = pick.level + 1;
+  auto new_output = [this, &pipelines, out_level](
+                        const Slice& first_key, remote::RemoteChunk* chunk,
+                        std::unique_ptr<TableSink>* sink) -> Status {
+    const size_t slot = static_cast<size_t>(PlaceTable(out_level, first_key));
+    MemoryNodeState& node = nodes_[slot];
+    remote::RemoteChunk c = node.arena->Allocate();
     if (!c.valid()) {
       return Status::OutOfMemory("flush region exhausted (compaction)");
     }
     *chunk = c;
     std::unique_ptr<TableSink> base;
     if (options_.async_write) {
+      if (pipelines[slot] == nullptr) {
+        pipelines[slot] = std::make_unique<FlushPipeline>(node.mgr.get());
+      }
       base = std::make_unique<AsyncRemoteSink>(
-          mgr_.get(), c, options_.flush_buffer_size,
-          options_.flush_buffers_per_thread, pipeline.get());
+          node.mgr.get(), c, options_.flush_buffer_size,
+          options_.flush_buffers_per_thread, pipelines[slot].get());
     } else {
-      base = std::make_unique<SyncRemoteSink>(mgr_.get(), c,
+      base = std::make_unique<SyncRemoteSink>(node.mgr.get(), c,
                                               options_.flush_buffer_size);
     }
     *sink = options_.extra_io_copy
@@ -1325,7 +1486,13 @@ Status DLsmDB::RunComputeSideCompaction(
                            new_output, outputs);
   // Drain before the caller installs the outputs: same durability barrier
   // as FlushJob.
-  if (s.ok() && pipeline != nullptr) s = pipeline->Drain();
+  if (s.ok()) {
+    for (auto& p : pipelines) {
+      if (p == nullptr) continue;
+      Status d = p->Drain();
+      if (s.ok()) s = d;
+    }
+  }
   return s;
 }
 
@@ -1345,6 +1512,10 @@ FileRef DLsmDB::InstallOutput(const CompactionOutput& out,
   file->largest = out.largest;
   file->index = TableIndex::Parse(out.index_blob);
   DLSM_CHECK_MSG(file->index != nullptr, "unparseable table index");
+  // Stamp the routing slot from where the bytes actually live, so reads
+  // and near-data compactions follow the placement decision.
+  file->memory_node =
+      static_cast<uint32_t>(SlotForNode(out.chunk.home_node));
   uint64_t number = file->number;
   file->gc = [this, number](const remote::RemoteChunk& chunk) {
     // Last reference dropped: the table is gone for good, so its cached
@@ -1357,36 +1528,240 @@ FileRef DLsmDB::InstallOutput(const CompactionOutput& out,
 
 void DLsmDB::FileGone(const remote::RemoteChunk& chunk) {
   // Never blocks: may run while arbitrary locks are held by the releaser.
+  const size_t slot = SlotForNode(chunk.home_node);
   if (chunk.owner_node == deps_.compute->id()) {
-    // Compute-allocated (flush / compute-side compaction): recycle in the
-    // local allocator that controls the flush region.
-    flush_alloc_->Free(chunk);
+    // Compute-allocated (flush / compute-side compaction / migration):
+    // recycle in the arena that controls that node's flush regions.
+    nodes_[slot].arena->Free(chunk);
   } else {
     // Memory-node-allocated (near-data compaction): batch for a remote
-    // free RPC (paper: "grouped locally first and sent in batch").
+    // free RPC to the owning node (paper: "grouped locally first and sent
+    // in batch").
     std::lock_guard<std::mutex> lock(gc_mu_);
-    gc_batch_.push_back(chunk.addr);
+    gc_batches_[slot].push_back(chunk.addr);
   }
 }
 
 void DLsmDB::DrainGc() {
-  std::vector<uint64_t> batch;
-  {
-    std::lock_guard<std::mutex> lock(gc_mu_);
-    if (gc_batch_.size() < kGcBatchSize && !closed_) return;
-    batch.swap(gc_batch_);
+  for (size_t slot = 0; slot < nodes_.size(); slot++) {
+    std::vector<uint64_t> batch;
+    {
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      if (gc_batches_[slot].size() < kGcBatchSize && !closed_) continue;
+      batch.swap(gc_batches_[slot]);
+    }
+    if (batch.empty()) continue;
+    std::string args, reply;
+    remote::EncodeFreeBatch(batch, &args);
+    Status s = nodes_[slot].rpc->Call(remote::RpcType::kFreeBatch, args,
+                                      &reply);
+    if (!s.ok()) {
+      // Frees are idempotent bookkeeping: put the batch back and let a
+      // later safe point retry once the fabric recovers. Never worth
+      // aborting or fail-closing the DB over.
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      gc_batches_[slot].insert(gc_batches_[slot].end(), batch.begin(),
+                               batch.end());
+    }
   }
-  if (batch.empty()) return;
-  std::string args, reply;
-  remote::EncodeFreeBatch(batch, &args);
-  Status s = rpc_->Call(remote::RpcType::kFreeBatch, args, &reply);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-memory-node placement & migration
+// ---------------------------------------------------------------------------
+
+int DLsmDB::PlaceTable(int level, const Slice& first_key) {
+  const int n = static_cast<int>(nodes_.size());
+  if (n <= 1) return 0;
+  PlacementContext ctx;
+  ctx.shard = options_.placement_shard;
+  ctx.level = level;
+  ctx.table_seq = table_counter_.fetch_add(1, std::memory_order_relaxed);
+  ctx.first_key = first_key;
+  int slot = placement_->Place(ctx, n);
+  if (slot < 0 || slot >= n) slot = static_cast<int>(home_);
+  return slot;
+}
+
+size_t DLsmDB::SlotForNode(uint32_t node_id) const {
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (nodes_[i].service->node()->id() == node_id) return i;
+  }
+  return home_;
+}
+
+void DLsmDB::RecoverAllVqs() {
+  for (MemoryNodeState& n : nodes_) n.mgr->ThreadVq()->Recover();
+}
+
+void DLsmDB::RebalanceLoop() {
+  // Per-node READ-verb gauges from the fabric nodes themselves: the
+  // deltas between passes are each memory node's GLOBAL inbound read
+  // load, across every compute node and shard — not just this engine's
+  // own traffic. That distinction matters under sharding: a shard whose
+  // tables all sit on one node (the round-robin layout) always sees its
+  // own traffic as maximally skewed, but must not migrate anything when
+  // the cluster as a whole is balanced. The hottest node sheds its
+  // hottest tables toward the coldest one whenever the max/mean
+  // imbalance crosses the configured threshold.
+  std::vector<uint64_t> last_reads(nodes_.size(), 0);
+  bool primed = false;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    {
+      MutexLock l(&mig_mu_);
+      if (!shutdown_.load(std::memory_order_acquire)) {
+        mig_cv_.TimedWait(options_.placement_rebalance_interval_ns);
+      }
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    if (has_bg_error_.load(std::memory_order_acquire)) continue;
+
+    std::vector<uint64_t> reads(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      reads[i] = nodes_[i].service->node()->remote_read_ops();
+    }
+    if (!primed) {
+      last_reads = reads;
+      primed = true;
+      continue;
+    }
+    uint64_t total = 0;
+    uint64_t max_delta = 0;
+    size_t from = 0;
+    size_t to = 0;
+    uint64_t min_delta = ~0ull;
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      uint64_t d = reads[i] - last_reads[i];
+      total += d;
+      if (d > max_delta) {
+        max_delta = d;
+        from = i;
+      }
+      if (d < min_delta) {
+        min_delta = d;
+        to = i;
+      }
+    }
+    last_reads = reads;
+    if (total == 0 || from == to) continue;
+    double mean = static_cast<double>(total) / nodes_.size();
+    if (static_cast<double>(max_delta) <
+        mean * options_.placement_rebalance_threshold) {
+      continue;
+    }
+    MigrateRound(from, to);
+  }
+}
+
+void DLsmDB::MigrateRound(size_t from, size_t to) {
+  VersionRef version = versions_->current();
+  struct Candidate {
+    int level;
+    FileRef f;
+    uint64_t heat;
+  };
+  std::vector<Candidate> cands;
+  for (int level = 0; level < version->num_levels(); level++) {
+    for (const FileRef& f : version->files(level)) {
+      if (f->memory_node != from) continue;
+      uint64_t h = f->heat.load(std::memory_order_relaxed);
+      if (h == 0) continue;  // Never read since install: not worth moving.
+      cands.push_back(Candidate{level, f, h});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heat > b.heat;
+            });
+  int moved = 0;
+  for (const Candidate& c : cands) {
+    if (moved >= options_.placement_rebalance_max_tables) break;
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    trace::TraceSpan span("migrate_table", "migration");
+    span.arg("file", c.f->number);
+    Status s = MigrateOne(c.level, c.f, to);
+    if (s.ok()) {
+      moved++;
+    } else if (s.IsIOError() || s.IsOutOfMemory()) {
+      // Fabric trouble or a full destination: nothing this round can fix.
+      break;
+    }
+    // Busy/NotFound: the table is mid-compaction or already replaced —
+    // skip it and consider the next candidate.
+  }
+}
+
+Status DLsmDB::MigrateOne(int level, const FileRef& f, size_t dst_slot) {
+  remote::RemoteChunk dst = nodes_[dst_slot].arena->Allocate();
+  if (!dst.valid()) {
+    return Status::OutOfMemory("migration destination arena exhausted");
+  }
+  Status s = CopyChunk(*f, dst_slot, dst);
   if (!s.ok()) {
-    // Frees are idempotent bookkeeping: put the batch back and let a later
-    // safe point retry once the fabric recovers. Never worth aborting or
-    // fail-closing the DB over.
-    std::lock_guard<std::mutex> lock(gc_mu_);
-    gc_batch_.insert(gc_batch_.end(), batch.begin(), batch.end());
+    nodes_[dst_slot].arena->Free(dst);
+    return s;
   }
+
+  // Same-number metadata swap: identical keys/index, new chunk + routing
+  // slot. Install order matters — the copy is durable (pipeline drained in
+  // CopyChunk) BEFORE the version swap makes it reachable, and the cache
+  // is invalidated AFTER the swap so no pre-swap fill can outlive it.
+  auto moved = std::make_shared<FileMetaData>();
+  moved->number = f->number;
+  moved->l0_order = f->l0_order;
+  moved->chunk = dst;
+  moved->data_len = f->data_len;
+  moved->num_entries = f->num_entries;
+  moved->smallest = f->smallest;
+  moved->largest = f->largest;
+  moved->index = f->index;
+  moved->memory_node = static_cast<uint32_t>(dst_slot);
+  moved->heat.store(f->heat.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  uint64_t number = moved->number;
+  moved->gc = [this, number](const remote::RemoteChunk& chunk) {
+    if (block_cache_ != nullptr) block_cache_->InvalidateTable(number);
+    FileGone(chunk);
+  };
+
+  s = versions_->Replace(level, number, std::move(moved));
+  if (!s.ok()) {
+    // Busy (live compaction input) or NotFound (already left the tree):
+    // the dropped replacement's gc frees the copied chunk.
+    return s;
+  }
+  if (block_cache_ != nullptr) block_cache_->InvalidateTable(number);
+  stat_tables_migrated_.fetch_add(1, std::memory_order_relaxed);
+  stat_migration_bytes_.fetch_add(f->data_len, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DLsmDB::CopyChunk(const FileMetaData& f, size_t dst_slot,
+                         const remote::RemoteChunk& dst) {
+  // Node-to-node copy staged through compute DRAM: retrying READs from
+  // the source node, async WRITE waves to the destination. Any failure
+  // (including a crashed node mid-copy) surfaces as a Status; the
+  // destructors cancel whatever was still deferred.
+  const RemoteReadPath& src = router_.route(f);
+  rdma::RdmaManager* dst_mgr = nodes_[dst_slot].mgr.get();
+  FlushPipeline pipeline(dst_mgr);
+  AsyncRemoteSink sink(dst_mgr, dst, options_.flush_buffer_size,
+                       options_.flush_buffers_per_thread, &pipeline);
+  std::vector<char> buf(options_.flush_buffer_size);
+  uint64_t off = 0;
+  while (off < f.data_len) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::IOError("shutdown during migration copy");
+    }
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(buf.size(), f.data_len - off));
+    DLSM_RETURN_NOT_OK(
+        src.MgrRead(buf.data(), f.chunk.addr + off, f.chunk.rkey, n));
+    DLSM_RETURN_NOT_OK(sink.Append(buf.data(), n));
+    off += n;
+  }
+  DLSM_RETURN_NOT_OK(sink.Finish());
+  return pipeline.Drain();
 }
 
 // ---------------------------------------------------------------------------
@@ -1484,10 +1859,14 @@ DbStats DLsmDB::GetStats() {
   s.compaction_rpc_inflight_peak = stat_comp_rpc_peak_.load();
   s.read_retries = stat_read_retries_.load();
   s.flush_retries = stat_flush_retries_.load();
-  if (owned_rpc_ != nullptr) {
-    // A shared client's counters are added once by the sharded wrapper.
-    s.rpc_retries = owned_rpc_->rpc_retries();
-    s.rpc_timeouts = owned_rpc_->rpc_timeouts();
+  s.tables_migrated = stat_tables_migrated_.load();
+  s.migration_bytes = stat_migration_bytes_.load();
+  for (const MemoryNodeState& n : nodes_) {
+    if (n.owned_rpc != nullptr) {
+      // A shared client's counters are added once by the sharded wrapper.
+      s.rpc_retries += n.owned_rpc->rpc_retries();
+      s.rpc_timeouts += n.owned_rpc->rpc_timeouts();
+    }
   }
   if (block_cache_ != nullptr) {
     CacheStats cs = block_cache_->stats();
@@ -1497,7 +1876,20 @@ DbStats DLsmDB::GetStats() {
     s.cache_evictions = cs.evictions;
     s.cache_admission_rejects = cs.admission_rejects;
   }
-  s.rdma = mgr_->StatsSnapshot();
+  // Whole-engine RDMA stats are the sum over per-node connections; the
+  // per-node breakdown feeds the placement-imbalance instrumentation.
+  // After Close() the managers are gone and the counters read as zero.
+  for (const MemoryNodeState& n : nodes_) {
+    if (n.mgr == nullptr) continue;
+    rdma::RdmaVerbStats vs = n.mgr->StatsSnapshot();
+    s.rdma.MergeFrom(vs);
+    DbStats::NodeIoStats io;
+    io.read_verbs = vs.read.ops;
+    io.read_bytes = vs.read.bytes;
+    io.write_verbs = vs.write.ops;
+    io.write_bytes = vs.write.bytes;
+    s.per_node.push_back(io);
+  }
   return s;
 }
 
@@ -1527,6 +1919,44 @@ bool DLsmDB::GetProperty(const Slice& property, std::string* value) {
     *value = block_cache_->PropertyString();
     return true;
   }
+  if (property == Slice("dlsm.placement")) {
+    // Engine view: policy plus the live per-node table/byte distribution
+    // (the base implementation only reports the migration counters).
+    std::vector<uint64_t> files(nodes_.size(), 0);
+    std::vector<uint64_t> bytes(nodes_.size(), 0);
+    VersionRef v = versions_->current();
+    for (int level = 0; level < v->num_levels(); level++) {
+      for (const FileRef& f : v->files(level)) {
+        size_t slot = f->memory_node < nodes_.size() ? f->memory_node : 0;
+        files[slot]++;
+        bytes[slot] += f->data_len;
+      }
+    }
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "policy: %s\nnodes: %zu\nrebalance: %s\n",
+                  placement_->Name(), nodes_.size(),
+                  has_migrator_ ? "on" : "off");
+    out.append(buf);
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      std::snprintf(buf, sizeof(buf),
+                    "node%zu: %llu tables, %llu bytes%s\n", i,
+                    static_cast<unsigned long long>(files[i]),
+                    static_cast<unsigned long long>(bytes[i]),
+                    i == home_ ? " (home)" : "");
+      out.append(buf);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "tables_migrated: %llu\nmigration_bytes: %llu\n",
+                  static_cast<unsigned long long>(
+                      stat_tables_migrated_.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(
+                      stat_migration_bytes_.load(std::memory_order_relaxed)));
+    out.append(buf);
+    *value = std::move(out);
+    return true;
+  }
   return DB::GetProperty(property, value);
 }
 
@@ -1540,7 +1970,7 @@ Status DLsmDB::Close() {
     crash_listener_id_ = 0;
   }
 
-  // Stop coordinators first: no new compactions.
+  // Stop coordinators first: no new compactions (or migrations).
   shutdown_.store(true, std::memory_order_release);
   {
     MutexLock l(&comp_mu_);
@@ -1549,6 +1979,14 @@ Status DLsmDB::Close() {
   {
     MutexLock l(&mem_mu_);
     backpressure_cv_.SignalAll();
+  }
+  {
+    MutexLock l(&mig_mu_);
+    mig_cv_.SignalAll();
+  }
+  if (has_migrator_) {
+    env_->Join(migrator_);
+    has_migrator_ = false;
   }
   for (ThreadHandle h : coordinators_) env_->Join(h);
   coordinators_.clear();
@@ -1576,9 +2014,16 @@ Status DLsmDB::Close() {
     imms_.clear();
   }
   versions_.reset();
-  DrainGc();
-  flush_alloc_.reset();
-  owned_rpc_.reset();
+  DrainGc();  // Before the RPC clients die: remote frees need them.
+  for (MemoryNodeState& n : nodes_) {
+    n.arena.reset();
+    n.owned_rpc.reset();
+    n.rpc = nullptr;
+    n.mgr.reset();
+  }
+  router_ = ReadRouter{};
+  read_paths_.clear();
+  mgr_ = nullptr;
   rpc_ = nullptr;
   return Status::OK();
 }

@@ -16,6 +16,7 @@
 #include "src/core/dbformat.h"
 #include "src/core/memory_node_service.h"
 #include "src/core/memtable.h"
+#include "src/core/placement.h"
 #include "src/core/table_reader.h"
 #include "src/core/version.h"
 #include "src/rdma/rdma_manager.h"
@@ -30,13 +31,20 @@ namespace dlsm {
 struct DbDeps {
   rdma::Fabric* fabric = nullptr;
   rdma::Node* compute = nullptr;
+  /// Single-memory-node form; ignored when `memories` is non-empty.
   MemoryNodeService* memory = nullptr;
+  /// Multi-node form: slot i of the engine's memory-node vector. Tables
+  /// are placed across these by Options::placement_policy.
+  std::vector<MemoryNodeService*> memories;
   /// Optional shared flush pool (sharded deployments); DB creates its own
   /// when null.
   ThreadPool* shared_flush_pool = nullptr;
-  /// Optional shared RPC client to the memory node; DB creates its own
-  /// when null.
+  /// Optional shared RPC client to the (single) memory node; DB creates
+  /// its own when null.
   remote::RpcClient* shared_rpc = nullptr;
+  /// Multi-node form of shared_rpc, parallel to `memories`; null entries
+  /// get an owned per-node client.
+  std::vector<remote::RpcClient*> shared_rpcs;
 };
 
 class DLsmDB : public DB {
@@ -66,9 +74,6 @@ class DLsmDB : public DB {
   /// only sees file counts); other properties defer to DB::GetProperty.
   bool GetProperty(const Slice& property, std::string* value) override;
   Status Close() override;
-
-  /// Smallest key-range boundary helpers used by the sharded wrapper.
-  rdma::RdmaManager* rdma_manager() { return mgr_.get(); }
 
  private:
   DLsmDB(const Options& options, const DbDeps& deps);
@@ -105,11 +110,12 @@ class DLsmDB : public DB {
   // -- Compaction (Sec. V) -----------------------------------------------------
   void CompactionCoordinatorLoop();
   Status RunCompaction(const CompactionPick& pick);
-  Status RunNearDataCompaction(const CompactionPick& pick,
+  /// Merges on memory node `slot` (every input of the pick lives there).
+  Status RunNearDataCompaction(const CompactionPick& pick, size_t slot,
                                std::vector<CompactionOutput>* outputs);
   Status RunComputeSideCompaction(const CompactionPick& pick,
                                   std::vector<CompactionOutput>* outputs);
-  Status IssueCompactionRpc(const CompactionTask& task,
+  Status IssueCompactionRpc(remote::RpcClient* rpc, const CompactionTask& task,
                             CompactionResult* result);
   /// Bumps the in-flight compaction-RPC gauge and folds it into the peak.
   void NoteCompactionRpcIssued();
@@ -120,6 +126,25 @@ class DLsmDB : public DB {
   FileRef InstallOutput(const CompactionOutput& out, uint64_t l0_order);
   void FileGone(const remote::RemoteChunk& chunk);  // gc enqueue; non-blocking
   void DrainGc();  // Issues batched remote frees; blocking-safe points only.
+
+  // -- Multi-memory-node placement & migration ---------------------------------
+  /// Placement decision for a new table: a slot into nodes_.
+  int PlaceTable(int level, const Slice& first_key);
+  /// Slot whose memory node has this fabric node id (home_ if unknown).
+  size_t SlotForNode(uint32_t node_id) const;
+  /// Recovers every per-node connection's thread verb queue (transient
+  /// fault handling on paths that may have touched several nodes).
+  void RecoverAllVqs();
+  /// Heat-based rebalancer (Options::placement_rebalance): periodically
+  /// moves the hottest tables off the most READ-loaded node.
+  void RebalanceLoop();
+  void MigrateRound(size_t from, size_t to);
+  Status MigrateOne(int level, const FileRef& f, size_t dst_slot);
+  /// Stages the table's data region through compute DRAM onto dst via the
+  /// completion-handle WRITE wave layer (durability: drained before the
+  /// version swap).
+  Status CopyChunk(const FileMetaData& f, size_t dst_slot,
+                   const remote::RemoteChunk& dst);
 
   SequenceNumber OldestSnapshot();
   uint64_t SeqRange() const;
@@ -140,18 +165,48 @@ class DLsmDB : public DB {
   Env* env_;
   InternalKeyComparator icmp_;
   BloomFilterPolicy bloom_;
-  std::unique_ptr<rdma::RdmaManager> mgr_;
-  std::unique_ptr<remote::RpcClient> owned_rpc_;
+
+  /// Per-memory-node connection state. The vector (and the parallel
+  /// read_paths_) never changes size after Init(), so borrowed pointers
+  /// into it (ReadRouter, arena grow closures) stay valid for the DB's
+  /// lifetime.
+  struct MemoryNodeState {
+    MemoryNodeService* service = nullptr;
+    std::unique_ptr<rdma::RdmaManager> mgr;
+    std::unique_ptr<remote::RpcClient> owned_rpc;
+    remote::RpcClient* rpc = nullptr;
+    /// Growable flush arena on this node (home slot seeded at Open; other
+    /// slots provision lazily through the grow RPC).
+    std::unique_ptr<remote::RemoteArena> arena;
+  };
+  std::vector<MemoryNodeState> nodes_;
+  std::vector<RemoteReadPath> read_paths_;  // Parallel to nodes_.
+  ReadRouter router_;
+  size_t home_ = 0;  ///< placement_shard % nodes: the round-robin slot.
+  // Home-slot aliases for the single-connection paths (write wiring,
+  // legacy call sites); nodes_[home_] owns both.
+  rdma::RdmaManager* mgr_ = nullptr;
   remote::RpcClient* rpc_ = nullptr;
-  std::unique_ptr<remote::SlabAllocator> flush_alloc_;
-  RemoteReadPath read_path_;
+  size_t slab_size_ = 0;  ///< Per-table chunk size (all arenas).
+
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::atomic<uint64_t> table_counter_{0};
+
   // Compute-side hot-data cache (null when block_cache_size == 0).
-  // Declared before read_path_ users run; read_path_.cache points here.
+  // Declared before read_paths_ users run; read_paths_[i].cache points
+  // here.
   std::unique_ptr<BlockCache> block_cache_;
   uint64_t crash_listener_id_ = 0;  // Fabric crash-listener registration.
+  std::atomic<int> crashed_memory_nodes_{0};
   std::unique_ptr<ThreadPool> owned_flush_pool_;
   ThreadPool* flush_pool_ = nullptr;
   std::unique_ptr<VersionSet> versions_;
+
+  // Heat-based rebalancer (placement_rebalance && nodes_ > 1).
+  bool has_migrator_ = false;
+  ThreadHandle migrator_{};
+  Mutex mig_mu_;
+  CondVar mig_cv_;
 
   // Write state.
   std::atomic<uint64_t> sequence_{0};  // Last allocated sequence number.
@@ -182,9 +237,10 @@ class DLsmDB : public DB {
   Mutex snap_mu_;
   std::multiset<uint64_t> snapshots_;  // Guarded by snap_mu_.
 
-  // GC batching (remote-origin chunks).
+  // GC batching (remote-origin chunks), one pending batch per memory
+  // node so each address is freed at the node that holds it.
   std::mutex gc_mu_;
-  std::vector<uint64_t> gc_batch_;
+  std::vector<std::vector<uint64_t>> gc_batches_;
 
   // Fail-closed state (SetBgError / BgError).
   mutable std::mutex bg_error_mu_;
@@ -204,6 +260,8 @@ class DLsmDB : public DB {
   std::atomic<uint64_t> stat_comp_rpc_peak_{0};
   std::atomic<uint64_t> stat_read_retries_{0};
   std::atomic<uint64_t> stat_flush_retries_{0};
+  std::atomic<uint64_t> stat_tables_migrated_{0};
+  std::atomic<uint64_t> stat_migration_bytes_{0};
 
   bool closed_ = false;
 };

@@ -11,6 +11,7 @@
 #ifndef DLSM_CORE_FILE_META_H_
 #define DLSM_CORE_FILE_META_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,15 @@ struct FileMetaData {
   InternalKey smallest;          ///< Smallest internal key.
   InternalKey largest;           ///< Largest internal key.
   std::shared_ptr<TableIndex> index;  ///< Cached locally (index + bloom).
+
+  /// Slot into the engine's memory-node vector holding this table's bytes.
+  /// Routing state lives compute-side (Outback-style), so re-placement is
+  /// one metadata swap: readers route by this id, never by shard wiring.
+  uint32_t memory_node = 0;
+
+  /// READ-path touch counter for the heat-based rebalancer. Relaxed: an
+  /// approximate rank is all migration victim selection needs.
+  mutable std::atomic<uint64_t> heat{0};
 
   /// Invoked once when the last reference drops; recycles chunk.
   std::function<void(const remote::RemoteChunk&)> gc;

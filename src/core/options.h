@@ -6,6 +6,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/core/comparator.h"
 #include "src/sim/env.h"
@@ -27,6 +29,25 @@ enum class CompactionPlacement {
   kNearData,
   /// On the compute node: inputs pulled and outputs pushed over the wire.
   kComputeSide,
+};
+
+/// Which memory node receives each new SSTable when the deployment has
+/// more than one (see src/core/placement.h). With a single memory node
+/// every policy degenerates to node 0.
+enum class PlacementPolicyKind {
+  /// Static: every table of a shard lands on shard % nodes — exactly the
+  /// pre-placement `s % memory_nodes` cluster wiring, and the equivalence
+  /// baseline for the other policies.
+  kRoundRobin,
+  /// Per-table rotation: the shard's tables stripe across all nodes in
+  /// allocation order.
+  kTable,
+  /// Per-level: each LSM level of a shard maps to one node, so compaction
+  /// I/O for a level stays node-local.
+  kLevel,
+  /// Key-range: the table's first user key picks the node, either through
+  /// explicit split points or a uniform prefix hash.
+  kRange,
 };
 
 /// How writes reach the MemTable.
@@ -221,6 +242,41 @@ struct Options {
   /// Let scan prefetch fills enter the cache. Off by default so one-shot
   /// sequential traffic cannot pollute the point-read hot set.
   bool cache_scans = false;
+
+  // -- Multi-memory-node placement -------------------------------------------
+  //
+  // Only consulted when DbDeps supplies more than one memory service;
+  // single-node deployments ignore the whole block.
+
+  /// Which node each new SSTable is installed on.
+  PlacementPolicyKind placement_policy = PlacementPolicyKind::kRoundRobin;
+
+  /// This engine's shard ordinal, used to offset static policies so sibling
+  /// shards spread instead of piling on node 0. Cluster/ShardedDB set it.
+  int placement_shard = 0;
+
+  /// Explicit user-key split points for kRange (sorted; nodes = points+1
+  /// buckets truncated to the node count). Empty = uniform prefix hash.
+  std::vector<std::string> placement_split_points;
+
+  /// Heat-based rebalancer: a background pass that moves hot tables off
+  /// the most READ-loaded node when the max/mean per-node READ-verb ratio
+  /// exceeds the threshold. Off by default (static placement).
+  bool placement_rebalance = false;
+
+  /// Interval between rebalance passes.
+  uint64_t placement_rebalance_interval_ns = 50ull * 1000 * 1000;
+
+  /// Max/mean READ-verb imbalance (over the last interval) that triggers a
+  /// migration round.
+  double placement_rebalance_threshold = 1.5;
+
+  /// Tables moved per round (bounds migration WRITE traffic).
+  int placement_rebalance_max_tables = 2;
+
+  /// Region bytes requested per arena growth RPC when a node's flush arena
+  /// is exhausted; 0 grows by flush_region_size.
+  size_t flush_region_growth = 0;
 
   // -- Sharding (Sec. VII) ----------------------------------------------------
 

@@ -1,0 +1,106 @@
+#include "src/core/placement.h"
+
+#include <algorithm>
+
+namespace dlsm {
+
+namespace {
+
+// Today's wiring: the whole shard pins to one node. Keeping the shard
+// offset means a lambda-sharded compute spreads its shards exactly as the
+// old `s % memory_nodes` line did, so round-robin is the bit-identical
+// baseline the other policies are tested against.
+class RoundRobinPolicy : public PlacementPolicy {
+ public:
+  int Place(const PlacementContext& ctx, int nodes) const override {
+    return ctx.shard % nodes;
+  }
+  const char* Name() const override { return "round_robin"; }
+};
+
+// Stripes a shard's tables across all nodes in allocation order.
+class TablePolicy : public PlacementPolicy {
+ public:
+  int Place(const PlacementContext& ctx, int nodes) const override {
+    return static_cast<int>((ctx.shard + ctx.table_seq) % nodes);
+  }
+  const char* Name() const override { return "table"; }
+};
+
+// One node per level: compaction inputs for level n+1 outputs share a
+// node with the outputs, keeping near-data compaction node-local per
+// level transition's lower half.
+class LevelPolicy : public PlacementPolicy {
+ public:
+  int Place(const PlacementContext& ctx, int nodes) const override {
+    return (ctx.shard + ctx.level) % nodes;
+  }
+  const char* Name() const override { return "level"; }
+};
+
+// Key-range partitioning: explicit split points when provided, else a
+// uniform hash of the key's first 8 bytes (big-endian fraction of the key
+// space). An empty first key (unknown at allocation time) falls back to
+// the shard's round-robin slot.
+class RangePolicy : public PlacementPolicy {
+ public:
+  explicit RangePolicy(std::vector<std::string> split_points)
+      : split_points_(std::move(split_points)) {}
+
+  int Place(const PlacementContext& ctx, int nodes) const override {
+    if (ctx.first_key.empty()) return ctx.shard % nodes;
+    if (!split_points_.empty()) {
+      std::string key = ctx.first_key.ToString();
+      size_t bucket = std::upper_bound(split_points_.begin(),
+                                       split_points_.end(), key) -
+                      split_points_.begin();
+      return static_cast<int>(bucket % nodes);
+    }
+    uint64_t prefix = 0;
+    for (size_t i = 0; i < 8; i++) {
+      prefix <<= 8;
+      if (i < ctx.first_key.size()) {
+        prefix |= static_cast<uint8_t>(ctx.first_key[i]);
+      }
+    }
+    // Map the 64-bit prefix fraction onto the node count.
+    return static_cast<int>(
+        (static_cast<unsigned __int128>(prefix) * nodes) >> 64);
+  }
+  const char* Name() const override { return "range"; }
+
+ private:
+  std::vector<std::string> split_points_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> NewPlacementPolicy(const Options& options) {
+  switch (options.placement_policy) {
+    case PlacementPolicyKind::kTable:
+      return std::make_unique<TablePolicy>();
+    case PlacementPolicyKind::kLevel:
+      return std::make_unique<LevelPolicy>();
+    case PlacementPolicyKind::kRange:
+      return std::make_unique<RangePolicy>(options.placement_split_points);
+    case PlacementPolicyKind::kRoundRobin:
+      break;
+  }
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+const char* PlacementPolicyKindName(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRoundRobin:
+      return "round_robin";
+    case PlacementPolicyKind::kTable:
+      return "table";
+    case PlacementPolicyKind::kLevel:
+      return "level";
+    case PlacementPolicyKind::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+}  // namespace dlsm

@@ -1,0 +1,55 @@
+// Memory-node placement policies (ROADMAP "Multi-memory-node data plane").
+//
+// When a deployment has several memory nodes, every new SSTable — flush
+// output, compaction output, or migration copy — must pick the node whose
+// DRAM will hold it. That choice used to be one hard-coded line in the
+// cluster wiring (shard s -> node s % m, forever); it is now a strategy
+// consulted at install time with the table's shard, level, sequence and
+// first key, so tables — not shards — are the unit of placement.
+//
+// All policies are deterministic pure functions of their context: the
+// same seeded workload places the same tables on the same nodes, which is
+// what makes the policy-equivalence sweep in placement_test.cc meaningful.
+
+#ifndef DLSM_CORE_PLACEMENT_H_
+#define DLSM_CORE_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/util/slice.h"
+
+namespace dlsm {
+
+/// What is known about a table at placement time.
+struct PlacementContext {
+  int shard = 0;           ///< Owning engine's shard ordinal.
+  int level = 0;           ///< Level the table installs into (0 = flush).
+  uint64_t table_seq = 0;  ///< Monotonic per-engine table counter.
+  Slice first_key;         ///< First user key (empty until known).
+};
+
+/// Strategy interface: maps a table to a memory-node slot in [0, nodes).
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Returns the slot (index into the engine's memory-node vector) for a
+  /// new table. nodes >= 1.
+  virtual int Place(const PlacementContext& ctx, int nodes) const = 0;
+
+  /// Policy name for the dlsm.placement property.
+  virtual const char* Name() const = 0;
+};
+
+/// Builds the policy selected by the options. Never returns null.
+std::unique_ptr<PlacementPolicy> NewPlacementPolicy(const Options& options);
+
+const char* PlacementPolicyKindName(PlacementPolicyKind kind);
+
+}  // namespace dlsm
+
+#endif  // DLSM_CORE_PLACEMENT_H_

@@ -57,7 +57,25 @@ std::string DbStats::ToString() const {
       static_cast<unsigned long long>(cache_inserts),
       static_cast<unsigned long long>(cache_evictions),
       static_cast<unsigned long long>(cache_admission_rejects));
-  return std::string(buf) + rdma.ToString();
+  std::string out(buf);
+  if (tables_migrated > 0 || migration_bytes > 0 || per_node.size() > 1) {
+    std::snprintf(buf, sizeof(buf),
+                  "placement: tables migrated %llu  migration %llu B\n",
+                  static_cast<unsigned long long>(tables_migrated),
+                  static_cast<unsigned long long>(migration_bytes));
+    out.append(buf);
+    for (size_t i = 0; i < per_node.size(); i++) {
+      std::snprintf(buf, sizeof(buf),
+                    "node%zu: read verbs %llu (%llu B)  write verbs %llu "
+                    "(%llu B)\n",
+                    i, static_cast<unsigned long long>(per_node[i].read_verbs),
+                    static_cast<unsigned long long>(per_node[i].read_bytes),
+                    static_cast<unsigned long long>(per_node[i].write_verbs),
+                    static_cast<unsigned long long>(per_node[i].write_bytes));
+      out.append(buf);
+    }
+  }
+  return out + rdma.ToString();
 }
 
 std::string StatsJson(const DbStats& stats) {
@@ -85,6 +103,21 @@ std::string StatsJson(const DbStats& stats) {
   AppendCounter(&out, "cache_evictions", stats.cache_evictions, &first);
   AppendCounter(&out, "cache_admission_rejects",
                 stats.cache_admission_rejects, &first);
+  AppendCounter(&out, "tables_migrated", stats.tables_migrated, &first);
+  AppendCounter(&out, "migration_bytes", stats.migration_bytes, &first);
+  out.append(",\"per_node\":[");
+  for (size_t i = 0; i < stats.per_node.size(); i++) {
+    if (i > 0) out.append(",");
+    std::string node = "{";
+    bool nf = true;
+    AppendCounter(&node, "read_verbs", stats.per_node[i].read_verbs, &nf);
+    AppendCounter(&node, "read_bytes", stats.per_node[i].read_bytes, &nf);
+    AppendCounter(&node, "write_verbs", stats.per_node[i].write_verbs, &nf);
+    AppendCounter(&node, "write_bytes", stats.per_node[i].write_bytes, &nf);
+    node.append("}");
+    out.append(node);
+  }
+  out.append("]");
   out.append(",\"rdma\":");
   out.append(stats.rdma.ToJson());
   out.append("}");
@@ -130,6 +163,30 @@ bool DB::GetProperty(const Slice& property, std::string* value) {
                   static_cast<unsigned long long>(s.cache_evictions),
                   static_cast<unsigned long long>(s.cache_admission_rejects));
     *value = buf;
+    return true;
+  }
+  if (property == Slice("dlsm.placement")) {
+    // Counter-only view; DLsmDB overrides this to add the policy name and
+    // live per-node table distribution, which only the engine can see.
+    DbStats s = GetStats();
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "placement: tables migrated %llu  migration %llu B\n",
+                  static_cast<unsigned long long>(s.tables_migrated),
+                  static_cast<unsigned long long>(s.migration_bytes));
+    out.append(buf);
+    for (size_t i = 0; i < s.per_node.size(); i++) {
+      std::snprintf(buf, sizeof(buf),
+                    "node%zu: read verbs %llu (%llu B)  write verbs %llu "
+                    "(%llu B)\n",
+                    i, static_cast<unsigned long long>(s.per_node[i].read_verbs),
+                    static_cast<unsigned long long>(s.per_node[i].read_bytes),
+                    static_cast<unsigned long long>(s.per_node[i].write_verbs),
+                    static_cast<unsigned long long>(s.per_node[i].write_bytes));
+      out.append(buf);
+    }
+    *value = std::move(out);
     return true;
   }
   return false;

@@ -29,6 +29,20 @@ std::vector<std::string> ShardedDB::UniformDecimalBoundaries(int shards,
   return bounds;
 }
 
+std::vector<std::string> ShardedDB::RangeDecimalBoundaries(
+    int shards, int key_width, uint64_t key_range) {
+  std::vector<std::string> bounds;
+  for (int i = 1; i < shards; i++) {
+    uint64_t b = key_range / static_cast<uint64_t>(shards) *
+                 static_cast<uint64_t>(i);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%0*llu", key_width,
+                  static_cast<unsigned long long>(b));
+    bounds.push_back(std::string(buf));
+  }
+  return bounds;
+}
+
 Status ShardedDB::Open(const Options& options, const DbDeps& deps,
                        std::vector<std::string> boundaries, DB** dbptr) {
   *dbptr = nullptr;
@@ -41,18 +55,25 @@ Status ShardedDB::Open(const Options& options, const DbDeps& deps,
   auto db =
       std::unique_ptr<ShardedDB>(new ShardedDB(options, std::move(boundaries)));
 
-  // Shared infrastructure: one flush pool and one RPC client serve all
-  // shards of this compute node.
+  // Shared infrastructure: one flush pool and one RPC client per memory
+  // node serve all shards of this compute node.
   db->flush_pool_ = std::make_unique<ThreadPool>(
       options.env, deps.compute->env_node(), options.flush_threads, "flush");
-  db->rpc_ = std::make_unique<remote::RpcClient>(deps.fabric, deps.compute,
-                                                 deps.memory->rpc_server());
-  if (options.rpc_timeout_ns > 0) {
-    remote::RpcPolicy policy;
-    policy.timeout_ns = options.rpc_timeout_ns;
-    policy.max_retries = options.rpc_max_retries;
-    policy.retry_backoff_ns = options.rpc_retry_backoff_ns;
-    db->rpc_->set_policy(policy);
+  std::vector<MemoryNodeService*> memories = deps.memories;
+  if (memories.empty()) memories.push_back(deps.memory);
+  for (MemoryNodeService* m : memories) {
+    if (m == nullptr) {
+      return Status::InvalidArgument("null memory node in deps.memories");
+    }
+    db->rpcs_.push_back(std::make_unique<remote::RpcClient>(
+        deps.fabric, deps.compute, m->rpc_server()));
+    if (options.rpc_timeout_ns > 0) {
+      remote::RpcPolicy policy;
+      policy.timeout_ns = options.rpc_timeout_ns;
+      policy.max_retries = options.rpc_max_retries;
+      policy.retry_backoff_ns = options.rpc_retry_backoff_ns;
+      db->rpcs_.back()->set_policy(policy);
+    }
   }
 
   Options shard_options = options;
@@ -70,8 +91,15 @@ Status ShardedDB::Open(const Options& options, const DbDeps& deps,
 
   DbDeps shard_deps = deps;
   shard_deps.shared_flush_pool = db->flush_pool_.get();
-  shard_deps.shared_rpc = db->rpc_.get();
+  shard_deps.memories = memories;
+  shard_deps.shared_rpcs.clear();
+  for (auto& rpc : db->rpcs_) shard_deps.shared_rpcs.push_back(rpc.get());
+  shard_deps.memory = memories[0];
+  shard_deps.shared_rpc = db->rpcs_[0].get();
   for (int i = 0; i < options.shards; i++) {
+    // Each shard places tables independently; the shard index seeds the
+    // policy so round-robin spreads shards across memory nodes.
+    shard_options.placement_shard = options.placement_shard + i;
     DB* shard = nullptr;
     DLSM_RETURN_NOT_OK(DLsmDB::Open(shard_options, shard_deps, &shard));
     db->shards_.emplace_back(shard);
@@ -307,11 +335,24 @@ DbStats ShardedDB::GetStats() {
     total.cache_inserts += s.cache_inserts;
     total.cache_evictions += s.cache_evictions;
     total.cache_admission_rejects += s.cache_admission_rejects;
+    total.tables_migrated += s.tables_migrated;
+    total.migration_bytes += s.migration_bytes;
+    // Slot-wise merge: slot i means the same memory node in every shard
+    // of this compute node.
+    if (s.per_node.size() > total.per_node.size()) {
+      total.per_node.resize(s.per_node.size());
+    }
+    for (size_t i = 0; i < s.per_node.size(); i++) {
+      total.per_node[i].read_verbs += s.per_node[i].read_verbs;
+      total.per_node[i].read_bytes += s.per_node[i].read_bytes;
+      total.per_node[i].write_verbs += s.per_node[i].write_verbs;
+      total.per_node[i].write_bytes += s.per_node[i].write_bytes;
+    }
     total.rdma.MergeFrom(s.rdma);
   }
-  if (rpc_ != nullptr) {
-    total.rpc_retries += rpc_->rpc_retries();
-    total.rpc_timeouts += rpc_->rpc_timeouts();
+  for (auto& rpc : rpcs_) {
+    total.rpc_retries += rpc->rpc_retries();
+    total.rpc_timeouts += rpc->rpc_timeouts();
   }
   return total;
 }
@@ -325,13 +366,19 @@ int ShardedDB::NumFilesAtLevel(int level) {
 Status ShardedDB::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  // Best-effort: a shard failing to close (a fail-closed background
+  // error, say) must not leave its siblings' threads running against
+  // infrastructure this wrapper is about to tear down. Remember the first
+  // error, still close everything.
+  Status first;
   for (auto& shard : shards_) {
-    DLSM_RETURN_NOT_OK(shard->Close());
+    Status s = shard->Close();
+    if (first.ok() && !s.ok()) first = s;
   }
   shards_.clear();
   flush_pool_.reset();
-  rpc_.reset();
-  return Status::OK();
+  rpcs_.clear();
+  return first;
 }
 
 }  // namespace dlsm

@@ -28,6 +28,14 @@ class ShardedDB : public DB {
   static std::vector<std::string> UniformDecimalBoundaries(int shards,
                                                            int key_width);
 
+  /// Evenly spaced boundaries for zero-padded decimal keys drawn from
+  /// [0, key_range). UniformDecimalBoundaries splits the full 10^width
+  /// space, which collapses to one shard when the workload's keys are
+  /// small integers — use this form when the key range is known.
+  static std::vector<std::string> RangeDecimalBoundaries(int shards,
+                                                         int key_width,
+                                                         uint64_t key_range);
+
   ~ShardedDB() override;
 
   Status Put(const WriteOptions& options, const Slice& key,
@@ -60,7 +68,9 @@ class ShardedDB : public DB {
   Options options_;
   std::vector<std::string> boundaries_;
   std::unique_ptr<ThreadPool> flush_pool_;
-  std::unique_ptr<remote::RpcClient> rpc_;
+  // One shared RPC client per memory node (all shards of this compute
+  // node multiplex onto them); single-node deployments have exactly one.
+  std::vector<std::unique_ptr<remote::RpcClient>> rpcs_;
   std::vector<std::unique_ptr<DB>> shards_;
   bool closed_ = false;
 };

@@ -78,6 +78,24 @@ struct RemoteReadPath {
   Status MgrRead(void* dst, uint64_t addr, uint32_t rkey, size_t len) const;
 };
 
+/// Routes reads to the right memory node's RemoteReadPath by the table's
+/// FileMetaData::memory_node slot. The engine owns one RemoteReadPath per
+/// node in a vector that never reallocates after Open, so the borrowed
+/// pointer stays valid for the router's lifetime. A single-node engine is
+/// the degenerate count == 1 router, making every route(f) the old single
+/// read path.
+struct ReadRouter {
+  const RemoteReadPath* paths = nullptr;
+  size_t count = 0;
+
+  const RemoteReadPath& route(uint32_t memory_node) const {
+    return paths[memory_node < count ? memory_node : 0];
+  }
+  const RemoteReadPath& route(const FileMetaData& f) const {
+    return route(f.memory_node);
+  }
+};
+
 /// Outcome of a single-table point lookup.
 enum class TableLookupResult {
   kNotPresent,  ///< The table holds no visible version of the key.

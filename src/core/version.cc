@@ -13,10 +13,10 @@ namespace {
 /// table iterator at a time, advancing through the level's files.
 class LevelConcatIterator : public Iterator {
  public:
-  LevelConcatIterator(const RemoteReadPath& read_path,
+  LevelConcatIterator(const ReadRouter& router,
                       const InternalKeyComparator& icmp,
                       std::vector<FileRef> files, size_t prefetch)
-      : read_path_(read_path), icmp_(icmp), files_(std::move(files)),
+      : router_(router), icmp_(icmp), files_(std::move(files)),
         prefetch_(prefetch) {}
 
   bool Valid() const override { return table_ != nullptr && table_->Valid(); }
@@ -76,8 +76,8 @@ class LevelConcatIterator : public Iterator {
       table_.reset();
       return;
     }
-    table_.reset(NewRemoteTableIterator(read_path_, icmp_, files_[index_],
-                                        prefetch_));
+    table_.reset(NewRemoteTableIterator(router_.route(*files_[index_]), icmp_,
+                                        files_[index_], prefetch_));
   }
 
   void SkipEmptyForward() {
@@ -97,7 +97,7 @@ class LevelConcatIterator : public Iterator {
     }
   }
 
-  RemoteReadPath read_path_;
+  ReadRouter router_;
   InternalKeyComparator icmp_;
   std::vector<FileRef> files_;
   size_t prefetch_;
@@ -183,15 +183,16 @@ std::vector<FileRef> Version::GetOverlappingInputs(
   return result;
 }
 
-void Version::AddIterators(const RemoteReadPath& read_path,
+void Version::AddIterators(const ReadRouter& router,
                            const InternalKeyComparator& icmp, size_t prefetch,
                            std::vector<Iterator*>* iters) const {
   for (const FileRef& f : levels_[0]) {
-    iters->push_back(NewRemoteTableIterator(read_path, icmp, f, prefetch));
+    iters->push_back(NewRemoteTableIterator(router.route(*f), icmp, f,
+                                            prefetch));
   }
   for (int level = 1; level < num_levels(); level++) {
     if (!levels_[level].empty()) {
-      iters->push_back(new LevelConcatIterator(read_path, icmp,
+      iters->push_back(new LevelConcatIterator(router, icmp,
                                                levels_[level], prefetch));
     }
   }
@@ -259,6 +260,35 @@ void VersionSet::Apply(const VersionEdit& edit) {
               });
   }
   current_ = std::move(next);
+}
+
+Status VersionSet::Replace(int level, uint64_t number, FileRef replacement) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A busy file is a compaction input in flight: its bytes are being read
+  // at the old address, so swapping the metadata now would tear the
+  // compaction. The migrator just retries a different victim later.
+  if (busy_files_.count(number) != 0) {
+    return Status::Busy("file is a compaction input");
+  }
+  const auto& files = current_->levels_[level];
+  size_t pos = files.size();
+  for (size_t i = 0; i < files.size(); i++) {
+    if (files[i]->number == number) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == files.size()) {
+    return Status::NotFound("file left the version");
+  }
+  // Copy-on-write swap: in-flight readers keep their pinned version (and
+  // the old chunk, which the old FileMetaData's gc only frees once the
+  // last reader drops it); new readers route to the new node immediately.
+  auto next = std::make_shared<Version>(options_->num_levels);
+  next->levels_ = current_->levels_;
+  next->levels_[level][pos] = std::move(replacement);
+  current_ = std::move(next);
+  return Status::OK();
 }
 
 bool VersionSet::NeedsStall() const {

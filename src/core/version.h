@@ -55,8 +55,9 @@ class Version {
 
   /// Appends the iterators needed for a full scan of this version:
   /// per-file iterators for L0, one concatenating iterator per deeper
-  /// level. Pins files via the iterators.
-  void AddIterators(const RemoteReadPath& read_path,
+  /// level. Pins files via the iterators. Each table's reads route to its
+  /// own memory node through the router.
+  void AddIterators(const ReadRouter& router,
                     const InternalKeyComparator& icmp, size_t prefetch,
                     std::vector<Iterator*>* iters) const;
 
@@ -103,6 +104,13 @@ class VersionSet {
 
   /// Applies edit copy-on-write, making the result current.
   void Apply(const VersionEdit& edit);
+
+  /// Atomically swaps one file's metadata for a same-number replacement
+  /// (the migration install: same keys/index, new chunk + memory_node).
+  /// Fails with Busy when the file is a live compaction input and
+  /// NotFound when it already left the version; the caller drops the
+  /// replacement, whose gc callback then frees the copied chunk.
+  Status Replace(int level, uint64_t number, FileRef replacement);
 
   uint64_t NewFileNumber() {
     return next_file_number_.fetch_add(1, std::memory_order_relaxed);

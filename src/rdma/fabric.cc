@@ -235,6 +235,7 @@ uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
   }
   c.completion_ns = done;
   if (c.status.ok()) {
+    peer_node()->RecordRemoteRead(len);
     DmaScope dma(f->env());
     memcpy(dst, reinterpret_cast<const void*>(raddr), len);
   } else {
@@ -268,6 +269,7 @@ uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
   }
   c.completion_ns = done;
   if (c.status.ok()) {
+    peer_node()->RecordRemoteWrite(len);
     DmaScope dma(f->env());
     memcpy(reinterpret_cast<void*>(raddr), src, len);
   } else {

@@ -119,6 +119,30 @@ class Node {
   /// True between Fabric::CrashNode and Fabric::RestartNode.
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  /// One-sided RDMA traffic targeting this node's DRAM, summed across
+  /// every queue pair on the fabric — the global per-node load gauges the
+  /// heat rebalancer reads (a NIC counter on real hardware).
+  uint64_t remote_read_ops() const {
+    return remote_read_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_read_bytes() const {
+    return remote_read_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_write_ops() const {
+    return remote_write_ops_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_write_bytes() const {
+    return remote_write_bytes_.load(std::memory_order_relaxed);
+  }
+  void RecordRemoteRead(size_t len) {
+    remote_read_ops_.fetch_add(1, std::memory_order_relaxed);
+    remote_read_bytes_.fetch_add(len, std::memory_order_relaxed);
+  }
+  void RecordRemoteWrite(size_t len) {
+    remote_write_ops_.fetch_add(1, std::memory_order_relaxed);
+    remote_write_bytes_.fetch_add(len, std::memory_order_relaxed);
+  }
+
  private:
   friend class Fabric;
   Node(Fabric* fabric, Env* env, std::string name, uint32_t id, int env_node,
@@ -133,6 +157,10 @@ class Node {
   size_t dram_size_;
   std::atomic<size_t> dram_used_;
   std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> remote_read_ops_{0};
+  std::atomic<uint64_t> remote_read_bytes_{0};
+  std::atomic<uint64_t> remote_write_ops_{0};
+  std::atomic<uint64_t> remote_write_bytes_{0};
 
   // NIC channel occupancy frontiers (virtual ns), guarded by Fabric::mu_.
   uint64_t tx_free_ = 0;

@@ -53,6 +53,7 @@ RemoteChunk SlabAllocator::Allocate() {
   chunk.size = chunk_size_;
   chunk.rkey = region_.rkey;
   chunk.owner_node = owner_node_;
+  chunk.home_node = region_.node_id;
   return chunk;
 }
 
@@ -75,6 +76,105 @@ Status SlabAllocator::FreeByAddr(uint64_t addr) {
 size_t SlabAllocator::allocated_chunks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return allocated_;
+}
+
+RemoteArena::RemoteArena(size_t chunk_size, uint32_t owner_node,
+                         size_t growth_bytes, GrowFn grow)
+    : chunk_size_(chunk_size),
+      owner_node_(owner_node),
+      growth_bytes_(growth_bytes < chunk_size ? chunk_size : growth_bytes),
+      grow_(std::move(grow)) {
+  DLSM_CHECK(chunk_size > 0);
+}
+
+void RemoteArena::AddRegion(const rdma::MemoryRegion& region) {
+  auto slab = std::make_unique<SlabAllocator>(region, chunk_size_,
+                                              owner_node_);
+  std::lock_guard<std::mutex> lock(mu_);
+  slabs_.push_back(std::move(slab));
+}
+
+RemoteChunk RemoteArena::Allocate() {
+  for (;;) {
+    size_t tried;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& slab : slabs_) {
+        RemoteChunk c = slab->Allocate();
+        if (c.valid()) return c;
+      }
+      tried = slabs_.size();
+    }
+    if (grow_ == nullptr) return RemoteChunk{};
+    // Grow outside the arena lock: Free stays non-blocking while the RPC
+    // is in flight. The grow lock collapses a stampede of exhausted
+    // allocators into one RPC — whoever wins re-checks for regions added
+    // while it waited.
+    std::lock_guard<std::mutex> grow_lock(grow_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slabs_.size() > tried) continue;  // Someone else grew already.
+    }
+    rdma::MemoryRegion region;
+    Status s = grow_(growth_bytes_, &region);
+    if (!s.ok() || region.addr == 0) return RemoteChunk{};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      grow_calls_++;
+    }
+    AddRegion(region);
+  }
+}
+
+void RemoteArena::Free(const RemoteChunk& chunk) {
+  Status s = FreeByAddr(chunk.addr);
+  DLSM_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+Status RemoteArena::FreeByAddr(uint64_t addr) {
+  SlabAllocator* slab = SlabFor(addr);
+  if (slab == nullptr) {
+    return Status::InvalidArgument("free of address not from this arena");
+  }
+  return slab->FreeByAddr(addr);
+}
+
+SlabAllocator* RemoteArena::SlabFor(uint64_t addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slab : slabs_) {
+    if (addr >= slab->base() && addr < slab->base() + slab->region_size()) {
+      return slab.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t RemoteArena::regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slabs_.size();
+}
+
+size_t RemoteArena::capacity_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (auto& slab : slabs_) total += slab->capacity_chunks();
+  return total;
+}
+
+size_t RemoteArena::allocated_chunks() const {
+  std::vector<SlabAllocator*> slabs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& slab : slabs_) slabs.push_back(slab.get());
+  }
+  size_t total = 0;
+  for (SlabAllocator* slab : slabs) total += slab->allocated_chunks();
+  return total;
+}
+
+uint64_t RemoteArena::grow_calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grow_calls_;
 }
 
 }  // namespace remote

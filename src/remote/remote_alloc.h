@@ -15,6 +15,8 @@
 #define DLSM_REMOTE_REMOTE_ALLOC_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -40,6 +42,7 @@ struct RemoteChunk {
   size_t size = 0;     ///< Usable bytes.
   uint32_t rkey = 0;   ///< Remote key of the enclosing region.
   uint32_t owner_node = 0;  ///< Node id that performed the allocation.
+  uint32_t home_node = 0;   ///< Node id whose DRAM holds the bytes.
 
   bool valid() const { return addr != 0; }
 };
@@ -85,6 +88,64 @@ class SlabAllocator {
   std::vector<uint64_t> free_list_;
   size_t bump_next_ = 0;  // Next never-allocated chunk index.
   size_t allocated_ = 0;
+};
+
+/// Growable arena over one memory node: a chain of SlabAllocators, one per
+/// registered region. When every region is exhausted, Allocate asks the
+/// memory node for another slab region through the supplied grow callback
+/// (the kAllocFlushRegion RPC in production) instead of failing — the
+/// flush region is no longer a fixed-at-open budget.
+///
+/// Thread-safe. Growth is serialized on its own mutex so concurrent
+/// exhausted allocators trigger one RPC, not a stampede; Free never blocks
+/// behind a growth round trip.
+class RemoteArena {
+ public:
+  /// Called (off the arena lock) to obtain a fresh region of at least
+  /// `bytes` from the memory node. A non-OK status or a zero-addr region
+  /// means the node is out of memory.
+  using GrowFn = std::function<Status(size_t bytes, rdma::MemoryRegion*)>;
+
+  /// chunk_size is the single size class; growth_bytes the region size
+  /// requested per grow (rounded up to one chunk if smaller). grow may be
+  /// null, making the arena fixed like a bare SlabAllocator.
+  RemoteArena(size_t chunk_size, uint32_t owner_node, size_t growth_bytes,
+              GrowFn grow);
+
+  RemoteArena(const RemoteArena&) = delete;
+  RemoteArena& operator=(const RemoteArena&) = delete;
+
+  /// Seeds the arena with an already-registered region (the Open-time
+  /// flush region).
+  void AddRegion(const rdma::MemoryRegion& region);
+
+  /// Allocates one chunk, growing the arena if every region is full.
+  /// Returns an invalid chunk only when growth fails (or is disabled).
+  RemoteChunk Allocate();
+
+  /// Returns a chunk to the region it came from.
+  void Free(const RemoteChunk& chunk);
+
+  /// Frees by address; InvalidArgument if no region covers it.
+  Status FreeByAddr(uint64_t addr);
+
+  size_t chunk_size() const { return chunk_size_; }
+  size_t regions() const;
+  size_t capacity_chunks() const;
+  size_t allocated_chunks() const;
+  uint64_t grow_calls() const;
+
+ private:
+  SlabAllocator* SlabFor(uint64_t addr) const;
+
+  const size_t chunk_size_;
+  const uint32_t owner_node_;
+  const size_t growth_bytes_;
+  const GrowFn grow_;
+  mutable std::mutex mu_;       // Guards slabs_.
+  std::mutex grow_mu_;          // Serializes grow RPCs.
+  std::vector<std::unique_ptr<SlabAllocator>> slabs_;
+  uint64_t grow_calls_ = 0;
 };
 
 }  // namespace remote

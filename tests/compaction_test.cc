@@ -160,7 +160,7 @@ class MergeTest : public ::testing::Test {
                                           static_cast<int>(children.size()));
     std::vector<std::unique_ptr<std::string>> outputs_storage;
     std::vector<CompactionOutput> outputs;
-    auto new_output = [&](remote::RemoteChunk* chunk,
+    auto new_output = [&](const Slice&, remote::RemoteChunk* chunk,
                           std::unique_ptr<TableSink>* sink) -> Status {
       outputs_storage.push_back(std::make_unique<std::string>(2 << 20, '\0'));
       chunk->addr =
