@@ -4,6 +4,9 @@
 // Usage: fig8_read [--keys=N] [--threads=1,2,4,8,16] [--only=SUBSTR]
 //                  [--memtable_kb=N] [--stats_json=FILE] [--trace_out=FILE]
 //                  [--zipfian=THETA] [--cache_ab [--cache_mb=64]]
+//                  [--stats_series=FILE [--stats_period_ms=1]]
+//                  [--watchdog_ms=N] [--exemplar_k=N [--exemplar_window_ms=10]]
+//                  [--telemetry_ab]
 
 #include <cstdio>
 #include <sstream>
@@ -160,10 +163,85 @@ int RunCacheAb(uint64_t keys, const Flags& flags) {
   return off_ok && verbs_ok && ratio_ok && p50_ok ? 0 : 1;
 }
 
+// --telemetry_ab mode: overhead guard for the continuous-telemetry stack
+// (DESIGN Sec. 4.9). Two identical fill+read dLSM runs: off — telemetry
+// never configured (the default every earlier PR measured) — and on —
+// 1 ms sampler plus a 50 ms stall watchdog. Neither posts verbs or sits
+// on an op path, so the wire must be unchanged: the read phase's
+// one-sided READ verb count and wire p50 must stay within 2%. The
+// virtual-time ops/s delta folds host CPU (the sampler thread's real
+// cost) and is reported against the same 2% budget. Returns nonzero on
+// violation (CI-friendly).
+int RunTelemetryAb(uint64_t keys, const Flags& flags) {
+  BenchConfig base;
+  base.threads = static_cast<int>(flags.GetInt("ab_threads", 8));
+  base.num_keys = keys;
+  size_t memtable_kb = flags.GetInt("memtable_kb", 1024);
+  base.memtable_size = memtable_kb << 10;
+  base.sstable_size = memtable_kb << 10;
+
+  auto run = [&](bool telemetry) {
+    BenchConfig config = base;
+    if (telemetry) {
+      config.stats_series = flags.GetString("stats_series", "/dev/null");
+      config.stats_sample_period_ms = flags.GetInt("stats_period_ms", 1);
+      config.watchdog_deadline_ms = flags.GetInt("watchdog_ms", 50);
+    }
+    return RunBench(config, {Phase::kFillRandom, Phase::kReadRandom});
+  };
+  auto off = run(false);
+  auto on = run(true);
+
+  auto read_cls = [](const PhaseResult& r) {
+    return r.stats.rdma.cls(rdma::VerbClass::kRead);
+  };
+  uint64_t verbs_off = read_cls(off[1]).ops - read_cls(off[0]).ops;
+  uint64_t verbs_on = read_cls(on[1]).ops - read_cls(on[0]).ops;
+  double verb_delta = verbs_off > 0
+                          ? 100.0 * (static_cast<double>(verbs_on) -
+                                     static_cast<double>(verbs_off)) /
+                                static_cast<double>(verbs_off)
+                          : 0.0;
+  double wire_off = read_cls(on[1]).latency_us.Percentile(50.0);
+  double wire_ref = read_cls(off[1]).latency_us.Percentile(50.0);
+  double wire_delta = wire_ref > 0 ? 100.0 * (wire_off - wire_ref) / wire_ref
+                                   : 0.0;
+  double ops_delta = 100.0 * (on[1].ops_per_sec - off[1].ops_per_sec) /
+                     off[1].ops_per_sec;
+  uint64_t stalls = on[1].stats.watchdog_stalls;
+
+  bool verbs_ok = verb_delta <= 2.0 && verb_delta >= -2.0;
+  bool wire_ok = wire_delta <= 2.0 && wire_delta >= -2.0;
+  bool stalls_ok = stalls == 0;
+  std::printf("\n=== Telemetry A/B: %llu keys, %d threads, 1ms sampler + "
+              "50ms watchdog ===\n",
+              static_cast<unsigned long long>(keys), base.threads);
+  std::printf("%14s %14s %14s %12s\n", "config", "read ops/s", "READ verbs",
+              "wire p50 us");
+  std::printf("%14s %14.0f %14llu %12.2f\n", "telemetry off",
+              off[1].ops_per_sec,
+              static_cast<unsigned long long>(verbs_off), wire_ref);
+  std::printf("%14s %14.0f %14llu %12.2f\n", "telemetry on",
+              on[1].ops_per_sec,
+              static_cast<unsigned long long>(verbs_on), wire_off);
+  std::printf("READ verb delta %+.2f%% (guard |delta| <= 2%%: %s) | "
+              "wire p50 delta %+.2f%% (guard |delta| <= 2%%: %s) | "
+              "watchdog stalls %llu (guard 0: %s) | "
+              "ops/s delta %+.2f%% (host CPU folded, informational)\n",
+              verb_delta, verbs_ok ? "PASS" : "FAIL", wire_delta,
+              wire_ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(stalls),
+              stalls_ok ? "PASS" : "FAIL", ops_delta);
+  return verbs_ok && wire_ok && stalls_ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint64_t keys = flags.GetInt("keys", 100000);
   if (flags.GetBool("cache_ab", false)) return RunCacheAb(keys, flags);
+  if (flags.GetBool("telemetry_ab", false)) {
+    return RunTelemetryAb(keys, flags);
+  }
   std::vector<int> threads;
   {
     std::stringstream ss(flags.GetString("threads", "1,2,4,8,16"));
@@ -212,6 +290,16 @@ int Main(int argc, char** argv) {
   // --only/--threads to trace one deployment.
   StatsJsonWriter stats_json(flags.GetString("stats_json", ""));
   std::string trace_out = flags.GetString("trace_out", "");
+  // Continuous telemetry: --stats_series writes the engine's sampler ring
+  // ("dlsm.timeseries") after the run. Like --trace_out, every cell
+  // rewrites the file — narrow the sweep to series one deployment.
+  // --exemplar_k keeps only the k slowest ops' span trees per window in
+  // the trace; --watchdog_ms arms the stall watchdog.
+  std::string stats_series = flags.GetString("stats_series", "");
+  uint64_t stats_period_ms = flags.GetInt("stats_period_ms", 1);
+  uint64_t watchdog_ms = flags.GetInt("watchdog_ms", 0);
+  size_t exemplar_k = flags.GetInt("exemplar_k", 0);
+  uint64_t exemplar_window_ms = flags.GetInt("exemplar_window_ms", 10);
   // --memtable_kb: shrink the engine scale so small smoke runs still hit
   // flush + L0 compaction (the paper's 64 MB scaled with the dataset).
   size_t memtable_kb = flags.GetInt("memtable_kb", 4096);
@@ -232,6 +320,11 @@ int Main(int argc, char** argv) {
       config.zipfian_theta = flags.GetDouble("zipfian", 0);
       config.record_latency = stats_json.enabled();
       config.trace_out = trace_out;
+      config.stats_series = stats_series;
+      config.stats_sample_period_ms = stats_period_ms;
+      config.watchdog_deadline_ms = watchdog_ms;
+      config.exemplar_k = exemplar_k;
+      config.exemplar_window_ms = exemplar_window_ms;
       auto r = RunBench(config, {Phase::kReadRandom});
       std::printf("%16s", FormatThroughput(r[0].ops_per_sec).c_str());
       std::fflush(stdout);

@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <ctime>
 #include <memory>
 
 #include "src/baselines/presets.h"
@@ -20,6 +21,29 @@ namespace dlsm {
 namespace bench {
 
 namespace {
+
+// Build provenance stamped into every BENCH_*.json (see StatsJsonWriter).
+// The SHA and build type are configure-time values from bench/CMakeLists;
+// the command line is captured by the Flags constructor, which every
+// figure binary runs through before its first StatsJsonWriter.
+#ifndef DLSM_GIT_SHA
+#define DLSM_GIT_SHA "unknown"
+#endif
+#ifndef DLSM_BUILD_TYPE
+#define DLSM_BUILD_TYPE "unknown"
+#endif
+std::string g_command_line;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
 
 std::string MakeKey(uint64_t n, int width) {
   char buf[32];
@@ -98,6 +122,13 @@ Options MakeEngineOptions(const BenchConfig& config, Env* env) {
   options.block_cache_size = config.block_cache_size;
   options.cache_shards = config.cache_shards;
   options.cache_admission = config.cache_admission;
+  // Continuous telemetry (sampler ring + stall watchdog). The sampler is
+  // keyed off the output path: no --stats_series, no background sampler
+  // thread, so default runs stay byte-identical to earlier PRs.
+  if (!config.stats_series.empty()) {
+    options.stats_sample_period_ms = config.stats_sample_period_ms;
+  }
+  options.watchdog_deadline_ms = config.watchdog_deadline_ms;
   if (config.wr_error_rate > 0.0) {
     // Injected WR errors surface as fast IOErrors; a bounded RPC retry
     // policy (the one-sided paths already retry by default) keeps the
@@ -218,7 +249,23 @@ bool StatsJsonWriter::Write() const {
   if (!enabled()) return true;
   std::FILE* f = std::fopen(path_.c_str(), "w");
   if (f == nullptr) return false;
-  std::string out = "[\n";
+  // Provenance record first: which build produced these numbers. The
+  // timestamp is wall-clock (the one non-virtual time in the harness —
+  // it stamps the artifact, not the measurement).
+  char ts[32] = "unknown";
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc;
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  std::string out = "[\n{\"meta\":{\"git_sha\":\"" DLSM_GIT_SHA
+                    "\",\"build_type\":\"" DLSM_BUILD_TYPE "\"";
+  out.append(",\"written_utc\":\"");
+  out.append(ts);
+  out.append("\",\"command\":\"");
+  out.append(JsonEscape(g_command_line));
+  out.append("\"}}");
+  out.append(records_.empty() ? "\n" : ",\n");
   for (size_t i = 0; i < records_.size(); i++) {
     out.append(records_[i]);
     out.append(i + 1 < records_.size() ? ",\n" : "\n");
@@ -245,7 +292,19 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
 
   // Tracing spans virtual time, so enabling before Run and exporting after
   // it returns captures the whole deployment deterministically.
-  if (!config.trace_out.empty()) trace::EnableWithEnv(&env);
+  if (!config.trace_out.empty()) {
+    trace::EnableWithEnv(&env);
+    if (config.exemplar_k > 0) {
+      trace::ExemplarPolicy policy;
+      policy.k = config.exemplar_k;
+      policy.window_ns = (config.exemplar_window_ms > 0
+                              ? config.exemplar_window_ms
+                              : 10) *
+                         1'000'000ull;
+      trace::Tracer::SetExemplarPolicy(policy);
+    }
+  }
+  std::string series_json;
 
   env.Run(0, [&] {
     std::unique_ptr<MemoryNodeService> service;
@@ -469,10 +528,27 @@ std::vector<PhaseResult> RunBench(const BenchConfig& config,
       }
     }
 
+    // Read the series before Close tears the sampler down; the property
+    // is engine-side, so Sherman (no GetProperty) just leaves it empty.
+    if (!config.stats_series.empty()) {
+      db->GetProperty("dlsm.timeseries", &series_json);
+    }
     DLSM_CHECK(db->Close().ok());
     db.reset();
     if (service != nullptr) service->Stop();
   });
+
+  if (!config.stats_series.empty()) {
+    std::FILE* f = std::fopen(config.stats_series.c_str(), "w");
+    if (f == nullptr || series_json.empty()) {
+      std::fprintf(stderr, "warning: could not write series to %s\n",
+                   config.stats_series.c_str());
+    } else {
+      std::fwrite(series_json.data(), 1, series_json.size(), f);
+      std::fputc('\n', f);
+    }
+    if (f != nullptr) std::fclose(f);
+  }
 
   if (!config.trace_out.empty()) {
     if (!trace::Tracer::WriteChromeTrace(config.trace_out)) {
@@ -774,6 +850,12 @@ ClusterBenchResult RunClusterBench(const ClusterBenchConfig& config) {
 }
 
 Flags::Flags(int argc, char** argv) {
+  // Capture the invocation for the BENCH_*.json meta record.
+  g_command_line.clear();
+  for (int i = 0; i < argc; i++) {
+    if (i > 0) g_command_line.push_back(' ');
+    g_command_line.append(argv[i]);
+  }
   for (int i = 1; i < argc; i++) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;

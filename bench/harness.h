@@ -92,6 +92,18 @@ struct BenchConfig {
   /// byte-identical to earlier PRs).
   std::string trace_out;
   bool record_latency = false;
+  /// Continuous telemetry (DESIGN Sec. 4.9). stats_series: when nonempty,
+  /// the engine's background sampler runs at stats_sample_period_ms
+  /// (virtual time) and the "dlsm.timeseries" JSON is written to this path
+  /// after the run. Exemplars: when exemplar_k > 0 (and trace_out is set),
+  /// only the k slowest ops per exemplar_window_ms window keep their span
+  /// trees — 0 keeps every span, the pre-exemplar behaviour the CI smoke
+  /// test asserts on. watchdog_deadline_ms arms the stall watchdog.
+  std::string stats_series;
+  uint64_t stats_sample_period_ms = 1;
+  size_t exemplar_k = 0;
+  uint64_t exemplar_window_ms = 10;
+  uint64_t watchdog_deadline_ms = 0;
 };
 
 /// One phase's outcome.
@@ -134,7 +146,12 @@ std::string VerbStatsSummary(const DbStats& stats);
 /// as a JSON array — the --stats_json output behind the BENCH_*.json perf
 /// trajectory. Each record carries the sweep coordinates (figure, system,
 /// threads, phase), throughput, per-op latency percentiles (when the run
-/// recorded them) and the full StatsJson counter/verb dump.
+/// recorded them) and the full StatsJson counter/verb dump. The array's
+/// first element is a provenance record {"meta":{...}} — git SHA and
+/// build type (stamped at configure time), UTC write timestamp, and the
+/// process command line (captured by the Flags constructor) — so a
+/// BENCH_*.json pulled from an artifact store identifies the build that
+/// produced it.
 class StatsJsonWriter {
  public:
   /// An empty path disables the writer (Add/Write become no-ops).
@@ -153,6 +170,41 @@ class StatsJsonWriter {
  private:
   std::string path_;
   std::vector<std::string> records_;
+};
+
+/// Coordinated-omission-safe latency recorder for fixed-rate (closed-loop
+/// with intended schedule) workloads. Op i's intended start is
+/// start_ns + i * interval_ns; Record charges completion - intended start,
+/// so an op delayed behind a stall also pays the queueing delay the stall
+/// imposed on it — the latency a real client at that arrival rate would
+/// see — instead of the stall hiding everywhere but in the one op that
+/// measured it (Tene's coordinated-omission critique of db_bench-style
+/// loops). Not thread-safe; use one per worker and Merge the histograms.
+class IntervalRecorder {
+ public:
+  IntervalRecorder(uint64_t start_ns, uint64_t interval_ns)
+      : start_ns_(start_ns),
+        interval_ns_(interval_ns > 0 ? interval_ns : 1) {}
+
+  uint64_t IntendedStartNs(uint64_t i) const {
+    return start_ns_ + i * interval_ns_;
+  }
+
+  /// Records op i completing at completion_ns (same clock as start_ns).
+  /// A completion before the intended start (the worker ran ahead of
+  /// schedule) records 0 rather than wrapping.
+  void Record(uint64_t i, uint64_t completion_ns) {
+    uint64_t intended = IntendedStartNs(i);
+    uint64_t lat = completion_ns > intended ? completion_ns - intended : 0;
+    hist_.Add(static_cast<double>(lat) / 1e3);
+  }
+
+  const Histogram& latency_us() const { return hist_; }
+
+ private:
+  uint64_t start_ns_;
+  uint64_t interval_ns_;
+  Histogram hist_;
 };
 
 /// Multi-node deployment knobs (paper Sec. IX / Figs. 14-15).

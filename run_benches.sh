@@ -16,6 +16,11 @@ timeout 2400 $B/fig8_read --keys=60000 --stats_json=BENCH_fig8.json
 # Compute-side cache A/B: cache off (x2, determinism guard) vs 64 MiB
 # TinyLFU cache at zipfian 0.99; asserts >= 3x READ-verb reduction.
 timeout 2400 $B/fig8_read --cache_ab --keys=60000 --stats_json=BENCH_cache_ab.json
+# Continuous telemetry: A/B overhead guard (1ms sampler + 50ms watchdog,
+# wire must be unchanged) and a sampled series for the dLSM read cell.
+timeout 2400 $B/fig8_read --telemetry_ab --keys=60000
+timeout 2400 $B/fig8_read --keys=60000 --only=dLSM --threads=8 \
+  --stats_series=BENCH_fig8_series.json --watchdog_ms=100
 timeout 2400 $B/fig9_datasizes --base=30000 --steps=4
 timeout 2400 $B/fig10_mixed --keys=60000
 timeout 1200 $B/fig11_scan --keys=80000

@@ -44,6 +44,9 @@ struct DbStats {
   uint64_t flush_retries = 0;  ///< Flush jobs re-run before install.
   uint64_t rpc_retries = 0;    ///< RPC attempts re-issued after a failure.
   uint64_t rpc_timeouts = 0;   ///< RPC attempts that hit the reply deadline.
+  /// Operations the stall watchdog found outstanding beyond their deadline
+  /// (Options::watchdog_deadline_ms); 0 when the watchdog is off.
+  uint64_t watchdog_stalls = 0;
 
   // Multi-memory-node placement (zero / empty on single-node engines).
   uint64_t tables_migrated = 0;  ///< Heat-rebalancer version-install swaps.
@@ -136,6 +139,10 @@ class DB {
   ///   "dlsm.placement" — table placement / migration summary (policy,
   ///                   per-node distribution, migration counters; engines
   ///                   with one memory node report the degenerate layout)
+  ///   "dlsm.timeseries" — continuous-telemetry sample ring as JSON
+  ///                   (engines only, and only when
+  ///                   Options::stats_sample_period_ms > 0; the base
+  ///                   implementation returns false)
   /// Returns false (leaving *value untouched) for unknown names. The base
   /// implementation derives everything from GetStats/NumFilesAtLevel, so
   /// every engine (baselines, sharded wrappers) supports these names.

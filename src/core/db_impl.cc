@@ -61,6 +61,8 @@ DLsmDB::DLsmDB(const Options& options, const DbDeps& deps)
       bloom_(options.bloom_bits_per_key),
       mig_mu_(options.env),
       mig_cv_(options.env, &mig_mu_),
+      telem_mu_(options.env),
+      telem_cv_(options.env, &telem_mu_),
       mem_mu_(options.env),
       backpressure_cv_(options.env, &mem_mu_),
       comp_mu_(options.env),
@@ -244,6 +246,8 @@ Status DLsmDB::Init() {
                                   [this] { RebalanceLoop(); });
     has_migrator_ = true;
   }
+
+  SetupTelemetry();
   return Status::OK();
 }
 
@@ -268,7 +272,7 @@ Status DLsmDB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DLsmDB::Write(const WriteOptions& options, WriteBatch* batch) {
   (void)options;
-  trace::TraceSpan span("Write", "db");
+  trace::TraceOp span("Write", "db");
   span.arg("entries", WriteBatchInternal::Count(batch));
   DLSM_RETURN_NOT_OK(BgError());
   if (options_.write_path == WritePath::kWriterQueue) {
@@ -530,6 +534,7 @@ void DLsmDB::ScheduleFlushLocked(MemTable* mem) {
 void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
   trace::TraceSpan span("flush", "flush");
   span.arg("entries", mem->num_entries());
+  telemetry::WatchdogScope wd(watchdog_.get(), "flush");
   // Wait out in-flight writers still inserting into this table.
   while (mem->active_writers() > 0) {
     env_->YieldToOthers();
@@ -673,7 +678,7 @@ void DLsmDB::FlushJob(MemTable* mem, uint64_t l0_order) {
 
 Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
-  trace::TraceSpan span("Get", "db");
+  trace::TraceOp span("Get", "db");
   DLSM_RETURN_NOT_OK(BgError());
   if (options.async_reads && read_paths_[0].uncached_index) {
     // An uncached-index probe must fetch the index before it can size the
@@ -839,7 +844,7 @@ Status DLsmDB::Get(const ReadOptions& options, const Slice& key,
 void DLsmDB::MultiGet(const ReadOptions& options, std::span<const Slice> keys,
                       std::vector<std::string>* values,
                       std::vector<Status>* statuses) {
-  trace::TraceSpan span("MultiGet", "db");
+  trace::TraceOp span("MultiGet", "db");
   span.arg("keys", keys.size());
   values->assign(keys.size(), std::string());
   statuses->assign(keys.size(), Status::NotFound(Slice()));
@@ -1169,6 +1174,7 @@ Status DLsmDB::RunCompaction(const CompactionPick& pick) {
   trace::TraceSpan span("compaction", "compaction");
   span.arg("level", static_cast<uint64_t>(pick.level));
   span.arg("input_bytes", pick.InputBytes());
+  telemetry::WatchdogScope wd(watchdog_.get(), "compaction");
   // Near-data compaction merges in one memory node's DRAM, so it applies
   // only when every input lives on the same node; a pick whose inputs
   // placement spread across nodes falls back to the compute-side merge
@@ -1258,6 +1264,7 @@ Status DLsmDB::IssueCompactionRpc(remote::RpcClient* rpc,
                                   const CompactionTask& task,
                                   CompactionResult* result) {
   NoteCompactionRpcIssued();
+  telemetry::WatchdogScope wd(watchdog_.get(), "compaction_rpc");
   std::string reply;
   Status s = rpc->CallWithWakeup(remote::RpcType::kCompaction,
                                  task.Serialize(), &reply);
@@ -1580,6 +1587,10 @@ int DLsmDB::PlaceTable(int level, const Slice& first_key) {
   ctx.first_key = first_key;
   int slot = placement_->Place(ctx, n);
   if (slot < 0 || slot >= n) slot = static_cast<int>(home_);
+  // Placement decisions are rare (one per table) but load-bearing for the
+  // fig15 balance story; record each one (PR 9 backfill).
+  trace::Tracer::EmitInstant("place_table", "placement", "slot",
+                             static_cast<uint64_t>(slot));
   return slot;
 }
 
@@ -1692,15 +1703,27 @@ void DLsmDB::MigrateRound(size_t from, size_t to) {
 }
 
 Status DLsmDB::MigrateOne(int level, const FileRef& f, size_t dst_slot) {
+  telemetry::WatchdogScope wd(watchdog_.get(), "migration");
   remote::RemoteChunk dst = nodes_[dst_slot].arena->Allocate();
   if (!dst.valid()) {
     return Status::OutOfMemory("migration destination arena exhausted");
   }
-  Status s = CopyChunk(*f, dst_slot, dst);
+  Status s;
+  {
+    // Stage: the bulk node-to-node byte copy (PR 9 backfill: the two
+    // phases were previously invisible inside the parent migrate_table
+    // span).
+    trace::TraceSpan stage("migrate_stage", "migration");
+    stage.arg("bytes", f->data_len);
+    stage.arg("dst", static_cast<uint64_t>(dst_slot));
+    s = CopyChunk(*f, dst_slot, dst);
+  }
   if (!s.ok()) {
     nodes_[dst_slot].arena->Free(dst);
     return s;
   }
+  trace::TraceSpan swap("migrate_swap", "migration");
+  swap.arg("file", f->number);
 
   // Same-number metadata swap: identical keys/index, new chunk + routing
   // slot. Install order matters — the copy is durable (pipeline drained in
@@ -1861,6 +1884,7 @@ DbStats DLsmDB::GetStats() {
   s.flush_retries = stat_flush_retries_.load();
   s.tables_migrated = stat_tables_migrated_.load();
   s.migration_bytes = stat_migration_bytes_.load();
+  if (watchdog_ != nullptr) s.watchdog_stalls = watchdog_->stalls();
   for (const MemoryNodeState& n : nodes_) {
     if (n.owned_rpc != nullptr) {
       // A shared client's counters are added once by the sharded wrapper.
@@ -1900,6 +1924,11 @@ int DLsmDB::NumFilesAtLevel(int level) {
 }
 
 bool DLsmDB::GetProperty(const Slice& property, std::string* value) {
+  if (property == Slice("dlsm.timeseries")) {
+    if (series_ == nullptr) return false;  // Sampler off: name unavailable.
+    *value = series_->ToJson();
+    return true;
+  }
   if (property == Slice("dlsm.levels")) {
     VersionRef v = versions_->current();
     std::string out;
@@ -1984,6 +2013,9 @@ Status DLsmDB::Close() {
     MutexLock l(&mig_mu_);
     mig_cv_.SignalAll();
   }
+  // The telemetry thread snapshots the per-node managers; it must be gone
+  // before node teardown below.
+  StopTelemetry();
   if (has_migrator_) {
     env_->Join(migrator_);
     has_migrator_ = false;

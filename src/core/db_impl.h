@@ -23,6 +23,8 @@
 #include "src/remote/remote_alloc.h"
 #include "src/remote/rpc.h"
 #include "src/sim/thread_pool.h"
+#include "src/util/timeseries.h"
+#include "src/util/watchdog.h"
 
 namespace dlsm {
 
@@ -149,6 +151,17 @@ class DLsmDB : public DB {
   SequenceNumber OldestSnapshot();
   uint64_t SeqRange() const;
 
+  // -- Continuous telemetry (db_telemetry.cc) ----------------------------------
+  /// Builds the sample ring / watchdog per Options and starts the
+  /// telemetry thread when either is enabled. Called at the end of Init().
+  void SetupTelemetry();
+  /// Sampler + watchdog tick loop (one background thread).
+  void TelemetryLoop();
+  /// Appends one row of counters/gauges to series_.
+  void SampleOnce();
+  /// Stops and joins the telemetry thread (idempotent; Close()).
+  void StopTelemetry();
+
   // -- Fail-closed error state -------------------------------------------------
   /// Records the first unrecoverable background failure (flush retries
   /// exhausted, compaction aborted). The error is sticky: every subsequent
@@ -207,6 +220,18 @@ class DLsmDB : public DB {
   ThreadHandle migrator_{};
   Mutex mig_mu_;
   CondVar mig_cv_;
+
+  // Continuous telemetry: background sampler ring + stall watchdog, both
+  // null when their Options knobs are 0. One shared thread ticks them.
+  std::unique_ptr<telemetry::Series> series_;
+  std::unique_ptr<telemetry::Watchdog> watchdog_;
+  bool has_telemetry_thread_ = false;
+  ThreadHandle telemetry_thread_{};
+  Mutex telem_mu_;
+  CondVar telem_cv_;
+  /// Previous verb-stats snapshot, for windowed (per-sample-interval)
+  /// latency percentiles via Histogram::DeltaSince. Telemetry thread only.
+  rdma::RdmaVerbStats prev_verbs_;
 
   // Write state.
   std::atomic<uint64_t> sequence_{0};  // Last allocated sequence number.

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -277,6 +278,40 @@ struct Options {
   /// Region bytes requested per arena growth RPC when a node's flush arena
   /// is exhausted; 0 grows by flush_region_size.
   size_t flush_region_growth = 0;
+
+  // -- Continuous telemetry ---------------------------------------------------
+  //
+  // A background sampler snapshots the engine's counters, per-node verb
+  // distribution, and windowed wire-latency percentiles into a fixed-size
+  // ring of time series rows, exported via GetProperty("dlsm.timeseries").
+  // Off by default so determinism/equivalence runs are unperturbed; when
+  // enabled the sampler thread runs on the compute node's virtual CPU and
+  // two same-seed runs at cpu_scale=0 produce byte-identical series.
+
+  /// Sampling period; 0 disables the sampler (and the series property).
+  uint64_t stats_sample_period_ms = 0;
+
+  /// Ring capacity in samples; the oldest rows fall off (counted in the
+  /// exported "dropped" field).
+  size_t stats_ring_capacity = 512;
+
+  // -- Stall watchdog ---------------------------------------------------------
+  //
+  // Detects work outstanding beyond a deadline — verbs stuck on the wire,
+  // flushes / compactions / migrations / compaction RPCs that stopped
+  // making progress — and emits ONE diagnostic dump (series tail,
+  // outstanding-verb table, per-QP state) to the sink. Deadlines are
+  // virtual time, so sanitizer slowdown and cpu_scale=0 cannot trip it.
+
+  /// Deadline after which in-flight work counts as stalled; 0 disables
+  /// the watchdog.
+  uint64_t watchdog_deadline_ms = 0;
+
+  /// Watchdog evaluation period; 0 derives deadline/4 (min 1 ms).
+  uint64_t watchdog_poll_ms = 0;
+
+  /// Where the one-shot diagnostic dump goes; null writes to stderr.
+  std::function<void(const std::string&)> watchdog_sink;
 
   // -- Sharding (Sec. VII) ----------------------------------------------------
 

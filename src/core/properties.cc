@@ -36,7 +36,8 @@ std::string DbStats::ToString() const {
       "writes %llu  reads %llu  flushes %llu  compactions %llu\n"
       "compaction in %llu B  out %llu B  stall %.3f ms  bloom useful %llu\n"
       "compaction rpc inflight peak %llu\n"
-      "retries: read %llu  flush %llu  rpc %llu  rpc timeouts %llu\n"
+      "retries: read %llu  flush %llu  rpc %llu  rpc timeouts %llu  "
+      "watchdog stalls %llu\n"
       "cache: hits %llu  misses %llu  inserts %llu  evictions %llu  "
       "admission rejects %llu\n",
       static_cast<unsigned long long>(writes),
@@ -52,6 +53,7 @@ std::string DbStats::ToString() const {
       static_cast<unsigned long long>(flush_retries),
       static_cast<unsigned long long>(rpc_retries),
       static_cast<unsigned long long>(rpc_timeouts),
+      static_cast<unsigned long long>(watchdog_stalls),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_inserts),
@@ -97,6 +99,7 @@ std::string StatsJson(const DbStats& stats) {
   AppendCounter(&out, "flush_retries", stats.flush_retries, &first);
   AppendCounter(&out, "rpc_retries", stats.rpc_retries, &first);
   AppendCounter(&out, "rpc_timeouts", stats.rpc_timeouts, &first);
+  AppendCounter(&out, "watchdog_stalls", stats.watchdog_stalls, &first);
   AppendCounter(&out, "cache_hits", stats.cache_hits, &first);
   AppendCounter(&out, "cache_misses", stats.cache_misses, &first);
   AppendCounter(&out, "cache_inserts", stats.cache_inserts, &first);

@@ -337,6 +337,7 @@ DbStats ShardedDB::GetStats() {
     total.cache_admission_rejects += s.cache_admission_rejects;
     total.tables_migrated += s.tables_migrated;
     total.migration_bytes += s.migration_bytes;
+    total.watchdog_stalls += s.watchdog_stalls;
     // Slot-wise merge: slot i means the same memory node in every shard
     // of this compute node.
     if (s.per_node.size() > total.per_node.size()) {
@@ -361,6 +362,27 @@ int ShardedDB::NumFilesAtLevel(int level) {
   int total = 0;
   for (auto& shard : shards_) total += shard->NumFilesAtLevel(level);
   return total;
+}
+
+bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
+  if (property == Slice("dlsm.timeseries")) {
+    // Each shard samples its own series; export them side by side rather
+    // than pretending the rows line up for a merge.
+    std::string out = "{\"shards\":[";
+    bool any = false;
+    for (size_t i = 0; i < shards_.size(); i++) {
+      std::string one;
+      if (!shards_[i]->GetProperty(property, &one)) return false;
+      if (i > 0) out.append(",");
+      out.append(one);
+      any = true;
+    }
+    if (!any) return false;
+    out.append("]}");
+    *value = std::move(out);
+    return true;
+  }
+  return DB::GetProperty(property, value);
 }
 
 Status ShardedDB::Close() {

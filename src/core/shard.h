@@ -56,6 +56,10 @@ class ShardedDB : public DB {
   Status WaitForBackgroundIdle() override;
   DbStats GetStats() override;
   int NumFilesAtLevel(int level) override;
+  /// "dlsm.timeseries" answers with {"shards":[...]} — one series object
+  /// per shard (each samples independently); other names defer to the
+  /// base implementation over the merged stats.
+  bool GetProperty(const Slice& property, std::string* value) override;
   Status Close() override;
 
   int ShardForKey(const Slice& key) const;

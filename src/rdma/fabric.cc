@@ -26,6 +26,11 @@ class DmaScope {
   uint64_t token_;
 };
 
+/// Latency injected for a stuck WR (FaultParams::stuck_wr_nth): far
+/// beyond any reachable virtual time, small enough that completion-time
+/// arithmetic cannot overflow.
+constexpr uint64_t kStuckDelayNs = 1ull << 62;
+
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -167,6 +172,14 @@ bool QueuePair::AdmitPost(Completion* c, uint64_t* extra_latency_ns) {
     if (fp.rnr_delay_rate > 0.0 && NextUniform() < fp.rnr_delay_rate) {
       *extra_latency_ns += fp.rnr_delay_ns;
     }
+    if (fp.stuck_wr_nth > 0 &&
+        f->admitted_posts_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            fp.stuck_wr_nth) {
+      // Park the completion unreachably far in the future: the WR never
+      // completes, nothing errors, and per-QP FIFO order wedges the queue
+      // behind it — the silent stall the watchdog must detect.
+      *extra_latency_ns += kStuckDelayNs;
+    }
   }
   return true;
 }
@@ -216,6 +229,7 @@ uint64_t QueuePair::PostRead(void* dst, uint64_t raddr, uint32_t rkey,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kRead;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -250,6 +264,7 @@ uint64_t QueuePair::PostWrite(const void* src, uint64_t raddr, uint32_t rkey,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -285,6 +300,7 @@ uint64_t QueuePair::PostWriteWithImm(const void* src, uint64_t raddr,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kWriteWithImm;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -324,6 +340,7 @@ uint64_t QueuePair::PostWriteStamped(const void* src, uint64_t raddr,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kWrite;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -364,6 +381,7 @@ uint64_t QueuePair::PostSend(const void* src, size_t len, uint64_t wr_id) {
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kSend;
   c.byte_len = static_cast<uint32_t>(len);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -396,6 +414,7 @@ uint64_t QueuePair::PostFetchAdd(uint64_t raddr, uint32_t rkey, uint64_t add,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kFetchAdd;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;
@@ -434,6 +453,7 @@ uint64_t QueuePair::PostCmpSwap(uint64_t raddr, uint32_t rkey,
   Fabric* f = fabric_;
   Completion c;
   c.post_ns = f->env()->NowNanos();
+  last_post_ns_ = c.post_ns;
   c.opcode = Opcode::kCmpSwap;
   c.byte_len = sizeof(uint64_t);
   c.wr_id = wr_id != 0 ? wr_id : auto_wr_id_++;

@@ -71,7 +71,19 @@ struct FaultParams {
   double rnr_delay_rate = 0.0;
   uint64_t rnr_delay_ns = 200 * 1000;
 
-  bool any() const { return wr_error_rate > 0.0 || rnr_delay_rate > 0.0; }
+  /// When nonzero, the Nth admitted send-side WR fabric-wide (1-based,
+  /// counted across all QPs) never completes: its completion time is
+  /// parked unreachably far in the future, modeling a lost packet with
+  /// retransmission exhausted but no error surfaced — the silent-stall
+  /// scenario the watchdog exists for. Per-QP FIFO completion order means
+  /// later WRs on the same QP stall behind it, exactly as on an RC queue
+  /// pair. Waiting on a stuck WR would block forever (virtual time jumps
+  /// to the parked timestamp); detection is the watchdog's job.
+  uint64_t stuck_wr_nth = 0;
+
+  bool any() const {
+    return wr_error_rate > 0.0 || rnr_delay_rate > 0.0 || stuck_wr_nth > 0;
+  }
 };
 
 /// Link timing parameters, defaults calibrated to the paper's EDR setup.
@@ -295,6 +307,11 @@ class QueuePair {
   /// view of this QP's in-flight depth.
   size_t send_cq_depth() const;
 
+  /// Post timestamp of the most recent Post* call on this QP (virtual
+  /// ns). Owner-thread only — the verb layer reads it immediately after a
+  /// post to stamp its outstanding-WR table without a second clock read.
+  uint64_t last_post_ns() const { return last_post_ns_; }
+
   /// Reads a ready stamp written by PostWriteStamped: 0 means not yet
   /// delivered, otherwise the completion time to AdvanceTo().
   static uint64_t ReadReadyStamp(const void* stamp_addr) {
@@ -339,6 +356,7 @@ class QueuePair {
   std::deque<Completion> recv_cq_;
   std::deque<PendingRecv> recv_queue_;
   uint64_t last_completion_ns_ = 0;  // Enforces per-QP FIFO completion order.
+  uint64_t last_post_ns_ = 0;        // Owner-thread only; see last_post_ns().
   uint64_t auto_wr_id_ = 1;
 
   std::atomic<bool> error_{false};
@@ -436,6 +454,9 @@ class Fabric {
   uint32_t next_key_ = 0x1000;
   FaultParams fault_params_;
   std::atomic<bool> faults_enabled_{false};
+  /// Admitted send-side posts, counted only while stuck_wr_nth is armed
+  /// (the stuck-WR lottery's deterministic draw).
+  std::atomic<uint64_t> admitted_posts_{0};
   std::vector<std::pair<uint64_t, std::function<void(Node*, bool)>>>
       crash_listeners_;  // Guarded by mu_; invoked outside it.
   uint64_t next_crash_listener_id_ = 1;

@@ -1,6 +1,7 @@
 #include "src/rdma/rdma_manager.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 #include "src/util/logging.h"
@@ -92,7 +93,9 @@ size_t VerbQueue::FindPending(uint64_t wr_id) const {
 
 WrHandle VerbQueue::Track(uint64_t wr_id, VerbClass cls) {
   pending_.push_back(Pending{wr_id, cls, false});
-  RecordPost();
+  // The QP stamped the post clock an instant ago; reuse it rather than
+  // reading the clock a second time per verb.
+  RecordPost(wr_id, cls, qp_->last_post_ns());
   return WrHandle(this, wr_id);
 }
 
@@ -196,11 +199,12 @@ Status VerbQueue::Recover() {
   return s;
 }
 
-void VerbQueue::RecordPost() {
+void VerbQueue::RecordPost(uint64_t wr_id, VerbClass cls, uint64_t post_ns) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   posted_++;
   outstanding_++;
   if (outstanding_ > max_outstanding_) max_outstanding_ = outstanding_;
+  outstanding_verbs_.push_back(OutstandingVerb{wr_id, cls, post_ns});
 }
 
 void VerbQueue::RecordCompletion(VerbClass cls, const Completion& c) {
@@ -218,6 +222,13 @@ void VerbQueue::RecordCompletion(VerbClass cls, const Completion& c) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   completed_++;
   outstanding_--;
+  for (size_t i = 0; i < outstanding_verbs_.size(); i++) {
+    if (outstanding_verbs_[i].wr_id == c.wr_id) {
+      outstanding_verbs_[i] = outstanding_verbs_.back();
+      outstanding_verbs_.pop_back();
+      break;
+    }
+  }
   VerbClassStats& s = cls_stats_[static_cast<int>(cls)];
   s.ops++;
   s.bytes += c.byte_len;
@@ -233,6 +244,12 @@ void VerbQueue::RecordAbandoned() {
 void VerbQueue::RecordReconnect() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   reconnects_++;
+}
+
+void VerbQueue::ListOutstanding(std::vector<OutstandingVerb>* out) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out->insert(out->end(), outstanding_verbs_.begin(),
+              outstanding_verbs_.end());
 }
 
 void VerbQueue::SnapshotInto(RdmaVerbStats* out) const {
@@ -363,6 +380,36 @@ RdmaVerbStats RdmaManager::StatsSnapshot() const {
   for (VerbQueue* vq : live_vqs_) {
     vq->SnapshotInto(&out);
   }
+  return out;
+}
+
+void RdmaManager::ListOutstanding(std::vector<OutstandingVerb>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (VerbQueue* vq : live_vqs_) {
+    vq->ListOutstanding(out);
+  }
+}
+
+std::string RdmaManager::QpStateSummary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  size_t qi = 0;
+  for (VerbQueue* vq : live_vqs_) {
+    std::vector<OutstandingVerb> inflight;
+    vq->ListOutstanding(&inflight);
+    uint64_t last_post = 0;
+    for (const OutstandingVerb& v : inflight) {
+      if (v.post_ns > last_post) last_post = v.post_ns;
+    }
+    snprintf(line, sizeof(line),
+             "qp[%zu] %s->%s state=%s in_flight=%zu last_post_ns=%llu\n", qi++,
+             local_->name().c_str(), remote_->name().c_str(),
+             vq->qp()->InError() ? "ERROR" : "RTS", inflight.size(),
+             static_cast<unsigned long long>(last_post));
+    out += line;
+  }
+  if (qi == 0) out = "(no live verb queues)\n";
   return out;
 }
 

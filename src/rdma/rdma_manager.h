@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/rdma/fabric.h"
@@ -34,6 +35,15 @@ namespace rdma {
 
 class RdmaManager;
 class VerbQueue;
+
+/// One verb posted but not yet completed, as seen by an observer thread
+/// (watchdog, diagnostics). A point-in-time copy: by the time the caller
+/// inspects it the verb may have completed.
+struct OutstandingVerb {
+  uint64_t wr_id = 0;
+  VerbClass cls = VerbClass::kRead;
+  uint64_t post_ns = 0;  ///< Fabric post timestamp (virtual time).
+};
 
 /// Completion handle for one posted verb; move-only, obtained from a
 /// VerbQueue post. Wait() blocks (in virtual time) until this verb's own
@@ -160,6 +170,12 @@ class VerbQueue {
     bool cancelled;
   };
 
+ public:
+  /// Appends every verb still in flight on this queue to *out. Safe from
+  /// any thread (reads the stats-side mirror, not the owner's pending_).
+  void ListOutstanding(std::vector<OutstandingVerb>* out) const;
+
+ private:
   WrHandle Track(uint64_t wr_id, VerbClass cls);
   /// Accounts one popped completion: telemetry, pending bookkeeping, and
   /// stash-or-drop depending on whether the handle was cancelled.
@@ -175,7 +191,7 @@ class VerbQueue {
   void Cancel(uint64_t wr_id);
 
   size_t FindPending(uint64_t wr_id) const;
-  void RecordPost();
+  void RecordPost(uint64_t wr_id, VerbClass cls, uint64_t post_ns);
   void RecordCompletion(VerbClass cls, const Completion& c);
   void RecordAbandoned();
   void RecordReconnect();
@@ -190,8 +206,11 @@ class VerbQueue {
   // Telemetry is queue-local under an uncontended per-queue mutex (the
   // queue is single-owner; only manager snapshots contend), so the
   // per-verb cost is two cheap lock round trips instead of traffic on a
-  // shared cache line.
+  // shared cache line. outstanding_verbs_ mirrors pending_ under the same
+  // mutex so observer threads (the stall watchdog) can enumerate in-flight
+  // work without touching the owner-only pending_ vector.
   mutable std::mutex stats_mu_;
+  std::vector<OutstandingVerb> outstanding_verbs_;
   VerbClassStats cls_stats_[kNumVerbClasses];
   uint64_t posted_ = 0;
   uint64_t completed_ = 0;
@@ -259,6 +278,15 @@ class RdmaManager {
   /// Verbs posted through this manager whose completion has not popped
   /// yet (gauge across all queues).
   uint64_t outstanding_ops() const { return StatsSnapshot().outstanding; }
+
+  /// Appends every in-flight verb across this manager's queues to *out
+  /// (point-in-time copy; see OutstandingVerb). Watchdog probes use this
+  /// to name verbs outstanding beyond their deadline.
+  void ListOutstanding(std::vector<OutstandingVerb>* out) const;
+
+  /// One line per live verb queue — QP error state, in-flight depth, last
+  /// post time — for watchdog diagnostic dumps.
+  std::string QpStateSummary() const;
 
  private:
   friend class VerbQueue;

@@ -69,6 +69,34 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+Histogram Histogram::DeltaSince(const Histogram& prev) const {
+  Histogram d;
+  int lo = -1;
+  int hi = -1;
+  double count = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    double n = buckets_[b] - prev.buckets_[b];
+    if (n > 0) {
+      d.buckets_[b] = n;
+      count += n;
+      if (lo < 0) lo = b;
+      hi = b;
+    }
+  }
+  if (count == 0) return d;  // Empty interval: stays Clear()'d.
+  // Derive the moments from the snapshot difference but the count from
+  // the bucket difference, so the delta is internally consistent even if
+  // the two snapshots were not taken atomically.
+  d.num_ = count;
+  d.sum_ = sum_ - prev.sum_ > 0 ? sum_ - prev.sum_ : 0;
+  d.sum_squares_ =
+      sum_squares_ - prev.sum_squares_ > 0 ? sum_squares_ - prev.sum_squares_
+                                           : 0;
+  d.min_ = lo == 0 ? 0 : kBucketLimit[lo - 1];
+  d.max_ = hi == kNumBuckets - 1 ? max_ : kBucketLimit[hi];
+  return d;
+}
+
 double Histogram::Percentile(double p) const {
   // Degenerate cases: the empty histogram has min_/max_ at their sentinel
   // values (1e200 / 0), so the clamp below would return garbage; a single

@@ -26,6 +26,14 @@ class Histogram {
   /// Merges another histogram's samples into this one.
   void Merge(const Histogram& other);
 
+  /// The samples recorded in *this but not in `prev`, where `prev` is an
+  /// earlier snapshot of the same histogram (bucket-wise subtraction) —
+  /// the windowed view the telemetry sampler reports p50/p99 over.
+  /// min/max are approximated by the delta's occupied bucket bounds (the
+  /// exact extremes of an interval are not recoverable from two
+  /// cumulative snapshots), which only tightens the percentile clamp.
+  Histogram DeltaSince(const Histogram& prev) const;
+
   double Median() const { return Percentile(50.0); }
 
   /// Returns the approximate p-th percentile (p in [0, 100]). Exact for

@@ -1,0 +1,128 @@
+#include "src/util/timeseries.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace dlsm {
+namespace telemetry {
+
+namespace {
+
+// %.4f with trailing zeros (and a bare trailing dot) trimmed, so counter
+// deltas print as integers and the JSON stays byte-stable across runs.
+void AppendNumber(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  size_t len = std::strlen(buf);
+  if (std::memchr(buf, '.', len) != nullptr) {
+    while (len > 0 && buf[len - 1] == '0') len--;
+    if (len > 0 && buf[len - 1] == '.') len--;
+  }
+  out->append(buf, len);
+}
+
+}  // namespace
+
+Series::Series(std::vector<Column> columns, size_t capacity)
+    : columns_(std::move(columns)),
+      capacity_(capacity > 0 ? capacity : 1),
+      stride_(1 + columns_.size()) {
+  ring_.resize(capacity_ * stride_, 0.0);
+  prev_raw_.resize(columns_.size(), 0.0);
+}
+
+void Series::Append(uint64_t ts_ns, const double* raw, size_t n) {
+  DLSM_CHECK_MSG(n == columns_.size(), "Series::Append arity mismatch");
+  std::lock_guard<std::mutex> lk(mu_);
+  double* row = &ring_[head_ * stride_];
+  row[0] = static_cast<double>(ts_ns);
+  for (size_t c = 0; c < n; c++) {
+    if (columns_[c].kind == Kind::kCounter) {
+      // First row has no prior interval; record 0 rather than the whole
+      // cumulative history as one giant delta.
+      double delta = appended_ == 0 ? 0.0 : raw[c] - prev_raw_[c];
+      row[1 + c] = delta >= 0 ? delta : 0.0;  // Counter resets clamp to 0.
+      prev_raw_[c] = raw[c];
+    } else {
+      row[1 + c] = raw[c];
+    }
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) size_++;
+  appended_++;
+}
+
+size_t Series::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return size_;
+}
+
+uint64_t Series::total_appended() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+std::string Series::RowsJsonLocked(size_t n) const {
+  if (n > size_) n = size_;
+  std::string out = "[";
+  // Oldest retained row lives at head_ when the ring has wrapped, else 0.
+  size_t oldest = size_ == capacity_ ? head_ : 0;
+  for (size_t i = size_ - n; i < size_; i++) {
+    if (i != size_ - n) out.append(",");
+    const double* row = &ring_[((oldest + i) % capacity_) * stride_];
+    out.append("[");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", row[0]);
+    out.append(buf);
+    for (size_t c = 1; c < stride_; c++) {
+      out.append(",");
+      AppendNumber(&out, row[c]);
+    }
+    out.append("]");
+  }
+  out.append("]");
+  return out;
+}
+
+std::string Series::ToJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"columns\":[\"ts_ns\"";
+  for (const Column& c : columns_) {
+    out.append(",\"");
+    out.append(c.name);
+    out.append("\"");
+  }
+  out.append("],\"kinds\":[\"ts\"");
+  for (const Column& c : columns_) {
+    out.append(c.kind == Kind::kCounter ? ",\"counter\"" : ",\"gauge\"");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "],\"dropped\":%llu,\"samples\":",
+                static_cast<unsigned long long>(appended_ - size_));
+  out.append(buf);
+  out.append(RowsJsonLocked(size_));
+  out.append("}");
+  return out;
+}
+
+std::string Series::TailJson(size_t n) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return RowsJsonLocked(n);
+}
+
+std::vector<std::vector<double>> Series::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::vector<double>> out;
+  out.reserve(size_);
+  size_t oldest = size_ == capacity_ ? head_ : 0;
+  for (size_t i = 0; i < size_; i++) {
+    const double* row = &ring_[((oldest + i) % capacity_) * stride_];
+    out.emplace_back(row, row + stride_);
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace dlsm

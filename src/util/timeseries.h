@@ -1,0 +1,99 @@
+// Fixed-capacity time-series ring for continuous telemetry.
+//
+// A Series holds one row per sampling tick: a timestamp plus a fixed set
+// of double-valued columns declared up front. Columns are either gauges
+// (stored as sampled) or counters (the caller feeds the raw cumulative
+// value and the series stores the per-interval delta, so a windowed view
+// of a monotone counter needs no post-processing). Storage is a
+// preallocated ring: appends never allocate, and once capacity is reached
+// the oldest rows are overwritten — the series is always "the last N
+// sampling intervals".
+//
+// Like the tracer (see trace.h), this sits in util below sim: timestamps
+// are supplied by the caller, so under SimEnv the series is in virtual
+// time and two same-seed runs produce byte-identical JSON.
+//
+// Thread-safety: one internal mutex; the background sampler appends while
+// readers (DB::GetProperty("dlsm.timeseries"), watchdog dumps) serialize.
+
+#ifndef DLSM_UTIL_TIMESERIES_H_
+#define DLSM_UTIL_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlsm {
+namespace telemetry {
+
+class Series {
+ public:
+  enum class Kind {
+    kGauge,    ///< Stored as sampled.
+    kCounter,  ///< Caller passes the cumulative value; the delta is stored.
+  };
+
+  struct Column {
+    std::string name;
+    Kind kind = Kind::kGauge;
+  };
+
+  /// capacity is the number of retained rows (>= 1).
+  Series(std::vector<Column> columns, size_t capacity);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Appends one row. `raw` must have num_columns() entries, in column
+  /// declaration order. ts_ns must be monotonically non-decreasing (rows
+  /// are exported in append order). Counter columns difference against
+  /// the previous raw value; the first row records 0 for them (there is
+  /// no prior interval).
+  void Append(uint64_t ts_ns, const double* raw, size_t n);
+  void Append(uint64_t ts_ns, const std::vector<double>& raw) {
+    Append(ts_ns, raw.data(), raw.size());
+  }
+
+  /// Rows currently retained (<= capacity).
+  size_t size() const;
+
+  /// Rows ever appended (>= size(); the difference is what the ring
+  /// overwrote).
+  uint64_t total_appended() const;
+
+  /// {"columns":["ts_ns",...],"kinds":["ts","gauge","counter",...],
+  ///  "dropped":N,"samples":[[ts,...],...]} — oldest row first. Values are
+  /// printed with %.4f trimmed of trailing zeros so integral counters
+  /// round-trip exactly.
+  std::string ToJson() const;
+
+  /// The newest `n` rows as JSON (same schema); the watchdog dump's
+  /// ring-buffer tail.
+  std::string TailJson(size_t n) const;
+
+  /// Copy of the retained rows, oldest first; row = [ts_ns, col0, ...].
+  /// Test/diagnostic helper.
+  std::vector<std::vector<double>> Snapshot() const;
+
+ private:
+  // Requires mu_. Rows [size_-n, size_) in logical (oldest-first) order.
+  std::string RowsJsonLocked(size_t n) const;
+
+  const std::vector<Column> columns_;
+  const size_t capacity_;
+  const size_t stride_;  // 1 (timestamp) + columns.
+
+  mutable std::mutex mu_;
+  std::vector<double> ring_;      // capacity_ * stride_, flat.
+  std::vector<double> prev_raw_;  // Last raw value per column (deltas).
+  size_t head_ = 0;               // Next write slot.
+  size_t size_ = 0;               // Retained rows.
+  uint64_t appended_ = 0;         // Rows ever appended.
+};
+
+}  // namespace telemetry
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_TIMESERIES_H_

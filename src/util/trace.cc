@@ -1,6 +1,8 @@
 #include "src/util/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -11,6 +13,7 @@ namespace dlsm {
 namespace trace {
 
 std::atomic<bool> Tracer::enabled_{false};
+std::atomic<bool> Tracer::exemplars_on_{false};
 
 /// Per-thread event buffer. Preallocated at registration; appends drop at
 /// capacity (never reallocate, never wrap) so a buffer overflow shortens
@@ -24,6 +27,17 @@ struct Tracer::ThreadLog {
 
 namespace {
 
+/// One op retained (so far) by the exemplar policy: its duration, the
+/// identity of the emitting thread, and a copy of its event range. A
+/// candidate may still be displaced by a slower op in the same window.
+struct ExemplarCandidate {
+  uint64_t dur_ns = 0;
+  uint64_t seq = 0;  // Admission order; export tiebreak.
+  const char* name = nullptr;
+  ThreadIdentity who;
+  std::vector<TraceEvent> events;
+};
+
 struct TracerState {
   std::mutex mu;
   std::function<uint64_t()> clock;
@@ -35,6 +49,10 @@ struct TracerState {
   std::vector<std::unique_ptr<Tracer::ThreadLog>> logs;
   std::atomic<uint64_t> next_id{1};
   std::atomic<uint64_t> dropped{0};
+  // Exemplar mode (guarded by mu except the hot-path flag mirror).
+  ExemplarPolicy exemplar_policy;
+  std::map<uint64_t, std::vector<ExemplarCandidate>> exemplar_windows;
+  uint64_t exemplar_seq = 0;
 };
 
 TracerState& State() {
@@ -47,6 +65,24 @@ struct LogCache {
   Tracer::ThreadLog* log = nullptr;
 };
 thread_local LogCache tls_log;
+
+// Only the outermost TraceOp on a thread does exemplar accounting.
+thread_local bool tls_in_op = false;
+
+/// Candidates of one window in export order: slowest first, admission
+/// order breaking ties (both deterministic under SimEnv).
+std::vector<const ExemplarCandidate*> SortedWindow(
+    const std::vector<ExemplarCandidate>& cands) {
+  std::vector<const ExemplarCandidate*> sorted;
+  sorted.reserve(cands.size());
+  for (const ExemplarCandidate& c : cands) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExemplarCandidate* a, const ExemplarCandidate* b) {
+              if (a->dur_ns != b->dur_ns) return a->dur_ns > b->dur_ns;
+              return a->seq < b->seq;
+            });
+  return sorted;
+}
 
 void AppendJsonEvent(std::string* out, const ThreadIdentity& who,
                      const TraceEvent& e) {
@@ -151,8 +187,20 @@ void Tracer::Enable(std::function<uint64_t()> clock,
   s.logs.clear();
   s.next_id.store(1, std::memory_order_relaxed);
   s.dropped.store(0, std::memory_order_relaxed);
+  s.exemplar_policy = ExemplarPolicy();
+  s.exemplar_windows.clear();
+  s.exemplar_seq = 0;
+  exemplars_on_.store(false, std::memory_order_release);
   s.epoch.fetch_add(1, std::memory_order_release);
   enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::SetExemplarPolicy(const ExemplarPolicy& policy) {
+  TracerState& s = State();
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.exemplar_policy = policy;
+  s.exemplar_windows.clear();
+  exemplars_on_.store(policy.active(), std::memory_order_release);
 }
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
@@ -281,6 +329,18 @@ std::string Tracer::ChromeTraceJson() {
       AppendJsonEvent(&out, log->who, e);
     }
   }
+  // Exemplar span trees, grouped by window ascending, slowest op first.
+  // Events keep their original thread identity, so they land on the
+  // emitting thread's track next to that thread's background spans.
+  for (const auto& [window, cands] : s.exemplar_windows) {
+    (void)window;
+    for (const ExemplarCandidate* c : SortedWindow(cands)) {
+      for (const TraceEvent& e : c->events) {
+        sep();
+        AppendJsonEvent(&out, c->who, e);
+      }
+    }
+  }
   out.append("]}\n");
   return out;
 }
@@ -299,12 +359,93 @@ uint64_t Tracer::dropped_events() {
   return State().dropped.load(std::memory_order_relaxed);
 }
 
+void Tracer::ExemplarFinish(ThreadLog* log, size_t mark, const char* name,
+                            uint64_t start_ns, uint64_t dur_ns) {
+  TracerState& s = State();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.exemplar_policy.active()) return;  // Raced off; keep the events.
+  size_t end = log->events.size();
+  if (mark > end) return;  // Buffer re-registered mid-op; nothing to claim.
+  std::vector<ExemplarCandidate>& w =
+      s.exemplar_windows[start_ns / s.exemplar_policy.window_ns];
+  bool admit;
+  if (w.size() < s.exemplar_policy.k) {
+    admit = true;
+  } else {
+    // Displace the window's fastest retained op if this one is slower
+    // (the adaptive threshold: the current k-th slowest duration).
+    size_t min_i = 0;
+    for (size_t i = 1; i < w.size(); i++) {
+      if (w[i].dur_ns < w[min_i].dur_ns) min_i = i;
+    }
+    admit = dur_ns > w[min_i].dur_ns;
+    if (admit) {
+      w[min_i] = std::move(w.back());
+      w.pop_back();
+    }
+  }
+  if (admit) {
+    ExemplarCandidate c;
+    c.dur_ns = dur_ns;
+    c.seq = s.exemplar_seq++;
+    c.name = name;
+    c.who = log->who;
+    c.events.assign(log->events.begin() + mark, log->events.begin() + end);
+    w.push_back(std::move(c));
+  }
+  // Rolled back either way: retained ops live in the candidate store, so
+  // the thread buffer only holds background (non-op) events.
+  log->events.resize(mark);
+}
+
+std::vector<Tracer::ExemplarInfo> Tracer::ExemplarIndex() {
+  TracerState& s = State();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::vector<ExemplarInfo> out;
+  for (const auto& [window, cands] : s.exemplar_windows) {
+    for (const ExemplarCandidate* c : SortedWindow(cands)) {
+      out.push_back(ExemplarInfo{window, c->dur_ns, c->name});
+    }
+  }
+  return out;
+}
+
 void TraceSpan::Begin(const char* name, const char* cat) {
   active_ = true;
   name_ = name;
   cat_ = cat;
   start_ns_ = Tracer::Now();
   id_ = Tracer::NextId();
+}
+
+void TraceOp::Begin(const char* name, const char* cat) {
+  active_ = true;
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = Tracer::Now();
+  id_ = Tracer::NextId();
+  if (Tracer::exemplars_active() && !tls_in_op) {
+    log_ = Tracer::Log();
+    if (log_ != nullptr) {
+      mark_ = log_->events.size();
+      exemplar_ = true;
+      tls_in_op = true;
+    }
+  }
+}
+
+void TraceOp::End() {
+  if (!active_) return;
+  active_ = false;
+  uint64_t dur_ns = Tracer::Now() - start_ns_;
+  // The op's own span is emitted first so it is part of the copied range.
+  Tracer::EmitComplete(name_, cat_, start_ns_, dur_ns, id_, arg1_name_,
+                       arg1_, arg2_name_, arg2_);
+  if (exemplar_) {
+    exemplar_ = false;
+    tls_in_op = false;
+    Tracer::ExemplarFinish(log_, mark_, name_, start_ns_, dur_ns);
+  }
 }
 
 }  // namespace trace

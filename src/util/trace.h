@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace dlsm {
 namespace trace {
@@ -59,6 +60,21 @@ struct TraceEvent {
   const char* arg2_name = nullptr;
   uint64_t arg2 = 0;
   char phase = 'X';      // 'X', 'i', 's', or 'f'.
+};
+
+/// Tail-based exemplar sampling policy. When active, events emitted
+/// inside a TraceOp are retained only if the op ranks among the k slowest
+/// of its time window (window = op start / window_ns); everything else is
+/// rolled back from the thread buffer at op end. The admission threshold
+/// is adaptive by construction — it is the current window's k-th slowest
+/// duration — so --trace_out at production rates keeps the p99+ span
+/// trees instead of everything (buffer exhaustion) or nothing.
+/// Background spans (flush, compaction, migration) and events emitted
+/// outside any TraceOp are unaffected.
+struct ExemplarPolicy {
+  size_t k = 0;           ///< Exemplars retained per window; 0 disables.
+  uint64_t window_ns = 0; ///< Window width; 0 disables.
+  bool active() const { return k > 0 && window_ns > 0; }
 };
 
 class Tracer {
@@ -112,14 +128,40 @@ class Tracer {
   /// capacity instead of wrapping, so prefixes stay deterministic).
   static uint64_t dropped_events();
 
+  /// Installs the exemplar policy for the current enable period (call
+  /// after Enable; Enable resets the policy to inactive). An inactive
+  /// policy makes TraceOp behave exactly like TraceSpan.
+  static void SetExemplarPolicy(const ExemplarPolicy& policy);
+
+  /// The once-per-op exemplar flag (relaxed load).
+  static bool exemplars_active() {
+    return exemplars_on_.load(std::memory_order_relaxed);
+  }
+
+  /// One retained exemplar, in export order (windows ascending, then
+  /// duration descending). Test / CI introspection.
+  struct ExemplarInfo {
+    uint64_t window = 0;   ///< start_ns / window_ns.
+    uint64_t dur_ns = 0;
+    const char* name = nullptr;  ///< The op span's name.
+  };
+  static std::vector<ExemplarInfo> ExemplarIndex();
+
   /// Implementation detail, public only so the .cc-internal state can name
   /// it; defined in trace.cc.
   struct ThreadLog;
 
  private:
   friend class TraceSpan;
+  friend class TraceOp;
   static ThreadLog* Log();
+  /// Top-k admission for one finished op: copies the op's events
+  /// [mark, end) into the window's candidate store if it beats the
+  /// current k-th slowest, then rolls the thread buffer back to mark.
+  static void ExemplarFinish(ThreadLog* log, size_t mark, const char* name,
+                             uint64_t start_ns, uint64_t dur_ns);
   static std::atomic<bool> enabled_;
+  static std::atomic<bool> exemplars_on_;
 };
 
 /// RAII complete-span. Construction checks the runtime flag once; when
@@ -163,6 +205,58 @@ class TraceSpan {
   void Begin(const char* name, const char* cat);
 
   bool active_ = false;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;
+  const char* arg1_name_ = nullptr;
+  uint64_t arg1_ = 0;
+  const char* arg2_name_ = nullptr;
+  uint64_t arg2_ = 0;
+};
+
+/// RAII span for a top-level user operation (Get, Write, MultiGet): the
+/// unit the exemplar policy samples at. Behaves exactly like TraceSpan
+/// when the exemplar policy is inactive. When active, every event this
+/// thread emits during the op — the op span itself, nested probe spans,
+/// harvested verb spans — is treated as the op's span tree: retained only
+/// if the op ranks in its window's top-k by duration, rolled back
+/// otherwise. Only the outermost TraceOp on a thread samples; nested ones
+/// degrade to plain spans.
+class TraceOp {
+ public:
+  TraceOp(const char* name, const char* cat) {
+    if (Tracer::enabled()) Begin(name, cat);
+  }
+  ~TraceOp() { End(); }
+
+  TraceOp(const TraceOp&) = delete;
+  TraceOp& operator=(const TraceOp&) = delete;
+
+  /// Attaches up to two integer args (as TraceSpan::arg).
+  void arg(const char* name, uint64_t value) {
+    if (!active_) return;
+    if (arg1_name_ == nullptr) {
+      arg1_name_ = name;
+      arg1_ = value;
+    } else {
+      arg2_name_ = name;
+      arg2_ = value;
+    }
+  }
+
+  void End();
+
+  uint64_t id() const { return id_; }
+  bool active() const { return active_; }
+
+ private:
+  void Begin(const char* name, const char* cat);
+
+  bool active_ = false;
+  bool exemplar_ = false;
+  Tracer::ThreadLog* log_ = nullptr;
+  size_t mark_ = 0;
   const char* name_ = nullptr;
   const char* cat_ = nullptr;
   uint64_t start_ns_ = 0;

@@ -1,0 +1,149 @@
+#include "src/util/watchdog.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dlsm {
+namespace telemetry {
+
+Watchdog::Watchdog(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.sink) {
+    opts_.sink = [](const std::string& dump) {
+      std::fwrite(dump.data(), 1, dump.size(), stderr);
+      std::fflush(stderr);
+    };
+  }
+}
+
+uint64_t Watchdog::Arm(const char* kind, uint64_t deadline_ns) {
+  uint64_t now = opts_.clock();
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t token = next_token_++;
+  armed_.push_back(
+      Armed{token, kind, now,
+            deadline_ns != 0 ? deadline_ns : opts_.deadline_ns});
+  return token;
+}
+
+void Watchdog::Progress(uint64_t token) {
+  uint64_t now = opts_.clock();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Armed& a : armed_) {
+    if (a.token == token) {
+      a.since_ns = now;
+      return;
+    }
+  }
+}
+
+void Watchdog::Disarm(uint64_t token) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (size_t i = 0; i < armed_.size(); i++) {
+    if (armed_[i].token == token) {
+      armed_[i] = armed_.back();
+      armed_.pop_back();
+      return;
+    }
+  }
+}
+
+void Watchdog::AddProbe(std::string name, Probe probe) {
+  std::lock_guard<std::mutex> lk(mu_);
+  probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void Watchdog::AddDiagnostic(std::string name,
+                             std::function<std::string()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  diags_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::string Watchdog::last_dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dump_;
+}
+
+size_t Watchdog::armed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return armed_.size();
+}
+
+bool Watchdog::Poll() {
+  if (fired()) return false;
+  uint64_t now = opts_.clock();
+
+  // Snapshot the armed table and the probe/diag lists, then release the
+  // lock: probes and diagnostics call into other subsystems (verb-queue
+  // stats mutexes, series rings) and must not nest inside mu_.
+  std::vector<Armed> armed;
+  std::vector<std::pair<std::string, Probe>> probes;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    armed = armed_;
+    probes = probes_;
+  }
+
+  std::vector<StuckOp> stuck;
+  std::vector<const char*> probe_of;  // Parallel: which source reported it.
+  for (const Armed& a : armed) {
+    if (now > a.since_ns && now - a.since_ns > a.deadline_ns) {
+      stuck.push_back(StuckOp{a.kind, a.token, now - a.since_ns});
+      probe_of.push_back("armed");
+    }
+  }
+  for (const auto& [name, probe] : probes) {
+    size_t before = stuck.size();
+    probe(now, opts_.deadline_ns, &stuck);
+    probe_of.resize(stuck.size(), name.c_str());
+    (void)before;
+  }
+  if (stuck.empty()) return false;
+
+  bool expected = false;
+  if (!fired_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    return false;  // Another poller won the race.
+  }
+  stalls_.store(stuck.size(), std::memory_order_relaxed);
+
+  std::string dump;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "=== dLSM watchdog: %zu stalled operation(s) at t=%llu ns "
+                "(deadline %llu ns) ===\n",
+                stuck.size(), static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(opts_.deadline_ns));
+  dump.append(buf);
+  for (size_t i = 0; i < stuck.size(); i++) {
+    std::snprintf(buf, sizeof(buf),
+                  "stuck: kind=%s id=%llu age_ns=%llu source=%s\n",
+                  stuck[i].kind,
+                  static_cast<unsigned long long>(stuck[i].id),
+                  static_cast<unsigned long long>(stuck[i].age_ns),
+                  probe_of[i]);
+    dump.append(buf);
+  }
+  std::vector<std::pair<std::string, std::function<std::string()>>> diags;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    diags = diags_;
+  }
+  for (const auto& [name, fn] : diags) {
+    dump.append("--- diagnostic: ");
+    dump.append(name);
+    dump.append(" ---\n");
+    dump.append(fn());
+    if (!dump.empty() && dump.back() != '\n') dump.append("\n");
+  }
+  dump.append("=== end watchdog dump ===\n");
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    dump_ = dump;
+  }
+  opts_.sink(dump);
+  return true;
+}
+
+}  // namespace telemetry
+}  // namespace dlsm

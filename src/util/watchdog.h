@@ -1,0 +1,147 @@
+// Stall watchdog: detects operations outstanding beyond a deadline and
+// emits one diagnostic dump instead of hanging silently.
+//
+// Two detection sources feed one registry:
+//
+//  * Armed operations — long-running jobs (flush, compaction, migration,
+//    RPC) register an Arm()/Disarm() interval (usually via WatchdogScope).
+//    Jobs with legitimate long lifetimes call Progress() at checkpoints to
+//    reset their clock, so only a job that stops advancing trips the
+//    deadline.
+//  * Probes — callbacks that enumerate outstanding work the hot path
+//    cannot afford to register per-op (the verb layer's in-flight WR
+//    table). A probe reports ops older than the deadline.
+//
+// The clock is injected, never read from the host: under SimEnv it is
+// virtual time, so a sanitizer-slowed or cpu_scale=0 run cannot
+// false-positive — virtual time only advances when simulated work does.
+//
+// The dump is one-shot: the first Poll() that finds stuck ops composes a
+// report (stuck-op table plus every registered diagnostic section: series
+// ring tail, outstanding-handle table, per-QP state) and hands it to the
+// sink exactly once. Later polls are no-ops, so a wedged system produces
+// one actionable report, not a log flood.
+//
+// Dependency-light (util sits below sim): the owner supplies the clock
+// and drives Poll() from its own thread.
+
+#ifndef DLSM_UTIL_WATCHDOG_H_
+#define DLSM_UTIL_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlsm {
+namespace telemetry {
+
+class Watchdog {
+ public:
+  struct Options {
+    /// Timestamp source in nanoseconds (required; virtual time under
+    /// SimEnv).
+    std::function<uint64_t()> clock;
+    /// Default per-op deadline; Arm() may override per op.
+    uint64_t deadline_ns = 1000ull * 1000 * 1000;
+    /// Receives the dump; defaults to stderr when null.
+    std::function<void(const std::string&)> sink;
+  };
+
+  /// One outstanding operation past its deadline, as reported by a probe
+  /// or the armed-op table.
+  struct StuckOp {
+    const char* kind = "";  ///< e.g. "flush", "verb:READ". Literal string.
+    uint64_t id = 0;        ///< wr_id / armed-op token.
+    uint64_t age_ns = 0;    ///< now - last progress.
+  };
+
+  /// Enumerates outstanding ops older than `deadline_ns` at `now`.
+  using Probe =
+      std::function<void(uint64_t now, uint64_t deadline_ns,
+                         std::vector<StuckOp>* out)>;
+
+  explicit Watchdog(Options opts);
+
+  /// Registers an outstanding operation; returns its token (never 0).
+  /// deadline_ns == 0 uses the default. kind must be a string literal.
+  uint64_t Arm(const char* kind, uint64_t deadline_ns = 0);
+  /// Resets the operation's clock (a checkpoint: the job is alive).
+  void Progress(uint64_t token);
+  void Disarm(uint64_t token);
+
+  /// Probes and diagnostics are registered at setup, before Poll() runs.
+  void AddProbe(std::string name, Probe probe);
+  /// Appends a named section to the dump (e.g. the series ring tail).
+  void AddDiagnostic(std::string name, std::function<std::string()> fn);
+
+  /// Checks every source against the clock. Fires the one-shot dump on
+  /// the first poll that finds stuck ops; returns true exactly then.
+  /// Called from the owner's telemetry thread.
+  bool Poll();
+
+  /// True once the dump has fired.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+  /// Stuck ops counted by the firing poll (0 until fired).
+  uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+  /// The dump text (empty until fired). Test/diagnostic access; the sink
+  /// got the same bytes.
+  std::string last_dump() const;
+
+  /// Armed ops right now (gauge; test helper).
+  size_t armed() const;
+
+ private:
+  struct Armed {
+    uint64_t token;
+    const char* kind;
+    uint64_t since_ns;
+    uint64_t deadline_ns;
+  };
+
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::vector<Armed> armed_;  // Flat; stall-path only scans, hot path O(1) amortized.
+  std::vector<std::pair<std::string, Probe>> probes_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> diags_;
+  uint64_t next_token_ = 1;
+  std::string dump_;  // Guarded by mu_; written once.
+
+  std::atomic<bool> fired_{false};
+  std::atomic<uint64_t> stalls_{0};
+};
+
+/// RAII Arm/Disarm. Inert when wd is null (telemetry disabled), so call
+/// sites need no branching.
+class WatchdogScope {
+ public:
+  WatchdogScope(Watchdog* wd, const char* kind, uint64_t deadline_ns = 0)
+      : wd_(wd) {
+    if (wd_ != nullptr) token_ = wd_->Arm(kind, deadline_ns);
+  }
+  ~WatchdogScope() {
+    if (wd_ != nullptr) wd_->Disarm(token_);
+  }
+
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+  /// Checkpoint: the enclosed job made progress.
+  void Progress() {
+    if (wd_ != nullptr) wd_->Progress(token_);
+  }
+
+ private:
+  Watchdog* wd_;
+  uint64_t token_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace dlsm
+
+#endif  // DLSM_UTIL_WATCHDOG_H_

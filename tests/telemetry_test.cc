@@ -1,0 +1,442 @@
+// Continuous telemetry (DESIGN Sec. 4.9): the Series ring and its counter
+// deltas, Histogram windowing, the coordinated-omission-safe interval
+// recorder, exemplar top-k retention, sampler determinism under pure
+// discrete-event SimEnv, and the stall watchdog — both directions: no
+// false positive under injected RNR delays (deadlines are virtual time,
+// so sanitizer slowdown cannot trip them either), and exactly one dump
+// naming the stuck handle when a WR genuinely never completes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/db.h"
+#include "src/core/db_impl.h"
+#include "src/core/memory_node_service.h"
+#include "src/rdma/fabric.h"
+#include "src/rdma/rdma_manager.h"
+#include "src/sim/sim_env.h"
+#include "src/util/histogram.h"
+#include "src/util/timeseries.h"
+#include "src/util/trace.h"
+#include "src/util/watchdog.h"
+#include "tests/dlsm_test_util.h"
+
+namespace dlsm {
+namespace {
+
+using test::SmallOptions;
+using test::TestKey;
+using test::TestValue;
+
+// ---------------------------------------------------------------------------
+// Series ring
+// ---------------------------------------------------------------------------
+
+telemetry::Series MakeSeries(size_t capacity) {
+  std::vector<telemetry::Series::Column> cols;
+  cols.push_back({"ops", telemetry::Series::Kind::kCounter});
+  cols.push_back({"gauge", telemetry::Series::Kind::kGauge});
+  return telemetry::Series(std::move(cols), capacity);
+}
+
+TEST(SeriesTest, CounterColumnsStorePerIntervalDeltas) {
+  telemetry::Series s = MakeSeries(8);
+  s.Append(1000, {100.0, 7.0});
+  s.Append(2000, {150.0, 8.0});
+  s.Append(3000, {150.0, 9.0});
+  auto rows = s.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  // First row has no prior interval: counter records 0. Gauges pass
+  // through as sampled.
+  EXPECT_EQ(rows[0][0], 1000.0);
+  EXPECT_EQ(rows[0][1], 0.0);
+  EXPECT_EQ(rows[0][2], 7.0);
+  EXPECT_EQ(rows[1][1], 50.0);
+  EXPECT_EQ(rows[2][1], 0.0);
+  EXPECT_EQ(rows[2][2], 9.0);
+}
+
+TEST(SeriesTest, CounterResetClampsToZero) {
+  telemetry::Series s = MakeSeries(4);
+  s.Append(1, {100.0, 0.0});
+  s.Append(2, {40.0, 0.0});  // Raw value went backwards (process restart).
+  auto rows = s.Snapshot();
+  EXPECT_EQ(rows[1][1], 0.0);
+}
+
+TEST(SeriesTest, RingOverwritesOldestAndCountsDropped) {
+  telemetry::Series s = MakeSeries(4);
+  for (int i = 1; i <= 10; i++) {
+    s.Append(i * 1000, {static_cast<double>(i * 10), 1.0});
+  }
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.total_appended(), 10u);
+  auto rows = s.Snapshot();
+  ASSERT_EQ(rows.size(), 4u);
+  // Oldest retained row is append #7; every delta stayed 10 even across
+  // the wraparound (prev_raw_ is independent of the ring).
+  EXPECT_EQ(rows[0][0], 7000.0);
+  for (const auto& row : rows) EXPECT_EQ(row[1], 10.0);
+  std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"columns\":[\"ts_ns\",\"ops\",\"gauge\"]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kinds\":[\"ts\",\"counter\",\"gauge\"]"),
+            std::string::npos)
+      << json;
+}
+
+TEST(SeriesTest, TailJsonReturnsNewestRows) {
+  telemetry::Series s = MakeSeries(8);
+  for (int i = 1; i <= 5; i++) {
+    s.Append(i * 1000, {static_cast<double>(i), 0.0});
+  }
+  std::string tail = s.TailJson(2);
+  EXPECT_EQ(tail.find("[1000"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("[4000"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("[5000"), std::string::npos) << tail;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram windowing + interval recorder
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, DeltaSinceIsolatesTheWindow) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) h.Add(10.0);
+  Histogram snapshot = h;
+  for (int i = 0; i < 100; i++) h.Add(1000.0);
+  Histogram delta = h.DeltaSince(snapshot);
+  // The cumulative histogram's median straddles both batches; the delta
+  // sees only the second.
+  EXPECT_LT(snapshot.Median(), 20.0);
+  EXPECT_GT(delta.Median(), 500.0);
+  EXPECT_GT(h.DeltaSince(h).Median(), -1.0);  // Empty delta is valid.
+}
+
+TEST(IntervalRecorderTest, ChargesQueueingDelayToDelayedOps) {
+  // 1 ms intended interval. Ops 0-9 complete on schedule with 100 us of
+  // service time; op 10 stalls for 50 ms, and ops 11-19, issued
+  // back-to-back after the stall, each still pay the schedule they missed.
+  bench::IntervalRecorder rec(0, 1'000'000);
+  for (uint64_t i = 0; i < 10; i++) {
+    rec.Record(i, rec.IntendedStartNs(i) + 100'000);
+  }
+  uint64_t stall_done = rec.IntendedStartNs(10) + 50'000'000;
+  rec.Record(10, stall_done);
+  for (uint64_t i = 11; i < 20; i++) {
+    stall_done += 100'000;  // Back-to-back service after the stall.
+    rec.Record(i, stall_done);
+  }
+  const Histogram& h = rec.latency_us();
+  // Half the ops sat behind the stall, so the recorded p75 is tens of
+  // milliseconds — a naive per-op timer would have shown 100 us for all
+  // but one op.
+  EXPECT_LT(h.Median(), 50'000.0);
+  EXPECT_GT(h.Percentile(75.0), 30'000.0);
+  // An op that completes before its intended start records 0, not a wrap.
+  bench::IntervalRecorder early(1'000'000, 1'000'000);
+  early.Record(5, 0);
+  EXPECT_LT(early.latency_us().Percentile(99.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exemplar retention
+// ---------------------------------------------------------------------------
+
+TEST(ExemplarTest, RetainsTopKPerWindow) {
+  SimEnv::Options so;
+  so.cpu_scale = 0.0;
+  SimEnv env(so);
+  trace::EnableWithEnv(&env);
+  trace::ExemplarPolicy policy;
+  policy.k = 2;
+  policy.window_ns = 1'000'000;
+  trace::Tracer::SetExemplarPolicy(policy);
+
+  env.Run(0, [&] {
+    for (int w = 0; w < 3; w++) {
+      uint64_t window_start = env.NowNanos();
+      for (int i = 1; i <= 5; i++) {
+        trace::TraceOp op("Get", "test");
+        env.SleepNanos(i * 10'000ull);  // 10..50 us ops.
+      }
+      env.SleepNanos(policy.window_ns - (env.NowNanos() - window_start));
+    }
+  });
+
+  auto index = trace::Tracer::ExemplarIndex();
+  trace::Tracer::Disable();
+  // Export order: windows ascending, duration descending within a window;
+  // every window keeps at most k, and what it keeps is its slowest ops.
+  ASSERT_EQ(index.size(), 6u);
+  size_t i = 0;
+  for (int w = 0; w < 3; w++) {
+    EXPECT_GE(index[i].dur_ns, index[i + 1].dur_ns);
+    EXPECT_EQ(index[i].window, index[i + 1].window);
+    EXPECT_GE(index[i + 1].dur_ns, 40'000u);  // Top-2 of 10..50 us.
+    if (w > 0) {
+      EXPECT_GT(index[i].window, index[i - 1].window);
+    }
+    i += 2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine sampler
+// ---------------------------------------------------------------------------
+
+// Runs a small workload with the 1 ms sampler on and returns the
+// "dlsm.timeseries" JSON. Pure discrete-event mode: the series is a
+// function of the seed alone.
+std::string SampledWorkloadSeries(uint64_t seed) {
+  SimEnv::Options so;
+  so.cpu_scale = 0.0;
+  SimEnv env(so);
+  rdma::Fabric fabric(&env);
+  rdma::Node* compute = fabric.AddNode("compute", 24, 2ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 4ull << 30);
+
+  std::string json;
+  env.Run(0, [&] {
+    MemoryNodeService service(&fabric, memory, 4);
+    service.Start();
+    Options options = SmallOptions(&env);
+    options.stats_sample_period_ms = 1;
+    options.stats_ring_capacity = 256;
+    DbDeps deps;
+    deps.fabric = &fabric;
+    deps.compute = compute;
+    deps.memory = &service;
+    DB* raw = nullptr;
+    ASSERT_TRUE(DLsmDB::Open(options, deps, &raw).ok());
+    std::unique_ptr<DB> db(raw);
+
+    Random rnd(seed);
+    for (int i = 0; i < 6000; i++) {
+      uint64_t k = rnd.Uniform(2000);
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok());
+      // In pure discrete-event mode the memtable path costs no virtual
+      // time, so the whole load can finish inside one sample period;
+      // deterministic pauses spread it across several ticks.
+      if (i % 1000 == 999) env.SleepNanos(600'000);
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int i = 0; i < 500; i++) {
+      std::string value;
+      Status s = db->Get(ReadOptions(), TestKey(rnd.Uniform(2000)), &value);
+      ASSERT_TRUE(s.ok() || s.IsNotFound());
+    }
+    ASSERT_TRUE(db->GetProperty("dlsm.timeseries", &json));
+    ASSERT_TRUE(db->Close().ok());
+    db.reset();
+    service.Stop();
+  });
+  return json;
+}
+
+TEST(SamplerTest, SeriesExportsSchemaAndSamples) {
+  std::string json = SampledWorkloadSeries(301);
+  EXPECT_NE(json.find("\"columns\":[\"ts_ns\",\"writes\",\"reads\""),
+            std::string::npos)
+      << json.substr(0, 200);
+  EXPECT_NE(json.find("node0_read_verbs"), std::string::npos);
+  EXPECT_NE(json.find("read_p99_us"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":[["), std::string::npos)
+      << "sampler produced no rows";
+}
+
+TEST(SamplerTest, SameSeedRunsAreByteIdentical) {
+  std::string a = SampledWorkloadSeries(301);
+  std::string b = SampledWorkloadSeries(301);
+  EXPECT_EQ(a, b);
+  std::string c = SampledWorkloadSeries(777);
+  // Different workload, same schema: the header must match even when the
+  // samples differ.
+  EXPECT_EQ(c.substr(0, c.find("\"samples\"")),
+            a.substr(0, a.find("\"samples\"")));
+}
+
+TEST(SamplerTest, PropertyAbsentWhenSamplerOff) {
+  test::RunDbTest(nullptr, [](DB* db, Env*) {
+    std::string json;
+    EXPECT_FALSE(db->GetProperty("dlsm.timeseries", &json));
+  });
+}
+
+TEST(SamplerTest, ShardedPropertyWrapsPerShardSeries) {
+  test::RunDbTest(
+      [](Options* options) {
+        options->shards = 2;
+        options->stats_sample_period_ms = 1;
+      },
+      [](DB* db, Env*) {
+        ASSERT_TRUE(db->Put(WriteOptions(), TestKey(1), TestValue(1)).ok());
+        std::string json;
+        ASSERT_TRUE(db->GetProperty("dlsm.timeseries", &json));
+        EXPECT_EQ(json.find("{\"shards\":["), 0u) << json.substr(0, 80);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, NoFalsePositiveUnderRnrDelays) {
+  // 200 us injected retransmission delays against a 5 ms virtual-time
+  // deadline: slow, but alive — the watchdog must stay quiet. The
+  // deadline is virtual time, so running this under tsan/asan (CI does)
+  // cannot push real ops over it.
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* compute = fabric.AddNode("compute", 24, 2ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 4, 4ull << 30);
+  std::vector<std::string> dumps;
+
+  env.Run(0, [&] {
+    MemoryNodeService service(&fabric, memory, 4);
+    service.Start();
+    Options options = SmallOptions(&env);
+    options.watchdog_deadline_ms = 5;
+    options.stats_sample_period_ms = 1;
+    options.watchdog_sink = [&dumps](const std::string& d) {
+      dumps.push_back(d);
+    };
+    DbDeps deps;
+    deps.fabric = &fabric;
+    deps.compute = compute;
+    deps.memory = &service;
+    DB* raw = nullptr;
+    ASSERT_TRUE(DLsmDB::Open(options, deps, &raw).ok());
+    std::unique_ptr<DB> db(raw);
+
+    rdma::FaultParams fp;
+    fp.seed = 7;
+    fp.rnr_delay_rate = 0.05;
+    fabric.set_fault_params(fp);
+
+    Random rnd(7);
+    for (int i = 0; i < 6000; i++) {
+      uint64_t k = rnd.Uniform(2000);
+      ASSERT_TRUE(db->Put(WriteOptions(), TestKey(k), TestValue(k)).ok());
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_TRUE(db->WaitForBackgroundIdle().ok());
+    for (int i = 0; i < 500; i++) {
+      std::string value;
+      Status s = db->Get(ReadOptions(), TestKey(rnd.Uniform(2000)), &value);
+      ASSERT_TRUE(s.ok() || s.IsNotFound());
+    }
+    EXPECT_EQ(db->GetStats().watchdog_stalls, 0u);
+    ASSERT_TRUE(db->Close().ok());
+    db.reset();
+    service.Stop();
+  });
+  EXPECT_TRUE(dumps.empty()) << dumps[0];
+}
+
+TEST(WatchdogTest, StuckWrFiresExactlyOneDumpNamingTheHandle) {
+  // FaultParams::stuck_wr_nth parks the first admitted WR's completion
+  // unreachably far in the future — the silent-stall scenario. The probe
+  // over the verb layer's outstanding mirror must catch it, the one-shot
+  // dump must name the wr_id, and a second poll must stay quiet.
+  SimEnv env;
+  rdma::Fabric fabric(&env);
+  rdma::Node* compute = fabric.AddNode("compute", 4, 1ull << 30);
+  rdma::Node* memory = fabric.AddNode("memory", 2, 1ull << 30);
+
+  env.Run(0, [&] {
+    char* remote = memory->AllocDram(1 << 20);
+    rdma::MemoryRegion mr = fabric.RegisterMemory(memory, remote, 1 << 20);
+    rdma::RdmaManager mgr(&fabric, compute, memory);
+    std::vector<char> buf(4096);
+
+    // A healthy verb first: the mirror must not report completed work.
+    ASSERT_TRUE(mgr.Read(buf.data(), mr.addr, mr.rkey, 4096).ok());
+
+    rdma::FaultParams fp;
+    fp.stuck_wr_nth = 1;  // Next admitted post never completes.
+    fabric.set_fault_params(fp);
+    rdma::WrHandle stuck =
+        mgr.ThreadVq()->Read(buf.data(), mr.addr, mr.rkey, 4096);
+    uint64_t stuck_id = stuck.wr_id();
+
+    std::vector<std::string> dumps;
+    telemetry::Watchdog::Options wo;
+    wo.clock = [&env] { return env.NowNanos(); };
+    wo.deadline_ns = 1'000'000;
+    wo.sink = [&dumps](const std::string& d) { dumps.push_back(d); };
+    telemetry::Watchdog wd(wo);
+    wd.AddProbe("outstanding_verbs",
+                [&mgr](uint64_t now, uint64_t deadline_ns,
+                       std::vector<telemetry::Watchdog::StuckOp>* out) {
+                  std::vector<rdma::OutstandingVerb> verbs;
+                  mgr.ListOutstanding(&verbs);
+                  for (const rdma::OutstandingVerb& v : verbs) {
+                    if (now > v.post_ns && now - v.post_ns > deadline_ns) {
+                      out->push_back(telemetry::Watchdog::StuckOp{
+                          "verb:READ", v.wr_id, now - v.post_ns});
+                    }
+                  }
+                });
+    wd.AddDiagnostic("qp_state", [&mgr] { return mgr.QpStateSummary(); });
+
+    // Within the deadline: quiet.
+    env.SleepNanos(500'000);
+    EXPECT_FALSE(wd.Poll());
+    EXPECT_EQ(wd.stalls(), 0u);
+
+    // Past the deadline: exactly one dump, naming the stuck handle.
+    env.SleepNanos(2'000'000);
+    EXPECT_TRUE(wd.Poll());
+    EXPECT_TRUE(wd.fired());
+    EXPECT_EQ(wd.stalls(), 1u);
+    ASSERT_EQ(dumps.size(), 1u);
+    EXPECT_NE(dumps[0].find("kind=verb:READ"), std::string::npos) << dumps[0];
+    EXPECT_NE(dumps[0].find("id=" + std::to_string(stuck_id)),
+              std::string::npos)
+        << dumps[0];
+    EXPECT_NE(dumps[0].find("qp_state"), std::string::npos) << dumps[0];
+    EXPECT_NE(dumps[0].find("in_flight=1"), std::string::npos) << dumps[0];
+
+    // One-shot: the wedge is still there, the dump is not repeated.
+    env.SleepNanos(2'000'000);
+    EXPECT_FALSE(wd.Poll());
+    EXPECT_EQ(dumps.size(), 1u);
+
+    // Never Wait() on the stuck handle (virtual time would jump to the
+    // parked completion); Cancel drops it and teardown sweeps the rest.
+    stuck.Cancel();
+  });
+}
+
+TEST(WatchdogTest, ArmedOpFiresAndProgressResetsTheClock) {
+  uint64_t now = 0;
+  std::vector<std::string> dumps;
+  telemetry::Watchdog::Options wo;
+  wo.clock = [&now] { return now; };
+  wo.deadline_ns = 1000;
+  wo.sink = [&dumps](const std::string& d) { dumps.push_back(d); };
+  telemetry::Watchdog wd(wo);
+
+  uint64_t token = wd.Arm("migration");
+  now = 900;
+  EXPECT_FALSE(wd.Poll());
+  wd.Progress(token);  // Checkpoint at t=900: clock resets.
+  now = 1800;
+  EXPECT_FALSE(wd.Poll());
+  now = 3000;
+  EXPECT_TRUE(wd.Poll());
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("kind=migration"), std::string::npos) << dumps[0];
+  wd.Disarm(token);
+}
+
+}  // namespace
+}  // namespace dlsm
